@@ -1,0 +1,126 @@
+"""Error-analysis benches: where does each model's error live?
+
+* Position-error curves: the paper attributes FDNET's weakness to error
+  accumulation along the route; the curves make that visible — the
+  two-step model's time error should grow faster with route position
+  than the jointly trained M²G4RTP.
+* Calibration: predicted vs. actual ETA regression for M²G4RTP.
+* Dynamic-day replay: quality across a realistic re-prediction stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import DynamicDaySimulator
+from repro.eval import (
+    baseline_predictor,
+    calibration_report,
+    format_breakdown,
+    breakdown_by,
+    model_predictor,
+    position_error_curve,
+)
+from repro.metrics import kendall_rank_correlation
+from repro.service import RTPRequest, RTPService
+
+from common import get_baselines, get_context, get_m2g4rtp, write_result
+
+
+@pytest.fixture(scope="module")
+def ours():
+    return model_predictor(get_m2g4rtp())
+
+
+def test_position_error_curves(ours, benchmark):
+    context = get_context()
+    instances = list(context.test)
+    our_curve = position_error_curve(ours, instances)
+    fdnet_curve = position_error_curve(
+        baseline_predictor(get_baselines()["FDNET"]), instances)
+
+    text = ("M2G4RTP\n" + our_curve.render()
+            + "\n\nFDNET (two-step)\n" + fdnet_curve.render())
+    write_result("analysis_position_error.txt", text)
+
+    # Error-accumulation shape: over the back half of the route the
+    # two-step FDNET's time error exceeds the joint model's.
+    half = our_curve.positions.size // 2
+    ours_tail = our_curve.mae[half:].mean()
+    fdnet_tail = fdnet_curve.mae[:half * 2][half:].mean()
+    assert ours_tail < fdnet_tail
+
+    benchmark(position_error_curve, ours, instances[:10])
+
+
+def test_calibration(ours, benchmark):
+    context = get_context()
+    report = calibration_report(ours, list(context.test))
+    write_result("analysis_calibration.txt", report.render())
+    # A sane ETA model: strongly correlated, slope near 1, small bias.
+    assert report.correlation > 0.7
+    assert 0.5 < report.slope < 1.5
+    assert abs(report.mean_bias) < 20.0
+    benchmark(calibration_report, ours, list(context.test)[:10])
+
+
+def test_weather_breakdown(ours, benchmark):
+    context = get_context()
+    breakdown = breakdown_by(ours, list(context.test),
+                             key=lambda i: i.weather)
+    write_result("analysis_weather_breakdown.txt",
+                 format_breakdown(breakdown, "weather"))
+    assert sum(int(stats["count"]) for stats in breakdown.values()) == len(
+        context.test)
+    benchmark(format_breakdown, breakdown, "weather")
+
+
+def test_courier_cold_start(benchmark):
+    """Generalization to unseen couriers: train on a courier subset,
+    compare seen-courier vs held-out-courier test quality."""
+    from repro.core import M2G4RTP, M2G4RTPConfig
+    from repro.data import cold_start_protocol
+    from repro.eval import evaluate_method
+    from repro.training import Trainer, TrainerConfig
+
+    context = get_context()
+    train, seen_test, unseen_test = cold_start_protocol(
+        context.dataset, holdout_fraction=0.3, seed=4)
+    epochs = max(4, context.profile.ablation_epochs // 2)
+    model = M2G4RTP(M2G4RTPConfig(seed=11))
+    Trainer(model, TrainerConfig(epochs=epochs)).fit(train)
+    predict = model_predictor(model)
+
+    seen = evaluate_method("seen", predict, seen_test,
+                           buckets=("all",)).buckets["all"]
+    unseen = evaluate_method("unseen", predict, unseen_test,
+                             buckets=("all",)).buckets["all"]
+    text = ("courier cold-start (train couriers vs held-out couriers)\n"
+            f"  seen   KRC {seen.krc:.3f}  MAE {seen.mae:6.2f} "
+            f"(n={seen.num_instances})\n"
+            f"  unseen KRC {unseen.krc:.3f}  MAE {unseen.mae:6.2f} "
+            f"(n={unseen.num_instances})")
+    write_result("analysis_cold_start.txt", text)
+    # Transferable structure: held-out couriers stay clearly above chance.
+    assert unseen.krc > 0.2
+    benchmark(predict, unseen_test[0])
+
+
+def test_dynamic_day_replay(benchmark):
+    context = get_context()
+    service = RTPService(get_m2g4rtp())
+    simulator = DynamicDaySimulator(context.world, courier_index=0,
+                                    initial_orders=7, seed=5)
+    day = simulator.simulate()
+    krcs, latencies = [], []
+    for snapshot in day.snapshots:
+        response = service.handle(RTPRequest.from_instance(snapshot))
+        krcs.append(kendall_rank_correlation(response.route, snapshot.route))
+        latencies.append(response.latency_ms)
+    text = (f"dynamic day: {len(day)} re-plan events "
+            f"({day.event_kinds.count('arrival')} arrivals)\n"
+            f"  mean KRC      : {np.mean(krcs):.3f}\n"
+            f"  mean latency  : {np.mean(latencies):.2f} ms")
+    write_result("analysis_dynamic_replay.txt", text)
+    assert np.mean(krcs) > 0.2
+    snapshot = day.snapshots[0]
+    benchmark(service.handle, RTPRequest.from_instance(snapshot))

@@ -1,0 +1,67 @@
+"""Section VI — deployment-style service benchmark.
+
+Replays the test set through the online pipeline (request → feature
+extraction → inference → applications) and reports the service-level
+quality the paper quotes from production (HR@3 66.89 / KRC 0.61;
+RMSE 31.11 / MAE 22.40 for Shanghai).
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    RoutePrediction,
+    TimePrediction,
+    evaluate_route_predictions,
+    evaluate_time_predictions,
+)
+from repro.service import ETAService, OrderSortingService, RTPRequest, RTPService
+
+from common import get_context, get_m2g4rtp, write_result
+
+
+@pytest.fixture(scope="module")
+def service():
+    return RTPService(get_m2g4rtp())
+
+
+def test_service_replay_quality(service, benchmark):
+    context = get_context()
+    route_preds, time_preds, latencies = [], [], []
+    for instance in context.test:
+        response = service.handle(RTPRequest.from_instance(instance))
+        route_preds.append(RoutePrediction(response.route, instance.route))
+        time_preds.append(TimePrediction(response.eta_minutes,
+                                         instance.arrival_times))
+        latencies.append(response.latency_ms)
+
+    route = evaluate_route_predictions(route_preds)
+    time = evaluate_time_predictions(time_preds)
+    text = (
+        "Online service replay (Section VI)\n"
+        f"  queries        : {len(latencies)}\n"
+        f"  mean latency ms: {np.mean(latencies):.2f}\n"
+        f"  HR@3           : {route['hr@3']:.2f} (paper online: 66.89)\n"
+        f"  KRC            : {route['krc']:.2f} (paper online: 0.61)\n"
+        f"  RMSE           : {time['rmse']:.2f} (paper online: 31.11)\n"
+        f"  MAE            : {time['mae']:.2f} (paper online: 22.40)"
+    )
+    write_result("deployment_service.txt", text)
+    assert route["krc"] > 0.3
+    benchmark(service.handle, RTPRequest.from_instance(context.test[0]))
+
+
+def test_bench_order_sorting(service, benchmark):
+    context = get_context()
+    sorting = OrderSortingService(service)
+    request = RTPRequest.from_instance(context.test[0])
+    orders = benchmark(sorting.sort_orders, request)
+    assert len(orders) == request.num_locations
+
+
+def test_bench_eta_service(service, benchmark):
+    context = get_context()
+    eta = ETAService(service)
+    request = RTPRequest.from_instance(context.test[0])
+    entries = benchmark(eta.etas, request)
+    assert len(entries) == request.num_locations

@@ -1,0 +1,76 @@
+"""Figure 5 — component analysis (ablations).
+
+Trains the four paper variants next to the full model and reports all
+six metrics.  Expected shape (Section V-E): every variant is worse than
+the full model; w/o AOI hurts route metrics most; two-step hurts both
+tasks; w/o graph and w/o uncertainty degrade moderately.
+
+Also includes an extra ablation the paper motivates but does not plot:
+k of the k-NN connectivity (DESIGN.md Section 5).
+"""
+
+import pytest
+
+from repro.core import VARIANT_NAMES
+from repro.eval import evaluate_method, model_predictor
+
+from common import get_context, get_variant, write_result
+
+
+@pytest.fixture(scope="module")
+def variant_reports():
+    context = get_context()
+    reports = {}
+    for variant in VARIANT_NAMES:
+        model = get_variant(variant)
+        evaluation = evaluate_method(
+            variant, model_predictor(model), context.test, buckets=("all",))
+        reports[variant] = evaluation.buckets["all"]
+    return reports
+
+
+def test_fig5_component_analysis(variant_reports, benchmark):
+    header = (f"{'variant':18s} {'HR@3':>7s} {'KRC':>6s} {'LSD':>7s} "
+              f"{'RMSE':>7s} {'MAE':>7s} {'acc@20':>7s}")
+    lines = [header]
+    for variant, report in variant_reports.items():
+        lines.append(
+            f"{variant:18s} {report.hr_at_3:7.2f} {report.krc:6.2f} "
+            f"{report.lsd:7.2f} {report.rmse:7.2f} {report.mae:7.2f} "
+            f"{report.acc_at_20:7.2f}")
+    table = "\n".join(lines)
+    write_result("fig5_ablation.txt", table)
+    benchmark(lambda: "\n".join(lines))
+
+    full = variant_reports["full"]
+    # Shape check: the full model is the best or tied on the headline
+    # metrics against each ablation (small-sample noise tolerance 5%).
+    for variant, report in variant_reports.items():
+        if variant == "full":
+            continue
+        assert full.krc >= report.krc - 0.05, (
+            f"full KRC {full.krc:.3f} should not trail {variant} "
+            f"({report.krc:.3f})")
+        assert full.mae <= report.mae * 1.25, (
+            f"full MAE {full.mae:.2f} should not trail {variant} "
+            f"({report.mae:.2f})")
+
+
+def test_fig5_wo_aoi_hurts_route_most(variant_reports, benchmark):
+    """The paper: route prediction especially benefits from AOI info."""
+    full = variant_reports["full"]
+    wo_aoi = variant_reports["w/o aoi"]
+    assert wo_aoi.krc <= full.krc + 1e-9
+    benchmark(lambda: full.as_dict())
+
+
+@pytest.mark.parametrize("k", [1, 3, 5])
+def test_bench_knn_ablation_graph_build(k, benchmark):
+    """Extra ablation: connectivity density vs graph-build cost."""
+    from repro.graphs import GraphBuilder
+    context = get_context()
+    builder = GraphBuilder(k_neighbors=k)
+    instance = max(context.test, key=lambda i: i.num_locations)
+    graph = benchmark(builder.build, instance)
+    density = graph.location.adjacency.mean()
+    assert 0 < density <= 1

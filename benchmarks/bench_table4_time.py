@@ -1,0 +1,50 @@
+"""Table IV — time prediction (RMSE / MAE / acc@20) for all 8 methods.
+
+Expected shape: methods with separately trained plug-in time heads (and
+the fixed-speed heuristics) trail the jointly trained M²G4RTP, which
+posts the best RMSE/MAE/acc@20 overall.
+"""
+
+import pytest
+
+from repro.eval import evaluate_method, format_table
+
+from common import all_predictors, get_context, write_result
+
+BUCKETS = ("(3-10]", "(10-20]", "all")
+
+
+@pytest.fixture(scope="module")
+def evaluations():
+    context = get_context()
+    predictors = all_predictors()
+    return [
+        evaluate_method(name, predict, context.test, buckets=BUCKETS)
+        for name, predict in predictors.items()
+    ]
+
+
+def test_table4_time_prediction(evaluations, benchmark):
+    table = format_table(evaluations, "time", buckets=BUCKETS)
+    write_result("table4_time.txt", table)
+    benchmark(format_table, evaluations, "time")
+
+    by_name = {evaluation.name: evaluation for evaluation in evaluations}
+    ours = by_name["M2G4RTP"].buckets["all"]
+    # Shape check 1: best MAE among all methods.
+    for name, evaluation in by_name.items():
+        if name == "M2G4RTP":
+            continue
+        assert ours.mae <= evaluation.buckets["all"].mae + 1e-9, (
+            f"M2G4RTP MAE {ours.mae:.2f} above {name} "
+            f"{evaluation.buckets['all'].mae:.2f}")
+    # Shape check 2: clearly better than the fixed-speed heuristics.
+    assert ours.rmse < by_name["Time-Greedy"].buckets["all"].rmse
+    assert ours.acc_at_20 > by_name["OR-Tools"].buckets["all"].acc_at_20
+
+
+def test_bench_m2g4rtp_joint_inference(benchmark):
+    context = get_context()
+    predict = all_predictors()["M2G4RTP"]
+    instance = context.test[0]
+    benchmark(predict, instance)

@@ -1,0 +1,53 @@
+"""Table V — inference time complexity and measured latency per method.
+
+The paper reports per-query inference milliseconds under optimal
+parameters (Greedy 0.12 ... M²G4RTP 0.61).  Absolute numbers differ on
+a pure-Python substrate; the shape to hold is the *ordering*: greedy
+fastest, learned models slower, M²G4RTP the slowest learned model (it
+adds the AOI-level decode) but the same order of magnitude as the other
+deep models.
+"""
+
+import pytest
+
+from repro.eval import format_latency_table, profile_method
+
+from common import all_predictors, get_context, write_result
+
+
+@pytest.fixture(scope="module")
+def latency_reports():
+    context = get_context()
+    instances = list(context.test)[:20]
+    return [
+        profile_method(name, predict, instances, warmup=2)
+        for name, predict in all_predictors().items()
+    ]
+
+
+def test_table5_scalability(latency_reports, benchmark):
+    table = format_latency_table(latency_reports)
+    write_result("table5_scalability.txt", table)
+    benchmark(format_latency_table, latency_reports)
+
+    by_name = {report.name: report for report in latency_reports}
+    # Shape check 1: greedy methods are the fastest.
+    fastest_learned = min(
+        by_name[name].mean_ms
+        for name in ("OSquare", "DeepRoute", "FDNET", "Graph2Route", "M2G4RTP"))
+    assert by_name["Distance-Greedy"].mean_ms < fastest_learned
+    # Shape check 2: M2G4RTP costs more than the single-level graph model
+    # (extra AOI-level decode), but stays within ~10x of it.
+    assert by_name["M2G4RTP"].mean_ms > by_name["Graph2Route"].mean_ms * 0.8
+    assert by_name["M2G4RTP"].mean_ms < by_name["Graph2Route"].mean_ms * 10
+
+
+@pytest.mark.parametrize("method", [
+    "Distance-Greedy", "Time-Greedy", "OR-Tools", "OSquare",
+    "DeepRoute", "FDNET", "Graph2Route", "M2G4RTP",
+])
+def test_bench_per_method_inference(method, benchmark):
+    context = get_context()
+    predict = all_predictors()[method]
+    instance = context.test[0]
+    benchmark(predict, instance)

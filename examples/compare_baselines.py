@@ -1,0 +1,71 @@
+"""Compare M²G4RTP against all Section V-B baselines on one dataset.
+
+A smaller, faster version of benchmarks/bench_table3_route.py /
+bench_table4_time.py intended for interactive exploration.
+
+Run with::
+
+    python examples/compare_baselines.py
+"""
+
+from repro import (
+    GeneratorConfig,
+    M2G4RTP,
+    M2G4RTPConfig,
+    RTPDataset,
+    SyntheticWorld,
+    Trainer,
+    TrainerConfig,
+    baseline_predictor,
+    evaluate_method,
+    format_table,
+    model_predictor,
+)
+from repro.baselines import (
+    DeepBaselineConfig,
+    DeepRoute,
+    DistanceGreedy,
+    FDNET,
+    Graph2Route,
+    OSquare,
+    ShortestRouteTSP,
+    TimeGreedy,
+)
+
+
+def main():
+    world = SyntheticWorld(GeneratorConfig(
+        num_aois=60, num_couriers=6, num_days=10,
+        instances_per_courier_day=2, seed=99))
+    dataset = RTPDataset(world.generate()).filter_paper_scope()
+    train, validation, test = dataset.split_by_day()
+    print(f"{len(train)} train / {len(validation)} val / {len(test)} test")
+
+    deep_config = DeepBaselineConfig(epochs=6, time_epochs=4)
+    baselines = [
+        DistanceGreedy(), TimeGreedy(), ShortestRouteTSP(),
+        OSquare(n_estimators=20),
+        DeepRoute(deep_config), FDNET(deep_config), Graph2Route(deep_config),
+    ]
+
+    evaluations = []
+    for baseline in baselines:
+        print(f"fitting {baseline.name} ...")
+        baseline.fit(train, validation)
+        evaluations.append(evaluate_method(
+            baseline.name, baseline_predictor(baseline), test))
+
+    print("fitting M2G4RTP ...")
+    model = M2G4RTP(M2G4RTPConfig(seed=0))
+    Trainer(model, TrainerConfig(epochs=12, patience=5)).fit(train, validation)
+    evaluations.append(evaluate_method(
+        "M2G4RTP", model_predictor(model), test))
+
+    print("\nRoute prediction (Table III analogue):")
+    print(format_table(evaluations, "route"))
+    print("\nTime prediction (Table IV analogue):")
+    print(format_table(evaluations, "time"))
+
+
+if __name__ == "__main__":
+    main()

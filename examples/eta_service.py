@@ -1,0 +1,72 @@
+"""Minute-Level ETA service (paper Section VI-C).
+
+Reproduces the deployed user-facing application: instead of the old
+"within 2 hours" promise, every customer gets a minute-level ETA, a
+pre-arrival notification time, and an overdue-risk flag the platform
+can act on.
+
+Run with::
+
+    python examples/eta_service.py
+"""
+
+import numpy as np
+
+from repro import (
+    ETAService,
+    GeneratorConfig,
+    M2G4RTP,
+    M2G4RTPConfig,
+    RTPDataset,
+    RTPRequest,
+    RTPService,
+    SyntheticWorld,
+    Trainer,
+    TrainerConfig,
+)
+from repro.metrics import accuracy_within, mae, rmse
+
+
+def main():
+    world = SyntheticWorld(GeneratorConfig(
+        num_aois=60, num_couriers=6, num_days=10, seed=33))
+    dataset = RTPDataset(world.generate()).filter_paper_scope()
+    train, validation, test = dataset.split_by_day()
+
+    print("training the model behind the minute-level ETA service ...")
+    model = M2G4RTP(M2G4RTPConfig(seed=4))
+    Trainer(model, TrainerConfig(epochs=10, patience=4)).fit(train, validation)
+
+    service = RTPService(model)
+    eta_service = ETAService(service, notify_ahead_minutes=10.0)
+
+    # One customer-facing screen.
+    request = RTPRequest.from_instance(test[0])
+    entries = eta_service.etas(request)
+    print("\n--- Cainiao APP: minute-level ETA ---")
+    for entry in entries:
+        risk = "  (!) may miss deadline" if entry.overdue_risk else ""
+        print(f"  order {entry.location_id}: courier arrives in "
+              f"~{entry.eta_minutes:.0f} min; we will notify you at "
+              f"{entry.notify_at_minutes:.0f} min{risk}")
+
+    # Replay the whole test set and score the ETA quality the way the
+    # paper reports it for the Shanghai deployment.
+    predicted, actual = [], []
+    for instance in test:
+        entries = eta_service.etas(RTPRequest.from_instance(instance))
+        eta_by_id = {entry.location_id: entry.eta_minutes for entry in entries}
+        for location, true_minutes in zip(instance.locations,
+                                          instance.arrival_times):
+            predicted.append(eta_by_id[location.location_id])
+            actual.append(true_minutes)
+    predicted, actual = np.array(predicted), np.array(actual)
+
+    print("\nETA replay over the test days:")
+    print(f"  RMSE   : {rmse(predicted, actual):.2f} (paper online: 31.11)")
+    print(f"  MAE    : {mae(predicted, actual):.2f} (paper online: 22.40)")
+    print(f"  acc@20 : {100 * accuracy_within(predicted, actual, 20):.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: generate data, train M²G4RTP, evaluate, predict.
+
+Run with::
+
+    python examples/quickstart.py
+
+Takes about a minute on a laptop.  For a larger run, raise the
+generator sizes and training epochs.
+"""
+
+from repro import (
+    GeneratorConfig,
+    M2G4RTP,
+    M2G4RTPConfig,
+    RTPDataset,
+    SyntheticWorld,
+    Trainer,
+    TrainerConfig,
+    evaluate_method,
+    format_table,
+    model_predictor,
+)
+
+
+def main():
+    # 1. Build a synthetic city and generate courier pick-up instances.
+    #    (The paper uses proprietary Cainiao logs; see DESIGN.md for the
+    #    substitution rationale and repro.data.lade for real-data import.)
+    world = SyntheticWorld(GeneratorConfig(
+        num_aois=60, num_couriers=6, num_days=10,
+        instances_per_courier_day=2, seed=7))
+    dataset = RTPDataset(world.generate()).filter_paper_scope()
+    train, validation, test = dataset.split_by_day()
+    print(f"dataset: {dataset.summary()}")
+    print(f"split: {len(train)} train / {len(validation)} val / {len(test)} test")
+
+    # 2. Train the multi-level multi-task model.
+    model = M2G4RTP(M2G4RTPConfig(seed=0))
+    trainer = Trainer(model, TrainerConfig(epochs=10, patience=4, verbose=True))
+    history = trainer.fit(train, validation)
+    print(f"trained {history.num_epochs} epochs; "
+          f"best val loss at epoch {history.best_epoch}")
+    print(f"learned task sigmas: {model.loss_weighting.sigmas()}")
+
+    # 3. Evaluate with the paper's six metrics over the size buckets.
+    evaluation = evaluate_method("M2G4RTP", model_predictor(model), test)
+    print()
+    print(format_table([evaluation], "route"))
+    print()
+    print(format_table([evaluation], "time"))
+
+    # 4. Joint route + time prediction for a single request.
+    instance = test[0]
+    output = model.predict(trainer.builder.build(instance))
+    print(f"\nexample instance: {instance.describe()}")
+    print(f"  true route      : {instance.route.tolist()}")
+    print(f"  predicted route : {output.route.tolist()}")
+    print(f"  true times (min): {[round(float(t), 1) for t in instance.arrival_times]}")
+    print(f"  predicted (min) : {[round(float(t), 1) for t in output.arrival_times]}")
+    print(f"  AOI route       : {output.aoi_route.tolist()} "
+          f"(true {instance.aoi_route.tolist()})")
+
+
+if __name__ == "__main__":
+    main()

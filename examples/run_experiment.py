@@ -1,0 +1,44 @@
+"""Run a registered experiment and render its result as markdown.
+
+The experiments package pins down data, methods and budgets in one
+spec, so a comparison is reproducible from a single name::
+
+    python examples/run_experiment.py [smoke|table3|table4|fig5]
+
+``smoke`` (default) takes well under a minute; the table/fig specs
+retrain every method and take several minutes.
+"""
+
+import sys
+
+from repro.experiments import get_spec, run_experiment
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "smoke"
+    spec = get_spec(name)
+    print(f"experiment : {spec.name} — {spec.description}")
+    print(f"methods    : {', '.join(spec.methods) or '(variants only)'}")
+    if spec.variants:
+        print(f"variants   : {', '.join(spec.variants)}")
+    print()
+
+    result = run_experiment(spec, verbose=True)
+
+    print(f"\nfinished in {result.seconds:.1f}s\n")
+    print("Route metrics (bucket: all)")
+    print(result.render_markdown("route"))
+    print()
+    print("Time metrics (bucket: all)")
+    print(result.render_markdown("time"))
+    print()
+    print(f"best KRC : {result.best('krc')}")
+    print(f"best MAE : {result.best('mae', higher_is_better=False)}")
+
+    out = f"experiment_{spec.name}.json"
+    result.save(out)
+    print(f"\nsaved raw metrics to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` works via PEP 660 where `wheel`
+is available; this file additionally enables the legacy
+`--no-use-pep517` editable path used in fully offline environments.
+"""
+
+from setuptools import setup
+
+setup()

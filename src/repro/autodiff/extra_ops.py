@@ -1,0 +1,82 @@
+"""Additional differentiable operations.
+
+Less-core ops kept out of :mod:`tensor`/:mod:`ops` to keep those files
+focused: clipping, logsumexp, norms, min, and elementwise tensor-power.
+All are used by the analysis/extension code and fully grad-checked in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .tensor import Tensor
+from .ops import as_tensor, where
+
+
+def clip(x: Tensor, low: float, high: float) -> Tensor:
+    """Clamp values to ``[low, high]``; gradient is zero outside."""
+    if low > high:
+        raise ValueError(f"low {low} must not exceed high {high}")
+    x = as_tensor(x)
+    inside = (x.data >= low) & (x.data <= high)
+    data = np.clip(x.data, low, high)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(np.asarray(grad) * inside)
+
+    return Tensor.from_op(data, (x,), backward, "clip")
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable ``log(sum(exp(x)))`` along ``axis``."""
+    x = as_tensor(x)
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    result = (x - shift).exp().sum(axis=axis, keepdims=True).log() + shift
+    if keepdims:
+        return result
+    # Drop the reduced axis.
+    shape = list(result.shape)
+    del shape[axis % x.ndim if x.ndim else 0]
+    return result.reshape(*shape) if shape else result.reshape(())
+
+
+def l2_norm(x: Tensor, eps: float = 1e-12) -> Tensor:
+    """Euclidean norm of the flattened tensor (smoothed at zero)."""
+    x = as_tensor(x)
+    return ((x * x).sum() + eps) ** 0.5
+
+
+def minimum(a, b) -> Tensor:
+    """Elementwise minimum; gradient goes to the smaller operand."""
+    a_t, b_t = as_tensor(a), as_tensor(b)
+    return where(a_t.data <= b_t.data, a_t, b_t)
+
+
+def min_reduce(x: Tensor, axis: Optional[int] = None,
+               keepdims: bool = False) -> Tensor:
+    """Min reduction via the max machinery (gradient splits on ties)."""
+    x = as_tensor(x)
+    return -((-x).max(axis=axis, keepdims=keepdims))
+
+
+def tensor_pow(base: Tensor, exponent: Tensor) -> Tensor:
+    """Elementwise ``base ** exponent`` with gradients to both operands.
+
+    Requires ``base > 0`` (the general branch is undefined otherwise).
+    """
+    base_t, exponent_t = as_tensor(base), as_tensor(exponent)
+    if np.any(base_t.data <= 0):
+        raise ValueError("tensor_pow requires strictly positive base")
+    return (base_t.log() * exponent_t).exp()
+
+
+def softplus(x: Tensor) -> Tensor:
+    """``log(1 + exp(x))``, computed stably."""
+    x = as_tensor(x)
+    # softplus(x) = max(x, 0) + log1p(exp(-|x|)) — both terms stable.
+    positive = clip(x, 0.0, np.inf)
+    return positive + ((-x.abs()).exp() + 1.0).log()

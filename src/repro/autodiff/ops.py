@@ -1,0 +1,157 @@
+"""Functional operations composing or extending :class:`~repro.autodiff.tensor.Tensor`.
+
+These are the operations that do not fit naturally as methods: variadic
+joins (:func:`concat`, :func:`stack`), masked selection (:func:`where`),
+numerically stable softmax family, and the loss functions used by the
+models (cross-entropy over route pointers, MAE/MSE over arrival times).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+ArrayLike = Union[Tensor, np.ndarray, float, int]
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no-op when it already is one)."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(index)])
+
+    return Tensor.from_op(data, tensors, backward, "concat")
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        for i, tensor in enumerate(tensors):
+            if tensor.requires_grad:
+                tensor._accumulate(np.take(grad, i, axis=axis))
+
+    return Tensor.from_op(data, tensors, backward, "stack")
+
+
+def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Differentiable ``np.where`` — ``condition`` is a plain boolean array."""
+    a_t, b_t = as_tensor(a), as_tensor(b)
+    condition = np.asarray(condition, dtype=bool)
+    data = np.where(condition, a_t.data, b_t.data)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        if a_t.requires_grad:
+            a_t._accumulate(np.where(condition, grad, 0.0))
+        if b_t.requires_grad:
+            b_t._accumulate(np.where(condition, 0.0, grad))
+
+    return Tensor.from_op(data, (a_t, b_t), backward, "where")
+
+
+def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise maximum; gradient goes to the larger operand (split on ties)."""
+    a_t, b_t = as_tensor(a), as_tensor(b)
+    return where(a_t.data >= b_t.data, a_t, b_t)
+
+
+def softmax(logits: Tensor, axis: int = -1,
+            mask: Optional[np.ndarray] = None) -> Tensor:
+    """Numerically stable softmax.
+
+    Parameters
+    ----------
+    logits:
+        Raw scores.
+    axis:
+        Normalisation axis.
+    mask:
+        Optional boolean array, ``True`` where positions are *valid*.
+        Invalid positions get probability exactly zero; gradients do not
+        flow through them.  At least one valid position per slice is
+        required.
+    """
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    if mask is not None:
+        exp = exp * Tensor(np.asarray(mask, dtype=np.float64))
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1,
+                mask: Optional[np.ndarray] = None) -> Tensor:
+    """Numerically stable log-softmax with optional validity mask.
+
+    Masked (invalid) positions receive a large negative constant before
+    normalisation so that they contribute (numerically) nothing to the
+    partition function while keeping the computation differentiable.
+    """
+    if mask is not None:
+        penalty = np.where(np.asarray(mask, dtype=bool), 0.0, -1e30)
+        logits = logits + Tensor(penalty)
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    log_z = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_z
+
+
+def cross_entropy(logits: Tensor, target: int,
+                  mask: Optional[np.ndarray] = None) -> Tensor:
+    """Cross-entropy of a single decoding step.
+
+    ``logits`` is a 1-D tensor of scores over candidates, ``target`` the
+    index of the true next node, ``mask`` marks feasible candidates.
+    """
+    log_probs = log_softmax(logits, axis=-1, mask=mask)
+    return -log_probs[int(target)]
+
+
+def mae_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean absolute error against a constant target array (Eq. 39/40)."""
+    diff = prediction - Tensor(np.asarray(target, dtype=np.float64))
+    return diff.abs().mean()
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    diff = prediction - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def huber_loss(prediction: Tensor, target: np.ndarray, delta: float = 1.0) -> Tensor:
+    """Huber loss — quadratic near zero, linear in the tails."""
+    diff = prediction - Tensor(np.asarray(target, dtype=np.float64))
+    abs_diff = diff.abs()
+    quadratic = diff * diff * 0.5
+    linear = abs_diff * delta - 0.5 * delta * delta
+    return where(abs_diff.data <= delta, quadratic, linear).mean()
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or ``rate == 0``."""
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)

@@ -1,0 +1,36 @@
+"""Baselines of Section V-B: greedy, heuristic, tree-based, deep."""
+
+from .base import (
+    BaselinePrediction,
+    RTPBaseline,
+    estimate_effective_speed,
+    route_travel_times,
+)
+from .greedy import DistanceGreedy, TimeGreedy
+from .tsp import (
+    ShortestRouteTSP,
+    held_karp_path,
+    nearest_neighbor_path,
+    or_opt,
+    path_length,
+    two_opt,
+)
+from .gbdt import GBDTBinaryClassifier, GBDTRegressor, RegressionTree
+from .osquare import OSquare
+from .deep_common import DeepBaselineConfig, DeepRouteTimeBaseline, PluginTimeHead
+from .deeproute import DeepRoute
+from .deepeta import DeepETA
+from .fdnet import FDNET
+from .graph2route import Graph2Route
+
+__all__ = [
+    "BaselinePrediction", "RTPBaseline",
+    "estimate_effective_speed", "route_travel_times",
+    "DistanceGreedy", "TimeGreedy",
+    "ShortestRouteTSP", "nearest_neighbor_path", "two_opt", "or_opt",
+    "held_karp_path", "path_length",
+    "GBDTBinaryClassifier", "GBDTRegressor", "RegressionTree",
+    "OSquare",
+    "DeepBaselineConfig", "DeepRouteTimeBaseline", "PluginTimeHead",
+    "DeepRoute", "DeepETA", "FDNET", "Graph2Route",
+]

@@ -1,0 +1,84 @@
+"""Common interface for every route/time baseline (paper Section V-B)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import RTPDataset
+from ..data.entities import RTPInstance
+
+
+@dataclasses.dataclass
+class BaselinePrediction:
+    """Route permutation plus per-location arrival times (minutes)."""
+
+    route: np.ndarray
+    arrival_times: np.ndarray
+
+
+class RTPBaseline:
+    """A model that predicts route and arrival times for an instance.
+
+    Subclasses implement :meth:`fit` (may be a no-op for heuristics)
+    and :meth:`predict`.
+    """
+
+    name: str = "baseline"
+
+    def fit(self, train: RTPDataset,
+            validation: Optional[RTPDataset] = None) -> "RTPBaseline":
+        return self
+
+    def predict(self, instance: RTPInstance) -> BaselinePrediction:
+        raise NotImplementedError
+
+    def predict_many(self, instances: Sequence[RTPInstance]):
+        return [self.predict(instance) for instance in instances]
+
+
+def route_travel_times(instance: RTPInstance, route: np.ndarray,
+                       speed: float, service_time: float = 0.0) -> np.ndarray:
+    """Arrival times from chaining distances along ``route`` at ``speed``.
+
+    The "fixed speed" time predictor the paper attaches to the greedy
+    and OR-Tools baselines: arrival[i] is the cumulative travel (plus
+    optional per-stop service time) when the courier reaches location
+    ``i``.
+    """
+    if speed <= 0:
+        raise ValueError(f"speed must be positive, got {speed}")
+    position = instance.courier_position
+    clock = 0.0
+    arrivals = np.zeros(instance.num_locations)
+    for step, location_index in enumerate(route):
+        location = instance.locations[int(location_index)]
+        clock += location.distance_to(*position) / speed
+        arrivals[int(location_index)] = clock
+        clock += service_time
+        position = location.coord
+    return arrivals
+
+
+def estimate_effective_speed(train: RTPDataset,
+                             default: float = 150.0) -> float:
+    """Effective metres/minute over the training routes.
+
+    Total chained route distance divided by total elapsed time — this
+    folds service stops into the speed, which is exactly what a single
+    "fixed speed" constant can capture.
+    """
+    total_distance = 0.0
+    total_minutes = 0.0
+    for instance in train:
+        position = instance.courier_position
+        for location_index in instance.route:
+            location = instance.locations[int(location_index)]
+            total_distance += location.distance_to(*position)
+            position = location.coord
+        total_minutes += float(np.max(instance.arrival_times))
+    if total_minutes <= 0:
+        return default
+    return max(total_distance / total_minutes, 1e-6)

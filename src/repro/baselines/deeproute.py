@@ -1,0 +1,49 @@
+"""DeepRoute baseline (Wen et al., ICDE 2021).
+
+Transformer encoder over all unvisited locations plus an
+attention-based pointer decoder — sequence-based, single level, route
+only; the time head is the separately trained plug-in module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..graphs import MultiLevelGraph
+from ..nn import Module, TransformerEncoderLayer
+from .deep_common import DeepBaselineConfig, DeepRouteTimeBaseline
+
+
+class _TransformerStack(Module):
+    def __init__(self, dim: int, num_layers: int, num_heads: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.layers = [
+            TransformerEncoderLayer(dim, num_heads, 2 * dim, rng)
+            for _ in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class DeepRoute(DeepRouteTimeBaseline):
+    """Transformer encoder + pointer decoder."""
+
+    name = "DeepRoute"
+
+    def __init__(self, config: DeepBaselineConfig = None, builder=None,
+                 num_layers: int = 2, num_heads: int = 4):
+        self._num_layers = num_layers
+        self._num_heads = num_heads
+        super().__init__(config, builder)
+
+    def _build_encoder(self, rng: np.random.Generator) -> Module:
+        return _TransformerStack(self.config.hidden_dim, self._num_layers,
+                                 self._num_heads, rng)
+
+    def _encode(self, inputs: Tensor, graph: MultiLevelGraph) -> Tensor:
+        return self.encoder(inputs)

@@ -1,0 +1,77 @@
+"""Greedy baselines: Time-Greedy and Distance-Greedy (paper Section V-B).
+
+* Time-Greedy orders locations by remaining time until deadline.
+* Distance-Greedy chains nearest-unvisited step by step.
+
+Both use the fixed-speed travel-time predictor for arrival times; the
+speed is estimated from the training routes in :meth:`fit`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.dataset import RTPDataset
+from ..data.entities import RTPInstance
+from .base import (
+    BaselinePrediction,
+    RTPBaseline,
+    estimate_effective_speed,
+    route_travel_times,
+)
+
+
+class TimeGreedy(RTPBaseline):
+    """Visit locations in order of increasing deadline."""
+
+    name = "Time-Greedy"
+
+    def __init__(self, speed: Optional[float] = None):
+        self.speed = speed
+
+    def fit(self, train: RTPDataset,
+            validation: Optional[RTPDataset] = None) -> "TimeGreedy":
+        if self.speed is None:
+            self.speed = estimate_effective_speed(train)
+        return self
+
+    def predict(self, instance: RTPInstance) -> BaselinePrediction:
+        speed = self.speed if self.speed is not None else 150.0
+        deadlines = np.array([loc.deadline for loc in instance.locations])
+        route = np.argsort(deadlines, kind="stable").astype(np.int64)
+        times = route_travel_times(instance, route, speed)
+        return BaselinePrediction(route=route, arrival_times=times)
+
+
+class DistanceGreedy(RTPBaseline):
+    """Step-by-step nearest-unvisited-location route."""
+
+    name = "Distance-Greedy"
+
+    def __init__(self, speed: Optional[float] = None):
+        self.speed = speed
+
+    def fit(self, train: RTPDataset,
+            validation: Optional[RTPDataset] = None) -> "DistanceGreedy":
+        if self.speed is None:
+            self.speed = estimate_effective_speed(train)
+        return self
+
+    def predict(self, instance: RTPInstance) -> BaselinePrediction:
+        speed = self.speed if self.speed is not None else 150.0
+        n = instance.num_locations
+        remaining = set(range(n))
+        position = instance.courier_position
+        route = np.empty(n, dtype=np.int64)
+        for step in range(n):
+            best = min(
+                remaining,
+                key=lambda i: instance.locations[i].distance_to(*position),
+            )
+            route[step] = best
+            remaining.remove(best)
+            position = instance.locations[best].coord
+        times = route_travel_times(instance, route, speed)
+        return BaselinePrediction(route=route, arrival_times=times)

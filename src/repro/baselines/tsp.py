@@ -1,0 +1,192 @@
+"""Shortest-route heuristic baseline — the OR-Tools stand-in.
+
+The paper uses Google OR-Tools as a "find the shortest route" baseline.
+OR-Tools is not available offline, so we implement the same class of
+heuristic from scratch: nearest-neighbour construction followed by
+2-opt local search on the *open* travelling-salesman path that starts
+at the courier's position.  At the paper's instance sizes (n ≤ 20) this
+is near-optimal, which is all the baseline requires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.dataset import RTPDataset
+from ..data.entities import RTPInstance, pairwise_distance_matrix, geo_distance_meters
+from .base import (
+    BaselinePrediction,
+    RTPBaseline,
+    estimate_effective_speed,
+    route_travel_times,
+)
+
+
+def nearest_neighbor_path(start_costs: np.ndarray,
+                          distance: np.ndarray) -> np.ndarray:
+    """Greedy open-path construction from a virtual start node."""
+    n = distance.shape[0]
+    remaining = set(range(n))
+    path = np.empty(n, dtype=np.int64)
+    current = int(np.argmin(start_costs))
+    path[0] = current
+    remaining.remove(current)
+    for step in range(1, n):
+        costs = [(distance[current, j], j) for j in remaining]
+        current = min(costs)[1]
+        path[step] = current
+        remaining.remove(current)
+    return path
+
+
+def path_length(path: np.ndarray, start_costs: np.ndarray,
+                distance: np.ndarray) -> float:
+    """Total length of an open path including the start leg."""
+    total = float(start_costs[path[0]])
+    for a, b in zip(path[:-1], path[1:]):
+        total += float(distance[a, b])
+    return total
+
+
+def two_opt(path: np.ndarray, start_costs: np.ndarray, distance: np.ndarray,
+            max_rounds: int = 30) -> np.ndarray:
+    """2-opt local search for open paths (reverses route segments)."""
+    path = path.copy()
+    n = path.size
+    if n < 3:
+        return path
+    for _ in range(max_rounds):
+        improved = False
+        for i in range(n - 1):
+            before_i = start_costs[path[i]] if i == 0 else distance[path[i - 1], path[i]]
+            for j in range(i + 1, n):
+                # Reverse segment [i, j]; compute the length delta.
+                new_before = (start_costs[path[j]] if i == 0
+                              else distance[path[i - 1], path[j]])
+                old_after = distance[path[j], path[j + 1]] if j < n - 1 else 0.0
+                new_after = distance[path[i], path[j + 1]] if j < n - 1 else 0.0
+                delta = (new_before + new_after) - (before_i + old_after)
+                if delta < -1e-9:
+                    path[i:j + 1] = path[i:j + 1][::-1]
+                    improved = True
+                    before_i = (start_costs[path[i]] if i == 0
+                                else distance[path[i - 1], path[i]])
+        if not improved:
+            break
+    return path
+
+
+def held_karp_path(start_costs: np.ndarray, distance: np.ndarray,
+                   max_nodes: int = 15) -> np.ndarray:
+    """Exact open-path TSP via Held-Karp dynamic programming.
+
+    O(n^2 2^n) — used in tests and benches to measure the heuristic's
+    optimality gap; refuses instances beyond ``max_nodes``.
+    """
+    n = distance.shape[0]
+    if n > max_nodes:
+        raise ValueError(f"Held-Karp limited to {max_nodes} nodes, got {n}")
+    if n == 1:
+        return np.array([0], dtype=np.int64)
+
+    full = 1 << n
+    cost = np.full((full, n), np.inf)
+    parent = np.full((full, n), -1, dtype=np.int64)
+    for j in range(n):
+        cost[1 << j, j] = start_costs[j]
+    for subset in range(full):
+        active = cost[subset]
+        if not np.isfinite(active).any():
+            continue
+        for last in range(n):
+            if not np.isfinite(cost[subset, last]):
+                continue
+            base = cost[subset, last]
+            for nxt in range(n):
+                if subset & (1 << nxt):
+                    continue
+                nxt_subset = subset | (1 << nxt)
+                candidate = base + distance[last, nxt]
+                if candidate < cost[nxt_subset, nxt]:
+                    cost[nxt_subset, nxt] = candidate
+                    parent[nxt_subset, nxt] = last
+
+    subset = full - 1
+    last = int(np.argmin(cost[subset]))
+    path = [last]
+    while parent[subset, last] >= 0:
+        previous = int(parent[subset, last])
+        subset ^= 1 << last
+        last = previous
+        path.append(last)
+    return np.array(path[::-1], dtype=np.int64)
+
+
+def or_opt(path: np.ndarray, start_costs: np.ndarray, distance: np.ndarray,
+           segment_lengths=(1, 2, 3), max_rounds: int = 10) -> np.ndarray:
+    """Or-opt local search: relocate short segments within the path.
+
+    Complements 2-opt (which only reverses); together they escape more
+    local minima of the open-path objective.
+    """
+    path = list(path)
+    n = len(path)
+
+    def length(order) -> float:
+        return path_length(np.asarray(order), start_costs, distance)
+
+    for _ in range(max_rounds):
+        improved = False
+        best_length = length(path)
+        for seg_len in segment_lengths:
+            if seg_len >= n:
+                continue
+            for i in range(n - seg_len + 1):
+                segment = path[i:i + seg_len]
+                rest = path[:i] + path[i + seg_len:]
+                for j in range(len(rest) + 1):
+                    if j == i:
+                        continue
+                    candidate = rest[:j] + segment + rest[j:]
+                    candidate_length = length(candidate)
+                    if candidate_length < best_length - 1e-9:
+                        path = candidate
+                        best_length = candidate_length
+                        improved = True
+        if not improved:
+            break
+    return np.array(path, dtype=np.int64)
+
+
+class ShortestRouteTSP(RTPBaseline):
+    """Nearest-neighbour + 2-opt shortest-route heuristic ("OR-Tools")."""
+
+    name = "OR-Tools"
+
+    def __init__(self, speed: Optional[float] = None, max_rounds: int = 30):
+        self.speed = speed
+        self.max_rounds = max_rounds
+
+    def fit(self, train: RTPDataset,
+            validation: Optional[RTPDataset] = None) -> "ShortestRouteTSP":
+        if self.speed is None:
+            self.speed = estimate_effective_speed(train)
+        return self
+
+    def solve(self, instance: RTPInstance) -> np.ndarray:
+        """Return the heuristic shortest open route for an instance."""
+        distance = pairwise_distance_matrix(instance.location_coords())
+        start_costs = np.array([
+            geo_distance_meters(*instance.courier_position, *loc.coord)
+            for loc in instance.locations
+        ])
+        path = nearest_neighbor_path(start_costs, distance)
+        return two_opt(path, start_costs, distance, self.max_rounds)
+
+    def predict(self, instance: RTPInstance) -> BaselinePrediction:
+        speed = self.speed if self.speed is not None else 150.0
+        route = self.solve(instance)
+        times = route_travel_times(instance, route, speed)
+        return BaselinePrediction(route=route, arrival_times=times)

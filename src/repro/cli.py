@@ -1,0 +1,179 @@
+"""Command-line interface: generate / train / evaluate / serve.
+
+Installed as ``repro-rtp``::
+
+    repro-rtp generate --out data.csv --aois 60 --couriers 6 --days 10
+    repro-rtp train --data data.csv --out model.npz --epochs 12
+    repro-rtp evaluate --data data.csv --model model.npz
+    repro-rtp serve --data data.csv --model model.npz --queries 5
+
+``train`` writes the model config next to the checkpoint
+(``model.npz`` + ``model.json``) so ``evaluate``/``serve`` can rebuild
+the exact architecture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import M2G4RTP, M2G4RTPConfig
+from .data import GeneratorConfig, RTPDataset, SyntheticWorld, read_csv, write_csv
+from .eval import evaluate_method, format_table, model_predictor
+from .service import ETAService, OrderSortingService, RTPRequest, RTPService
+from .training import Trainer, TrainerConfig, load_checkpoint, save_checkpoint
+
+
+def _config_path(model_path: Path) -> Path:
+    return model_path.with_suffix(".json")
+
+
+def _save_model(model: M2G4RTP, path: Path) -> None:
+    save_checkpoint(model, path)
+    _config_path(path).write_text(
+        json.dumps(dataclasses.asdict(model.config), indent=2))
+
+
+def _load_model(path: Path) -> M2G4RTP:
+    config_file = _config_path(path)
+    if not config_file.exists():
+        raise FileNotFoundError(
+            f"missing model config {config_file}; train with this CLI "
+            "or write the config JSON next to the checkpoint")
+    config = M2G4RTPConfig(**json.loads(config_file.read_text()))
+    model = M2G4RTP(config)
+    load_checkpoint(model, path)
+    model.eval()
+    return model
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    config = GeneratorConfig(
+        num_aois=args.aois, num_couriers=args.couriers, num_days=args.days,
+        instances_per_courier_day=args.per_day, seed=args.seed)
+    dataset = RTPDataset(SyntheticWorld(config).generate()).filter_paper_scope()
+    write_csv(list(dataset), args.out)
+    summary = dataset.summary()
+    print(f"wrote {summary['num_instances']} instances "
+          f"({summary['num_days']} days) to {args.out}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.data)
+    train, validation, _ = dataset.split_by_day()
+    print(f"training on {len(train)} instances "
+          f"(validating on {len(validation)})")
+    model = M2G4RTP(M2G4RTPConfig(seed=args.seed,
+                                  hidden_dim=args.hidden_dim))
+    trainer = Trainer(model, TrainerConfig(
+        epochs=args.epochs, learning_rate=args.lr, verbose=not args.quiet))
+    history = trainer.fit(train, validation)
+    _save_model(model, Path(args.out))
+    best = (f" (best epoch {history.best_epoch})"
+            if history.best_epoch >= 0 else "")
+    print(f"saved {args.out}{best}; "
+          f"final train loss {history.train_loss[-1]:.4f}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.data)
+    _, _, test = dataset.split_by_day()
+    model = _load_model(Path(args.model))
+    evaluation = evaluate_method("M2G4RTP", model_predictor(model), test)
+    print(format_table([evaluation], "route"))
+    print()
+    print(format_table([evaluation], "time"))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.data)
+    _, _, test = dataset.split_by_day()
+    model = _load_model(Path(args.model))
+    service = RTPService(model)
+    sorting = OrderSortingService(service)
+    eta = ETAService(service)
+    for instance in list(test)[: args.queries]:
+        request = RTPRequest.from_instance(instance)
+        orders = sorting.sort_orders(request)
+        entries = {entry.location_id: entry for entry in eta.etas(request)}
+        print(f"\ncourier {request.courier.courier_id} "
+              f"({request.num_locations} orders):")
+        for order in orders:
+            entry = entries[order.location_id]
+            flag = " !" if entry.overdue_risk else ""
+            print(f"  {order.position:2d}. order {order.location_id} "
+                  f"(AOI {order.aoi_id}) ETA {order.eta_minutes:5.1f} min"
+                  f"{flag}")
+    print(f"\nserved {service.queries_served} queries")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.data)
+    for key, value in dataset.summary().items():
+        print(f"{key:28s} {value}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rtp",
+        description="M2G4RTP route-and-time prediction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic dataset CSV")
+    generate.add_argument("--out", required=True)
+    generate.add_argument("--aois", type=int, default=60)
+    generate.add_argument("--couriers", type=int, default=6)
+    generate.add_argument("--days", type=int, default=10)
+    generate.add_argument("--per-day", type=int, default=2)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=cmd_generate)
+
+    train = sub.add_parser("train", help="train M2G4RTP on a CSV dataset")
+    train.add_argument("--data", required=True)
+    train.add_argument("--out", required=True)
+    train.add_argument("--epochs", type=int, default=12)
+    train.add_argument("--lr", type=float, default=3e-3)
+    train.add_argument("--hidden-dim", type=int, default=32)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--quiet", action="store_true")
+    train.set_defaults(func=cmd_train)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a trained model")
+    evaluate.add_argument("--data", required=True)
+    evaluate.add_argument("--model", required=True)
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    serve = sub.add_parser("serve", help="replay requests through the service")
+    serve.add_argument("--data", required=True)
+    serve.add_argument("--model", required=True)
+    serve.add_argument("--queries", type=int, default=3)
+    serve.set_defaults(func=cmd_serve)
+
+    info = sub.add_parser("info", help="summarise a CSV dataset")
+    info.add_argument("--data", required=True)
+    info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

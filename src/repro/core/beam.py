@@ -1,0 +1,155 @@
+"""Beam-search decoding for the pointer route decoder.
+
+The paper decodes greedily (Eq. 31 takes the argmax at each step).
+Beam search is the natural inference-time extension: keep the ``width``
+most probable partial routes and return the complete route with the
+highest total log-probability.  It reuses the trained
+:class:`~repro.core.decoder.RouteDecoder` unchanged — only the search
+strategy differs — so it can be toggled per query.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, no_grad
+from .decoder import RouteDecoder
+
+
+@dataclasses.dataclass
+class _Beam:
+    """One partial route hypothesis."""
+
+    log_prob: float
+    route: List[int]
+    visited: np.ndarray
+    state: Optional[Tuple[Tensor, Tensor]]
+    previous: Optional[int]
+
+    def key(self) -> Tuple[int, ...]:
+        return tuple(self.route)
+
+
+def beam_search_route(decoder: RouteDecoder, nodes: Tensor, courier: Tensor,
+                      adjacency: Optional[np.ndarray] = None,
+                      width: int = 4) -> Tuple[np.ndarray, float]:
+    """Decode a route with beam search.
+
+    Parameters
+    ----------
+    decoder:
+        A trained :class:`RouteDecoder`.
+    nodes / courier / adjacency:
+        Exactly the arguments :meth:`RouteDecoder.forward` takes.
+    width:
+        Beam width; ``width=1`` reduces to greedy decoding.
+
+    Returns
+    -------
+    (route, log_prob):
+        The best complete route and its total log probability.
+    """
+    if width < 1:
+        raise ValueError(f"beam width must be >= 1, got {width}")
+    n = nodes.shape[0]
+
+    with no_grad():
+        beams = [_Beam(log_prob=0.0, route=[], visited=np.zeros(n, dtype=bool),
+                       state=None, previous=None)]
+        for _ in range(n):
+            candidates: List[_Beam] = []
+            for beam in beams:
+                step_input = (decoder.start_token if beam.previous is None
+                              else nodes[beam.previous])
+                h, new_state = decoder.recurrent.step(step_input, beam.state)
+                query = concat([h, courier], axis=-1)
+                mask = decoder._candidate_mask(beam.visited, beam.previous,
+                                               adjacency)
+                log_probs = decoder.attention.log_probs(nodes, query, mask).data
+                feasible = np.flatnonzero(mask)
+                # Expand only the top-``width`` children of this beam —
+                # more can never survive the global prune.
+                order = feasible[np.argsort(log_probs[feasible])[::-1][:width]]
+                for child in order:
+                    visited = beam.visited.copy()
+                    visited[child] = True
+                    candidates.append(_Beam(
+                        log_prob=beam.log_prob + float(log_probs[child]),
+                        route=beam.route + [int(child)],
+                        visited=visited,
+                        state=new_state,
+                        previous=int(child),
+                    ))
+            # Global prune to the best ``width`` hypotheses.
+            candidates.sort(key=lambda b: -b.log_prob)
+            # Deduplicate identical prefixes (can appear when two parents
+            # expand into the same ordering).
+            seen = set()
+            beams = []
+            for candidate in candidates:
+                key = candidate.key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                beams.append(candidate)
+                if len(beams) == width:
+                    break
+
+    best = max(beams, key=lambda b: b.log_prob)
+    return np.array(best.route, dtype=np.int64), best.log_prob
+
+
+def beam_search_predict(model, graph, width: int = 4):
+    """Full-model inference with beam-searched routes at both levels.
+
+    Runs the encoder once, beam-searches the AOI route (when the model
+    has an AOI level), rebuilds the guidance inputs from that route,
+    then beam-searches the location route and runs the SortLSTMs on the
+    beam results.  Returns an :class:`~repro.core.model.M2G4RTPOutput`.
+    """
+    from .decoder import positional_guidance
+    from .model import M2G4RTPOutput
+
+    cfg = model.config
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            location_reps, aoi_reps = model.encoder(graph)
+            courier = model._courier_vector(graph)
+
+            aoi_route = None
+            aoi_times = None
+            if cfg.use_aoi:
+                aoi_route, _ = beam_search_route(
+                    model.aoi_route_decoder, aoi_reps, courier,
+                    adjacency=graph.aoi.adjacency, width=width)
+                aoi_times = model.aoi_time_decoder(aoi_reps, aoi_route)
+                positions = positional_guidance(aoi_route, cfg.position_dim)
+                per_location_positions = Tensor(positions[graph.aoi_of_location])
+                per_location_eta = aoi_times[graph.aoi_of_location]
+                location_inputs = concat(
+                    [location_reps, per_location_positions,
+                     per_location_eta.reshape(-1, 1)], axis=-1)
+            else:
+                location_inputs = location_reps
+
+            route, _ = beam_search_route(
+                model.location_route_decoder, location_inputs, courier,
+                adjacency=graph.location.adjacency, width=width)
+            times = model.location_time_decoder(location_inputs, route)
+
+        return M2G4RTPOutput(
+            route=route,
+            arrival_times=times.data * cfg.time_scale,
+            aoi_route=aoi_route,
+            aoi_arrival_times=(aoi_times.data * cfg.time_scale
+                               if aoi_times is not None else None),
+        )
+    finally:
+        if was_training:
+            model.train()

@@ -1,0 +1,225 @@
+"""Multi-task decoders (paper Section IV-C).
+
+* :class:`RouteDecoder` — the recurrent masked-pointer decoder of
+  Eqs. 27-31: an LSTM aggregates the already-decoded prefix into the
+  current state, additive attention scores every feasible candidate,
+  and the argmax (inference) or the ground truth (teacher forcing)
+  becomes the next step's input.
+* :class:`SortLSTM` — the time decoder of Eqs. 32-33: node embeddings
+  are fed *in route order*, each concatenated with the sinusoidal
+  encoding of its position, and an LSTM emits one arrival time per
+  step.  Outputs are not forced monotone, which gives the module the
+  error-correction slack the paper highlights.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, stack
+from ..nn import AdditivePointerAttention, GRUCell, Linear, LSTMCell, Module
+from ..nn.init import normal
+from ..nn.module import Parameter
+from ..nn.positional import sinusoidal_position_encoding
+
+
+class RecurrentCell(Module):
+    """Uniform step interface over LSTM and GRU cells.
+
+    ``step(x, state) -> (hidden, new_state)`` hides the difference
+    between the LSTM's ``(h, c)`` state and the GRU's plain ``h``.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator, cell_type: str = "lstm"):
+        super().__init__()
+        if cell_type == "lstm":
+            self.cell = LSTMCell(input_dim, hidden_dim, rng)
+        elif cell_type == "gru":
+            self.cell = GRUCell(input_dim, hidden_dim, rng)
+        else:
+            raise ValueError(f"cell_type must be 'lstm' or 'gru', got {cell_type!r}")
+        self.cell_type = cell_type
+
+    def step(self, x: Tensor, state):
+        if self.cell_type == "lstm":
+            h, c = self.cell(x, state)
+            return h, (h, c)
+        h = self.cell(x, state)
+        return h, h
+
+
+@dataclasses.dataclass
+class RouteDecoderOutput:
+    """Result of one route decoding pass.
+
+    ``route[j]`` is the node index decoded at step ``j``;
+    ``step_log_probs[j]`` is the masked log-probability vector of step
+    ``j`` (a Tensor over all nodes, infeasible ones at -inf), used for
+    the route cross-entropy loss.  When a teacher route was supplied,
+    ``step_targets[j]`` is the supervised label of step ``j`` — under
+    plain teacher forcing it equals ``teacher_route[j]``; under
+    scheduled sampling it is the oracle label re-aligned to the decoded
+    prefix (the earliest still-unvisited node of the true route).
+    """
+
+    route: np.ndarray
+    step_log_probs: List[Tensor]
+    step_targets: Optional[np.ndarray] = None
+
+
+class RouteDecoder(Module):
+    """Pointer-network route decoder with feasibility masking.
+
+    Parameters
+    ----------
+    node_dim:
+        Width of the (possibly guidance-augmented) node inputs.
+    state_dim:
+        LSTM hidden width.
+    courier_dim:
+        Width of the courier vector ``u`` concatenated to the query
+        (Eq. 28).
+    restrict_to_neighbors:
+        When ``True``, candidates are additionally restricted to graph
+        neighbours of the previously decoded node (the paper's
+        "most likely neighbor of the (s-1)-th output"), falling back to
+        all unvisited nodes when no unvisited neighbour exists.
+    """
+
+    def __init__(self, node_dim: int, state_dim: int, courier_dim: int,
+                 rng: np.random.Generator,
+                 restrict_to_neighbors: bool = True,
+                 cell_type: str = "lstm"):
+        super().__init__()
+        self.recurrent = RecurrentCell(node_dim, state_dim, rng, cell_type)
+        self.attention = AdditivePointerAttention(
+            key_dim=node_dim, query_dim=state_dim + courier_dim,
+            hidden_dim=state_dim, rng=rng)
+        self.start_token = Parameter(normal(rng, (node_dim,), std=0.1))
+        self.restrict_to_neighbors = restrict_to_neighbors
+
+    def _candidate_mask(self, visited: np.ndarray, previous: Optional[int],
+                        adjacency: Optional[np.ndarray]) -> np.ndarray:
+        unvisited = ~visited
+        if (self.restrict_to_neighbors and previous is not None
+                and adjacency is not None):
+            neighbors = np.asarray(adjacency[previous], dtype=bool) & unvisited
+            if neighbors.any():
+                return neighbors
+        return unvisited
+
+    def forward(self, nodes: Tensor, courier: Tensor,
+                adjacency: Optional[np.ndarray] = None,
+                teacher_route: Optional[np.ndarray] = None,
+                sample_prob: float = 0.0,
+                rng: Optional[np.random.Generator] = None
+                ) -> RouteDecoderOutput:
+        """Decode a full route over ``nodes``.
+
+        With ``teacher_route`` given, the decoder is teacher-forced: the
+        supervised node is fed forward at each step while the log
+        probabilities are still produced for the loss.  With
+        ``sample_prob > 0`` (scheduled sampling), each step instead
+        feeds the model's own argmax with that probability, and the
+        supervision label is re-aligned to the decoded prefix — the
+        earliest still-unvisited node of the true route — so training
+        sees its own mistakes (DAgger-style oracle labelling).
+        """
+        n = nodes.shape[0]
+        visited = np.zeros(n, dtype=bool)
+        state = None
+        step_input = self.start_token
+        previous: Optional[int] = None
+        route = np.empty(n, dtype=np.int64)
+        step_log_probs: List[Tensor] = []
+        step_targets: Optional[np.ndarray] = None
+        true_rank: Optional[np.ndarray] = None
+        if teacher_route is not None:
+            step_targets = np.empty(n, dtype=np.int64)
+            true_rank = np.empty(n, dtype=np.int64)
+            true_rank[np.asarray(teacher_route)] = np.arange(n)
+            if sample_prob > 0.0 and rng is None:
+                raise ValueError("scheduled sampling requires an rng")
+
+        for step in range(n):
+            h, state = self.recurrent.step(step_input, state)
+            query = concat([h, courier], axis=-1)
+            mask = self._candidate_mask(visited, previous, adjacency)
+            log_probs = self.attention.log_probs(nodes, query, mask)
+            step_log_probs.append(log_probs)
+
+            if teacher_route is not None:
+                unvisited = np.flatnonzero(~visited)
+                target = int(unvisited[np.argmin(true_rank[unvisited])])
+                step_targets[step] = target
+                if sample_prob > 0.0 and rng.random() < sample_prob:
+                    chosen = int(np.argmax(log_probs.data))
+                else:
+                    chosen = target
+            else:
+                chosen = int(np.argmax(log_probs.data))
+            route[step] = chosen
+            visited[chosen] = True
+            previous = chosen
+            step_input = nodes[chosen]
+
+        return RouteDecoderOutput(route=route, step_log_probs=step_log_probs,
+                                  step_targets=step_targets)
+
+
+class SortLSTM(Module):
+    """RNN with a sorting function (Eqs. 32-33).
+
+    Consumes node embeddings *sorted by a route*, concatenated with the
+    positional encoding of each step, and emits one arrival-time scalar
+    per step.  The returned tensor is re-scattered to node order, i.e.
+    ``output[i]`` is the predicted arrival time of node ``i``.
+    """
+
+    def __init__(self, node_dim: int, state_dim: int, position_dim: int,
+                 rng: np.random.Generator, cell_type: str = "lstm"):
+        super().__init__()
+        if position_dim < 2:
+            raise ValueError("position_dim must be >= 2")
+        self.position_dim = position_dim
+        self.recurrent = RecurrentCell(node_dim + position_dim, state_dim,
+                                       rng, cell_type)
+        self.head = Linear(state_dim, 1, rng)
+
+    def forward(self, nodes: Tensor, route: np.ndarray) -> Tensor:
+        """Predict arrival times; ``route`` orders the input nodes."""
+        n = nodes.shape[0]
+        route = np.asarray(route, dtype=np.int64)
+        if sorted(route.tolist()) != list(range(n)):
+            raise ValueError("route must be a permutation of the node indices")
+        state = None
+        times_by_step: List[Tensor] = []
+        for position, node_index in enumerate(route, start=1):
+            encoding = Tensor(
+                sinusoidal_position_encoding(position, self.position_dim))
+            step_input = concat([nodes[int(node_index)], encoding], axis=-1)
+            h, state = self.recurrent.step(step_input, state)
+            times_by_step.append(self.head(h).reshape(()))
+        by_step = stack(times_by_step, axis=0)
+        # Scatter step-ordered times back to node order.
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[route] = np.arange(n)
+        return by_step[inverse]
+
+
+def positional_guidance(route: np.ndarray, dim: int) -> np.ndarray:
+    """Per-node positional encodings given a route (used as AOI guidance).
+
+    ``result[i]`` is the encoding of node ``i``'s 1-indexed position in
+    ``route`` — the ``p_aoi`` of Eq. 34.
+    """
+    route = np.asarray(route, dtype=np.int64)
+    n = route.size
+    result = np.zeros((n, dim))
+    for position, node_index in enumerate(route, start=1):
+        result[node_index] = sinusoidal_position_encoding(position, dim)
+    return result

@@ -1,0 +1,153 @@
+"""GAT-e: graph attention with edge features and edge updates (Eqs. 20-26).
+
+The paper's improvement over vanilla GAT is twofold:
+
+* edge embeddings enter the attention logits (Eq. 20), so the network
+  sees distance / deadline-gap / connectivity when weighting neighbours;
+* edge embeddings are themselves updated from the incident node
+  embeddings each layer (Eq. 23), giving an information-passing path
+  along edges.
+
+Multi-head behaviour follows Eqs. 24-26: intermediate layers concatenate
+P head outputs, the final layer averages them and delays the ReLU.
+
+Note on Eq. 22: the paper writes the aggregation as
+``sum_j alpha_ij W2 h_i`` — aggregating the *centre* node.  As in the
+original GAT (Velickovic et al., 2018) the sum must run over the
+*neighbour* embeddings ``h_j`` for the attention weights to matter; we
+follow the GAT semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, softmax, stack
+from ..nn import Linear, Module
+from ..nn.init import xavier_uniform
+from ..nn.module import Parameter
+
+
+class GATEHead(Module):
+    """One attention head of a GAT-e layer.
+
+    Produces updated node embeddings ``(n, out_dim)`` and updated edge
+    embeddings ``(n, n, out_dim)`` from inputs of width ``in_dim``.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 leaky_slope: float = 0.2):
+        super().__init__()
+        self.leaky_slope = leaky_slope
+        # W1 and the split attention vector a_v = [a_src ; a_dst] (Eq. 20).
+        self.w1 = Parameter(xavier_uniform(rng, in_dim, in_dim))
+        self.a_src = Parameter(xavier_uniform(rng, in_dim, 1, shape=(in_dim,)))
+        self.a_dst = Parameter(xavier_uniform(rng, in_dim, 1, shape=(in_dim,)))
+        self.a_edge = Parameter(xavier_uniform(rng, in_dim, 1, shape=(in_dim,)))
+        # W2 (node messages) and W3/W4/W5 (edge update, Eq. 23).
+        self.w2 = Parameter(xavier_uniform(rng, in_dim, out_dim))
+        self.w3 = Parameter(xavier_uniform(rng, in_dim, out_dim))
+        self.w4 = Parameter(xavier_uniform(rng, in_dim, out_dim))
+        self.w5 = Parameter(xavier_uniform(rng, in_dim, out_dim))
+
+    def attention(self, nodes: Tensor, edges: Tensor,
+                  adjacency: np.ndarray) -> Tensor:
+        """Masked attention matrix ``alpha`` of Eq. 21, shape ``(n, n)``."""
+        transformed = nodes @ self.w1
+        source_score = transformed @ self.a_src      # (n,)
+        target_score = transformed @ self.a_dst      # (n,)
+        edge_score = edges @ self.a_edge             # (n, n)
+        n = nodes.shape[0]
+        logits = (source_score.reshape(n, 1) + target_score.reshape(1, n)
+                  + edge_score).leaky_relu(self.leaky_slope)
+        return softmax(logits, axis=1, mask=np.asarray(adjacency, dtype=bool))
+
+    def forward(self, nodes: Tensor, edges: Tensor,
+                adjacency: np.ndarray) -> Tuple[Tensor, Tensor, Tensor]:
+        """Return (pre-activation node update, edge update, alpha)."""
+        alpha = self.attention(nodes, edges, adjacency)
+        node_update = alpha @ (nodes @ self.w2)
+        n = nodes.shape[0]
+        edge_update = (
+            edges @ self.w3
+            + (nodes @ self.w4).reshape(n, 1, -1)
+            + (nodes @ self.w5).reshape(1, n, -1)
+        )
+        return node_update, edge_update, alpha
+
+
+class GATELayer(Module):
+    """Multi-head GAT-e layer.
+
+    Parameters
+    ----------
+    dim:
+        Node/edge embedding width (kept constant across layers).
+    num_heads:
+        ``P`` in Eqs. 24-25.  Must divide ``dim`` for concat layers.
+    final:
+        If ``True``, heads are averaged (each producing the full
+        ``dim``) and the ReLU is delayed until after the average
+        (Eq. 26); otherwise head outputs of ``dim // P`` are
+        concatenated with per-head ReLU (Eqs. 24-25).
+    """
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator,
+                 final: bool = False):
+        super().__init__()
+        if not final and dim % num_heads != 0:
+            raise ValueError(f"dim {dim} must be divisible by num_heads {num_heads}")
+        self.final = final
+        head_dim = dim if final else dim // num_heads
+        self.heads = [GATEHead(dim, head_dim, rng) for _ in range(num_heads)]
+
+    def forward(self, nodes: Tensor, edges: Tensor,
+                adjacency: np.ndarray) -> Tuple[Tensor, Tensor]:
+        node_updates = []
+        edge_updates = []
+        for head in self.heads:
+            node_update, edge_update, _ = head(nodes, edges, adjacency)
+            if not self.final:
+                node_update = node_update.relu()
+                edge_update = edge_update.relu()
+            node_updates.append(node_update)
+            edge_updates.append(edge_update)
+        if self.final:
+            count = float(len(self.heads))
+            node_out = node_updates[0]
+            edge_out = edge_updates[0]
+            for node_update, edge_update in zip(node_updates[1:], edge_updates[1:]):
+                node_out = node_out + node_update
+                edge_out = edge_out + edge_update
+            return (node_out * (1.0 / count)).relu(), (edge_out * (1.0 / count)).relu()
+        return concat(node_updates, axis=-1), concat(edge_updates, axis=-1)
+
+
+class GATEEncoder(Module):
+    """A stack of GAT-e layers with residual connections.
+
+    The last layer uses the averaging/delayed-activation form of Eq. 26.
+    Residual connections are not in the paper's equations but are
+    standard for deep GATs and keep the K-layer stack trainable; they
+    preserve the paper's information flow.
+    """
+
+    def __init__(self, dim: int, num_layers: int, num_heads: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("encoder needs at least one layer")
+        self.layers = [
+            GATELayer(dim, num_heads, rng, final=(i == num_layers - 1))
+            for i in range(num_layers)
+        ]
+
+    def forward(self, nodes: Tensor, edges: Tensor,
+                adjacency: np.ndarray) -> Tuple[Tensor, Tensor]:
+        for layer in self.layers:
+            node_update, edge_update = layer(nodes, edges, adjacency)
+            nodes = nodes + node_update
+            edges = edges + edge_update
+        return nodes, edges

@@ -1,0 +1,73 @@
+"""Homoscedastic-uncertainty loss weighting (paper Eq. 41).
+
+Following Kendall, Gal & Cipolla (2018), each task loss is weighted by a
+learned noise parameter: classification losses get ``1/(2 sigma^2)``,
+regression losses ``1/sigma^2``, plus a ``log sigma`` regulariser that
+stops the weights collapsing to zero.  We parameterise
+``s = log(sigma)`` for unconstrained optimisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..nn import Module
+from ..nn.module import Parameter
+
+#: Order of the four tasks in the sigma vector.
+TASKS = ("aoi_route", "location_route", "aoi_time", "location_time")
+_CLASSIFICATION = {"aoi_route", "location_route"}
+
+
+class UncertaintyWeighting(Module):
+    """Learnable multi-task loss combiner (Eq. 41)."""
+
+    def __init__(self):
+        super().__init__()
+        self.log_sigma = Parameter(np.zeros(len(TASKS)))
+
+    def forward(self, losses: Dict[str, Tensor]) -> Tensor:
+        unknown = set(losses) - set(TASKS)
+        if unknown:
+            raise KeyError(f"unknown task losses: {sorted(unknown)}")
+        total: Tensor = None  # type: ignore[assignment]
+        for index, task in enumerate(TASKS):
+            if task not in losses:
+                continue
+            log_sigma_i = self.log_sigma[index]
+            precision = (log_sigma_i * -2.0).exp()
+            coefficient = 0.5 if task in _CLASSIFICATION else 1.0
+            term = losses[task] * precision * coefficient + log_sigma_i
+            total = term if total is None else total + term
+        if total is None:
+            raise ValueError("no losses provided")
+        return total
+
+    def sigmas(self) -> Dict[str, float]:
+        """Current per-task sigma values (for logging/analysis)."""
+        return {
+            task: float(np.exp(self.log_sigma.data[index]))
+            for index, task in enumerate(TASKS)
+        }
+
+
+class FixedWeighting(Module):
+    """The paper's "w/o uncertainty" ablation: fixed 100:1 route:time."""
+
+    def __init__(self, route_weight: float = 100.0, time_weight: float = 1.0):
+        super().__init__()
+        self.route_weight = route_weight
+        self.time_weight = time_weight
+
+    def forward(self, losses: Dict[str, Tensor]) -> Tensor:
+        total: Tensor = None  # type: ignore[assignment]
+        for task, loss in losses.items():
+            weight = self.route_weight if task in _CLASSIFICATION else self.time_weight
+            term = loss * weight
+            total = term if total is None else total + term
+        if total is None:
+            raise ValueError("no losses provided")
+        return total

@@ -1,0 +1,43 @@
+"""Data substrate: entities, synthetic generator, dataset containers, IO."""
+
+from .entities import (
+    AOI,
+    Courier,
+    Location,
+    RTPInstance,
+    geo_distance_meters,
+    pairwise_distance_matrix,
+)
+from .generator import (
+    NUM_AOI_TYPES,
+    NUM_WEATHER_TYPES,
+    GeneratorConfig,
+    SyntheticWorld,
+    generate_dataset,
+    transfer_statistics,
+)
+from .dataset import RTPDataset, SIZE_BUCKETS
+from .lade import read_csv, write_csv, CSV_COLUMNS
+from .dynamic import DynamicDay, DynamicDaySimulator
+from .splits import cold_start_protocol, split_by_courier
+from .transforms import (
+    drop_locations,
+    drop_random_locations,
+    jitter_coordinates,
+    perturb_deadlines,
+    robustness_sweep,
+)
+
+__all__ = [
+    "AOI", "Courier", "Location", "RTPInstance",
+    "geo_distance_meters", "pairwise_distance_matrix",
+    "NUM_AOI_TYPES", "NUM_WEATHER_TYPES",
+    "GeneratorConfig", "SyntheticWorld", "generate_dataset",
+    "transfer_statistics",
+    "RTPDataset", "SIZE_BUCKETS",
+    "read_csv", "write_csv", "CSV_COLUMNS",
+    "drop_locations", "drop_random_locations", "jitter_coordinates",
+    "perturb_deadlines", "robustness_sweep",
+    "DynamicDay", "DynamicDaySimulator",
+    "cold_start_protocol", "split_by_courier",
+]

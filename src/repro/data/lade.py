@@ -1,0 +1,159 @@
+"""LaDe-style CSV import/export.
+
+The public LaDe dataset (Wu et al., 2023) releases courier pick-up
+records with one row per package event.  This module round-trips
+:class:`RTPInstance` objects through that row shape so users with real
+data can feed it to the models, and so the synthetic generator can emit
+files in the public format.
+
+Expected columns (one row per location of an instance)::
+
+    instance_id, day, courier_id, courier_speed, courier_working_hours,
+    courier_attendance, courier_service_time, request_time,
+    courier_lon, courier_lat, weather, weekday,
+    location_id, lon, lat, aoi_id, aoi_type, aoi_lon, aoi_lat,
+    accept_time, deadline, visit_order, arrival_minutes
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from .entities import AOI, Courier, Location, RTPInstance
+from .dataset import RTPDataset
+
+CSV_COLUMNS = [
+    "instance_id", "day", "courier_id", "courier_speed",
+    "courier_working_hours", "courier_attendance", "courier_service_time",
+    "request_time", "courier_lon", "courier_lat", "weather", "weekday",
+    "location_id", "lon", "lat", "aoi_id", "aoi_type", "aoi_lon", "aoi_lat",
+    "accept_time", "deadline", "visit_order", "arrival_minutes",
+]
+
+
+def write_csv(instances: Sequence[RTPInstance], path: Union[str, Path]) -> None:
+    """Write instances to a LaDe-style CSV file."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_COLUMNS)
+        writer.writeheader()
+        for instance_id, instance in enumerate(instances):
+            ranks = instance.location_ranks()
+            aoi_by_id = {aoi.aoi_id: aoi for aoi in instance.aois}
+            for i, location in enumerate(instance.locations):
+                aoi = aoi_by_id[location.aoi_id]
+                writer.writerow({
+                    "instance_id": instance_id,
+                    "day": instance.day,
+                    "courier_id": instance.courier.courier_id,
+                    "courier_speed": instance.courier.speed,
+                    "courier_working_hours": instance.courier.working_hours,
+                    "courier_attendance": instance.courier.attendance_rate,
+                    "courier_service_time": instance.courier.service_time_mean,
+                    "request_time": instance.request_time,
+                    "courier_lon": instance.courier_position[0],
+                    "courier_lat": instance.courier_position[1],
+                    "weather": instance.weather,
+                    "weekday": instance.weekday,
+                    "location_id": location.location_id,
+                    "lon": location.coord[0],
+                    "lat": location.coord[1],
+                    "aoi_id": location.aoi_id,
+                    "aoi_type": aoi.aoi_type,
+                    "aoi_lon": aoi.center[0],
+                    "aoi_lat": aoi.center[1],
+                    "accept_time": location.accept_time,
+                    "deadline": location.deadline,
+                    "visit_order": int(ranks[i]),
+                    "arrival_minutes": instance.arrival_times[i],
+                })
+
+
+def read_csv(path: Union[str, Path]) -> RTPDataset:
+    """Load instances from a LaDe-style CSV file."""
+    path = Path(path)
+    rows_by_instance: Dict[int, List[dict]] = defaultdict(list)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(CSV_COLUMNS) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"CSV {path} missing columns: {sorted(missing)}")
+        for row in reader:
+            rows_by_instance[int(row["instance_id"])].append(row)
+
+    instances = []
+    for instance_id in sorted(rows_by_instance):
+        instances.append(_instance_from_rows(rows_by_instance[instance_id]))
+    return RTPDataset(instances)
+
+
+def _instance_from_rows(rows: List[dict]) -> RTPInstance:
+    first = rows[0]
+    courier = Courier(
+        courier_id=int(first["courier_id"]),
+        speed=float(first["courier_speed"]),
+        working_hours=float(first["courier_working_hours"]),
+        attendance_rate=float(first["courier_attendance"]),
+        service_time_mean=float(first["courier_service_time"]),
+        aoi_type_preference=tuple(range(6)),  # latent; not recoverable from logs
+    )
+
+    locations: List[Location] = []
+    arrival_times: List[float] = []
+    visit_orders: List[int] = []
+    aois_by_id: Dict[int, AOI] = {}
+    aoi_first_seen: List[int] = []
+    for row in rows:
+        aoi_id = int(row["aoi_id"])
+        if aoi_id not in aois_by_id:
+            aois_by_id[aoi_id] = AOI(
+                aoi_id=aoi_id,
+                aoi_type=int(row["aoi_type"]),
+                center=(float(row["aoi_lon"]), float(row["aoi_lat"])),
+            )
+            aoi_first_seen.append(aoi_id)
+        locations.append(Location(
+            location_id=int(row["location_id"]),
+            coord=(float(row["lon"]), float(row["lat"])),
+            aoi_id=aoi_id,
+            accept_time=float(row["accept_time"]),
+            deadline=float(row["deadline"]),
+        ))
+        arrival_times.append(float(row["arrival_minutes"]))
+        visit_orders.append(int(row["visit_order"]))
+
+    n = len(locations)
+    route = np.empty(n, dtype=np.int64)
+    route[np.asarray(visit_orders)] = np.arange(n)
+
+    aois = [aois_by_id[aoi_id] for aoi_id in aoi_first_seen]
+    aoi_index = {aoi_id: i for i, aoi_id in enumerate(aoi_first_seen)}
+    arrival = np.asarray(arrival_times)
+
+    # AOI route/arrivals from first-visited location per AOI.
+    m = len(aois)
+    aoi_arrival = np.full(m, np.inf)
+    for loc_index in route:
+        idx = aoi_index[locations[loc_index].aoi_id]
+        aoi_arrival[idx] = min(aoi_arrival[idx], arrival[loc_index])
+    aoi_route = np.argsort(aoi_arrival, kind="stable").astype(np.int64)
+
+    return RTPInstance(
+        courier=courier,
+        request_time=float(first["request_time"]),
+        courier_position=(float(first["courier_lon"]), float(first["courier_lat"])),
+        locations=locations,
+        aois=aois,
+        route=route,
+        arrival_times=arrival,
+        aoi_route=aoi_route,
+        aoi_arrival_times=aoi_arrival,
+        weather=int(first["weather"]),
+        weekday=int(first["weekday"]),
+        day=int(first["day"]),
+    )

@@ -1,0 +1,57 @@
+"""Alternative dataset splits for generalization studies.
+
+The paper splits chronologically (by day).  Production systems also
+care about **courier cold-start**: how well the model serves couriers
+it never saw in training.  :func:`split_by_courier` holds out whole
+couriers; evaluating on the held-out set measures how much of the model
+is per-courier memorisation (the courier embedding) vs transferable
+structure (the graph encoder and spatio-temporal features).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .dataset import RTPDataset
+
+
+def split_by_courier(dataset: RTPDataset, holdout_fraction: float = 0.25,
+                     seed: int = 0) -> Tuple[RTPDataset, RTPDataset]:
+    """Split into (seen-courier, held-out-courier) datasets.
+
+    At least one courier lands on each side.
+    """
+    if not 0 < holdout_fraction < 1:
+        raise ValueError("holdout_fraction must be in (0, 1)")
+    courier_ids = sorted({i.courier.courier_id for i in dataset})
+    if len(courier_ids) < 2:
+        raise ValueError("need at least two couriers to split by courier")
+    rng = np.random.default_rng(seed)
+    shuffled = list(rng.permutation(courier_ids))
+    holdout_count = max(1, int(round(len(courier_ids) * holdout_fraction)))
+    holdout_count = min(holdout_count, len(courier_ids) - 1)
+    held_out = set(shuffled[:holdout_count])
+    seen = dataset.filter(lambda i: i.courier.courier_id not in held_out)
+    unseen = dataset.filter(lambda i: i.courier.courier_id in held_out)
+    return seen, unseen
+
+
+def cold_start_protocol(dataset: RTPDataset, holdout_fraction: float = 0.25,
+                        train_fraction: float = 0.7, seed: int = 0
+                        ) -> Tuple[RTPDataset, RTPDataset, RTPDataset]:
+    """(train, seen-courier test, unseen-courier test).
+
+    Training and the seen test share couriers but not days; the unseen
+    test contains only held-out couriers.
+    """
+    seen, unseen = split_by_courier(dataset, holdout_fraction, seed)
+    days = sorted({i.day for i in seen})
+    cut = max(1, int(round(len(days) * train_fraction)))
+    train_days = set(days[:cut])
+    train = seen.filter(lambda i: i.day in train_days)
+    seen_test = seen.filter(lambda i: i.day not in train_days)
+    if not len(seen_test):
+        seen_test = seen.filter(lambda i: i.day == days[-1])
+    return train, seen_test, unseen

@@ -1,0 +1,149 @@
+"""Instance perturbations for robustness evaluation and failure injection.
+
+Real feature pipelines are noisy: GPS jitter, stale deadlines, orders
+cancelled after the graph was built.  These transforms produce valid
+perturbed instances so tests and benches can measure how gracefully
+each model degrades.
+
+All transforms are pure: they return new instances and never mutate
+their input.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .entities import AOI, Location, RTPInstance
+
+#: Degrees per metre (approximate, Hangzhou latitude).
+_DEG_PER_M_LON = 1.0 / 96_105.5
+_DEG_PER_M_LAT = 1.0 / 111_194.9
+
+
+def jitter_coordinates(instance: RTPInstance, sigma_meters: float,
+                       rng: np.random.Generator) -> RTPInstance:
+    """Add isotropic GPS noise to every location coordinate.
+
+    Labels are unchanged — the courier still walked the true route —
+    so this measures sensitivity of the *features* to position noise.
+    """
+    if sigma_meters < 0:
+        raise ValueError("sigma_meters must be non-negative")
+    locations = []
+    for location in instance.locations:
+        dlon = rng.normal(0.0, sigma_meters) * _DEG_PER_M_LON
+        dlat = rng.normal(0.0, sigma_meters) * _DEG_PER_M_LAT
+        locations.append(dataclasses.replace(
+            location, coord=(location.coord[0] + dlon,
+                             location.coord[1] + dlat)))
+    return dataclasses.replace(instance, locations=locations)
+
+
+def perturb_deadlines(instance: RTPInstance, sigma_minutes: float,
+                      rng: np.random.Generator) -> RTPInstance:
+    """Add Gaussian noise to every deadline (stale-promise simulation)."""
+    if sigma_minutes < 0:
+        raise ValueError("sigma_minutes must be non-negative")
+    locations = [
+        dataclasses.replace(
+            location,
+            deadline=location.deadline + float(rng.normal(0.0, sigma_minutes)))
+        for location in instance.locations
+    ]
+    return dataclasses.replace(instance, locations=locations)
+
+
+def drop_locations(instance: RTPInstance, keep: Sequence[int]) -> RTPInstance:
+    """Restrict an instance to the location indices in ``keep``.
+
+    Models a cancellation between feature extraction and prediction.
+    The remaining route keeps its relative order; arrival times of the
+    kept locations are retained (the lower bound of what re-simulation
+    would give); AOIs without remaining members are removed.
+    """
+    keep_sorted = sorted(set(int(i) for i in keep))
+    n = instance.num_locations
+    if not keep_sorted:
+        raise ValueError("keep must retain at least one location")
+    if keep_sorted[0] < 0 or keep_sorted[-1] >= n:
+        raise ValueError(f"keep indices out of range 0..{n - 1}")
+
+    old_to_new = {old: new for new, old in enumerate(keep_sorted)}
+    locations = [instance.locations[i] for i in keep_sorted]
+    arrival_times = instance.arrival_times[keep_sorted]
+
+    route = np.array([old_to_new[int(i)] for i in instance.route
+                      if int(i) in old_to_new], dtype=np.int64)
+
+    kept_aoi_ids = {location.aoi_id for location in locations}
+    aois = [aoi for aoi in instance.aois if aoi.aoi_id in kept_aoi_ids]
+    aoi_index = {aoi.aoi_id: i for i, aoi in enumerate(aois)}
+
+    # AOI route: first-seen order along the reduced location route.
+    aoi_route: List[int] = []
+    for location_index in route:
+        index = aoi_index[locations[int(location_index)].aoi_id]
+        if index not in aoi_route:
+            aoi_route.append(index)
+    aoi_arrivals = np.full(len(aois), np.inf)
+    for location_index in route:
+        index = aoi_index[locations[int(location_index)].aoi_id]
+        aoi_arrivals[index] = min(aoi_arrivals[index],
+                                  arrival_times[int(location_index)])
+
+    return dataclasses.replace(
+        instance,
+        locations=locations,
+        aois=aois,
+        route=route,
+        arrival_times=arrival_times,
+        aoi_route=np.array(aoi_route, dtype=np.int64),
+        aoi_arrival_times=aoi_arrivals,
+    )
+
+
+def drop_random_locations(instance: RTPInstance, keep_fraction: float,
+                          rng: np.random.Generator,
+                          min_keep: int = 2) -> RTPInstance:
+    """Randomly keep ``keep_fraction`` of the locations (at least ``min_keep``)."""
+    if not 0 < keep_fraction <= 1:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    n = instance.num_locations
+    count = max(min_keep, int(round(n * keep_fraction)))
+    count = min(count, n)
+    keep = rng.choice(n, size=count, replace=False)
+    return drop_locations(instance, keep)
+
+
+def robustness_sweep(predict, instances: Sequence[RTPInstance],
+                     noise_levels: Sequence[float], transform,
+                     metric, seed: int = 0) -> List[float]:
+    """Evaluate ``metric`` under increasing perturbation.
+
+    Parameters
+    ----------
+    predict:
+        ``instance -> (route, times)`` callable.
+    noise_levels:
+        Passed as the transform's noise argument, one sweep point each.
+    transform:
+        ``(instance, level, rng) -> instance``.
+    metric:
+        ``(route, times, instance) -> float`` scored on the *clean*
+        labels of the perturbed instance.
+
+    Returns one aggregate (mean) score per noise level.
+    """
+    results = []
+    for level in noise_levels:
+        rng = np.random.default_rng(seed)
+        scores = []
+        for instance in instances:
+            perturbed = transform(instance, level, rng)
+            route, times = predict(perturbed)
+            scores.append(metric(route, times, perturbed))
+        results.append(float(np.mean(scores)))
+    return results

@@ -1,0 +1,50 @@
+"""Evaluation harness: bucketed tables, latency profiling, case studies."""
+
+from .evaluator import (
+    MethodEvaluation,
+    baseline_predictor,
+    evaluate_method,
+    format_table,
+    model_predictor,
+)
+from .profiler import (
+    COMPLEXITY,
+    LatencyReport,
+    format_latency_table,
+    profile_method,
+)
+from .case_study import (
+    CaseResult,
+    CaseStudy,
+    aoi_switch_count,
+    build_case_study,
+    select_interesting_cases,
+)
+from .repeats import (
+    MeanStd,
+    SeededEvaluation,
+    evaluate_over_seeds,
+    format_seeded_table,
+)
+from .svg import render_case_svg, write_case_svgs
+from .analysis import (
+    CalibrationReport,
+    PositionErrorCurve,
+    breakdown_by,
+    calibration_report,
+    format_breakdown,
+    position_error_curve,
+)
+
+__all__ = [
+    "MethodEvaluation", "baseline_predictor", "evaluate_method",
+    "format_table", "model_predictor",
+    "COMPLEXITY", "LatencyReport", "format_latency_table", "profile_method",
+    "CaseResult", "CaseStudy", "aoi_switch_count", "build_case_study",
+    "select_interesting_cases",
+    "MeanStd", "SeededEvaluation", "evaluate_over_seeds",
+    "format_seeded_table",
+    "render_case_svg", "write_case_svgs",
+    "CalibrationReport", "PositionErrorCurve", "breakdown_by",
+    "calibration_report", "format_breakdown", "position_error_curve",
+]

@@ -1,0 +1,77 @@
+"""Inference-latency profiling (paper Table V).
+
+Measures per-query wall-clock inference time for each method and pairs
+it with the paper's asymptotic complexity expressions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from ..data.entities import RTPInstance
+
+#: The complexity column of Table V, keyed by method name.
+COMPLEXITY: Dict[str, str] = {
+    "Time-Greedy": "O(N log N)",
+    "Distance-Greedy": "O(N log N)",
+    "OR-Tools": "O(N^2) per 2-opt round",
+    "OSquare": "O(t d F N)",
+    "DeepRoute": "O(N^2 F + N F^2 + N^2 F^2)",
+    "Graph2Route": "O(N F^2 + E F^2 + N^2 F^2)",
+    "FDNET": "O(N F^2 + N^2 F^2)",
+    "M2G4RTP": "O(N F^2 + E F^2 + N^2 F^2 + A^2 F^2)",
+}
+
+
+@dataclasses.dataclass
+class LatencyReport:
+    """Per-method inference-latency statistics in milliseconds."""
+
+    name: str
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    num_queries: int
+
+    @property
+    def complexity(self) -> str:
+        return COMPLEXITY.get(self.name, "--")
+
+    def row(self) -> str:
+        return (f"{self.name:16s} {self.complexity:40s} "
+                f"{self.mean_ms:8.3f} {self.p50_ms:8.3f} {self.p95_ms:8.3f}")
+
+
+def profile_method(name: str, predict: Callable[[RTPInstance], object],
+                   instances: Sequence[RTPInstance],
+                   warmup: int = 2, repeats: int = 1) -> LatencyReport:
+    """Time ``predict`` over ``instances`` and summarise latencies."""
+    if not instances:
+        raise ValueError("no instances to profile")
+    for instance in instances[:warmup]:
+        predict(instance)
+    samples = []
+    for _ in range(repeats):
+        for instance in instances:
+            start = time.perf_counter()
+            predict(instance)
+            samples.append((time.perf_counter() - start) * 1000.0)
+    samples_arr = np.asarray(samples)
+    return LatencyReport(
+        name=name,
+        mean_ms=float(samples_arr.mean()),
+        p50_ms=float(np.percentile(samples_arr, 50)),
+        p95_ms=float(np.percentile(samples_arr, 95)),
+        num_queries=samples_arr.size,
+    )
+
+
+def format_latency_table(reports: Sequence[LatencyReport]) -> str:
+    """Render Table V."""
+    header = (f"{'Method':16s} {'Inference Time Complexity':40s} "
+              f"{'mean ms':>8s} {'p50 ms':>8s} {'p95 ms':>8s}")
+    return "\n".join([header] + [report.row() for report in reports])

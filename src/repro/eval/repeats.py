@@ -1,0 +1,106 @@
+"""Multi-seed evaluation with paper-style "mean±std" cells.
+
+Tables III/IV report every learned method as ``74.46±0.01`` — the mean
+and standard deviation over repeated training runs.  This module runs a
+model factory across seeds and aggregates the six metrics the same way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..data.dataset import RTPDataset
+from .evaluator import PredictFn, evaluate_method
+
+
+@dataclasses.dataclass
+class MeanStd:
+    """A mean±std cell."""
+
+    mean: float
+    std: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f}±{self.std:.2f}"
+
+
+@dataclasses.dataclass
+class SeededEvaluation:
+    """Aggregated metrics of one method over several training seeds."""
+
+    name: str
+    seeds: List[int]
+    metrics: Dict[str, Dict[str, MeanStd]]  # bucket -> metric -> cell
+
+    def cell(self, bucket: str, metric: str) -> MeanStd:
+        return self.metrics[bucket][metric]
+
+    def row(self, bucket: str, kind: str) -> str:
+        block = self.metrics[bucket]
+        if kind == "route":
+            keys = ("hr_at_3", "krc", "lsd")
+        elif kind == "time":
+            keys = ("rmse", "mae", "acc_at_20")
+        else:
+            raise ValueError(f"kind must be 'route' or 'time', got {kind!r}")
+        return "  ".join(str(block[key]) for key in keys)
+
+
+_METRIC_KEYS = ("hr_at_3", "krc", "lsd", "rmse", "mae", "acc_at_20")
+
+
+def evaluate_over_seeds(name: str,
+                        predictor_factory: Callable[[int], PredictFn],
+                        test: RTPDataset,
+                        seeds: Sequence[int],
+                        buckets: Sequence[str] = ("all",)) -> SeededEvaluation:
+    """Evaluate ``predictor_factory(seed)`` for each seed and aggregate.
+
+    The factory receives a seed and must return a fitted predictor —
+    typically it constructs a model with that seed, trains it and
+    returns :func:`~repro.eval.evaluator.model_predictor` of it.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    per_seed = []
+    for seed in seeds:
+        predict = predictor_factory(int(seed))
+        per_seed.append(evaluate_method(name, predict, test, buckets=buckets))
+
+    metrics: Dict[str, Dict[str, MeanStd]] = {}
+    for bucket in buckets:
+        reports = [evaluation.buckets[bucket] for evaluation in per_seed
+                   if bucket in evaluation.buckets]
+        if not reports:
+            continue
+        metrics[bucket] = {}
+        for key in _METRIC_KEYS:
+            values = np.array([getattr(report, key) for report in reports])
+            metrics[bucket][key] = MeanStd(float(values.mean()),
+                                           float(values.std()))
+    return SeededEvaluation(name=name, seeds=list(seeds), metrics=metrics)
+
+
+def format_seeded_table(evaluations: Sequence[SeededEvaluation], kind: str,
+                        buckets: Sequence[str] = ("all",)) -> str:
+    """Render a Table III/IV-style grid with mean±std cells."""
+    if kind == "route":
+        header = "HR@3          KRC          LSD"
+    elif kind == "time":
+        header = "RMSE          MAE          acc@20"
+    else:
+        raise ValueError(f"kind must be 'route' or 'time', got {kind!r}")
+    lines = [f"{'Method':16s}" + "".join(f"{bucket:^42}" for bucket in buckets)]
+    lines.append(f"{'':16s}" + "".join(f"{header:^42}" for _ in buckets))
+    for evaluation in evaluations:
+        cells = []
+        for bucket in buckets:
+            if bucket in evaluation.metrics:
+                cells.append(f"{evaluation.row(bucket, kind):^42}")
+            else:
+                cells.append(f"{'--':^42}")
+        lines.append(f"{evaluation.name:16s}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Declarative experiment specs, runner and persistent results."""
+
+from .spec import (
+    BudgetConfig,
+    ExperimentSpec,
+    KNOWN_METHODS,
+    KNOWN_VARIANTS,
+    REGISTRY,
+    get_spec,
+)
+from .runner import ExperimentResult, run_experiment
+
+__all__ = [
+    "BudgetConfig", "ExperimentSpec", "KNOWN_METHODS", "KNOWN_VARIANTS",
+    "REGISTRY", "get_spec",
+    "ExperimentResult", "run_experiment",
+]

@@ -1,0 +1,168 @@
+"""Experiment runner: spec -> trained methods -> metric grid -> report.
+
+Results round-trip through JSON so a long run can be rendered, diffed
+against the paper or re-plotted without retraining.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..baselines import (
+    DeepBaselineConfig,
+    DeepETA,
+    DeepRoute,
+    DistanceGreedy,
+    FDNET,
+    Graph2Route,
+    OSquare,
+    ShortestRouteTSP,
+    TimeGreedy,
+)
+from ..core import M2G4RTP, M2G4RTPConfig, make_variant
+from ..data.dataset import RTPDataset
+from ..data.generator import SyntheticWorld
+from ..eval import baseline_predictor, evaluate_method, model_predictor
+from ..training import Trainer, TrainerConfig
+from .spec import ExperimentSpec, get_spec
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Metric grid of one finished experiment."""
+
+    spec_name: str
+    description: str
+    # method -> bucket -> metric -> value
+    metrics: Dict[str, Dict[str, Dict[str, float]]]
+    seconds: float
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), indent=2)
+
+    @staticmethod
+    def from_json(text: str) -> "ExperimentResult":
+        payload = json.loads(text)
+        return ExperimentResult(**payload)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "ExperimentResult":
+        return ExperimentResult.from_json(Path(path).read_text())
+
+    # ------------------------------------------------------------------
+    def render_markdown(self, kind: str = "route",
+                        bucket: str = "all") -> str:
+        """A GitHub-markdown table of one metric block."""
+        if kind == "route":
+            keys = [("hr_at_3", "HR@3"), ("krc", "KRC"), ("lsd", "LSD")]
+        elif kind == "time":
+            keys = [("rmse", "RMSE"), ("mae", "MAE"), ("acc_at_20", "acc@20")]
+        else:
+            raise ValueError(f"kind must be 'route' or 'time', got {kind!r}")
+        header = "| Method | " + " | ".join(label for _, label in keys) + " |"
+        rule = "|---" * (len(keys) + 1) + "|"
+        rows = []
+        for method, buckets in self.metrics.items():
+            if bucket not in buckets:
+                continue
+            cells = " | ".join(f"{buckets[bucket][key]:.2f}"
+                               for key, _ in keys)
+            rows.append(f"| {method} | {cells} |")
+        return "\n".join([header, rule] + rows)
+
+    def best(self, metric: str, bucket: str = "all",
+             higher_is_better: bool = True) -> str:
+        """Name of the winning method on one metric."""
+        scored = {
+            method: buckets[bucket][metric]
+            for method, buckets in self.metrics.items() if bucket in buckets
+        }
+        if not scored:
+            raise KeyError(f"no methods evaluated on bucket {bucket!r}")
+        chooser = max if higher_is_better else min
+        return chooser(scored, key=scored.get)
+
+
+def _fit_method(method: str, spec: ExperimentSpec, train: RTPDataset,
+                validation: RTPDataset):
+    budget = spec.budget
+    deep_config = DeepBaselineConfig(
+        epochs=budget.deep_epochs, time_epochs=budget.deep_time_epochs,
+        learning_rate=budget.learning_rate)
+    if method == "Distance-Greedy":
+        model = DistanceGreedy()
+    elif method == "Time-Greedy":
+        model = TimeGreedy()
+    elif method == "OR-Tools":
+        model = ShortestRouteTSP()
+    elif method == "OSquare":
+        model = OSquare(n_estimators=budget.osquare_estimators)
+    elif method == "DeepRoute":
+        model = DeepRoute(deep_config)
+    elif method == "DeepETA":
+        model = DeepETA(deep_config)
+    elif method == "FDNET":
+        model = FDNET(deep_config)
+    elif method == "Graph2Route":
+        model = Graph2Route(deep_config)
+    elif method == "M2G4RTP":
+        m2g = M2G4RTP(M2G4RTPConfig(seed=11))
+        Trainer(m2g, TrainerConfig(
+            epochs=budget.m2g_epochs, patience=budget.patience,
+            learning_rate=budget.learning_rate)).fit(train, validation)
+        return model_predictor(m2g)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    model.fit(train, validation)
+    return baseline_predictor(model)
+
+
+def _fit_variant(variant: str, spec: ExperimentSpec, train: RTPDataset,
+                 validation: RTPDataset):
+    model = M2G4RTP(make_variant(variant, M2G4RTPConfig(seed=11)))
+    Trainer(model, TrainerConfig(
+        epochs=spec.budget.m2g_epochs, patience=spec.budget.patience,
+        learning_rate=spec.budget.learning_rate)).fit(train, validation)
+    return model_predictor(model)
+
+
+def run_experiment(spec: Union[str, ExperimentSpec],
+                   verbose: bool = False) -> ExperimentResult:
+    """Run one spec end to end and return its metric grid."""
+    if isinstance(spec, str):
+        spec = get_spec(spec)
+    start = time.perf_counter()
+    world = SyntheticWorld(spec.generator)
+    dataset = RTPDataset(world.generate()).filter_paper_scope()
+    train, validation, test = dataset.split_by_day()
+
+    metrics: Dict[str, Dict[str, Dict[str, float]]] = {}
+    jobs = [(name, "method") for name in spec.methods]
+    jobs += [(name, "variant") for name in spec.variants]
+    for name, kind in jobs:
+        if verbose:
+            print(f"[{spec.name}] fitting {name} ...")
+        if kind == "method":
+            predict = _fit_method(name, spec, train, validation)
+        else:
+            predict = _fit_variant(name, spec, train, validation)
+        evaluation = evaluate_method(name, predict, test,
+                                     buckets=spec.buckets)
+        metrics[name] = {
+            bucket: report.as_dict()
+            for bucket, report in evaluation.buckets.items()
+        }
+    return ExperimentResult(
+        spec_name=spec.name,
+        description=spec.description,
+        metrics=metrics,
+        seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,107 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` pins down everything needed to reproduce one
+comparison: the synthetic world, the split, the competing methods and
+their budgets.  The registry exposes the paper's experiments by name so
+``run_experiment("table3")`` is a one-liner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data.generator import GeneratorConfig
+
+#: Method identifiers understood by the runner.
+KNOWN_METHODS = (
+    "Distance-Greedy", "Time-Greedy", "OR-Tools", "OSquare",
+    "DeepRoute", "DeepETA", "FDNET", "Graph2Route", "M2G4RTP",
+)
+
+#: M²G4RTP ablation variants (Fig. 5).
+KNOWN_VARIANTS = ("full", "two-step", "w/o aoi", "w/o graph",
+                  "w/o uncertainty")
+
+
+@dataclasses.dataclass
+class BudgetConfig:
+    """Training budgets for one run."""
+
+    deep_epochs: int = 8
+    deep_time_epochs: int = 5
+    m2g_epochs: int = 12
+    osquare_estimators: int = 25
+    patience: int = 5
+    learning_rate: float = 3e-3
+
+
+@dataclasses.dataclass
+class ExperimentSpec:
+    """One reproducible comparison."""
+
+    name: str
+    description: str
+    methods: Tuple[str, ...]
+    generator: GeneratorConfig = dataclasses.field(
+        default_factory=lambda: GeneratorConfig(
+            num_aois=60, num_couriers=6, num_days=10,
+            instances_per_courier_day=3, seed=2023))
+    budget: BudgetConfig = dataclasses.field(default_factory=BudgetConfig)
+    buckets: Tuple[str, ...] = ("(3-10]", "(10-20]", "all")
+    variants: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        unknown = set(self.methods) - set(KNOWN_METHODS)
+        if unknown:
+            raise ValueError(f"unknown methods: {sorted(unknown)}")
+        unknown_variants = set(self.variants) - set(KNOWN_VARIANTS)
+        if unknown_variants:
+            raise ValueError(f"unknown variants: {sorted(unknown_variants)}")
+
+
+def _default_registry() -> Dict[str, ExperimentSpec]:
+    all_methods = ("Distance-Greedy", "Time-Greedy", "OR-Tools", "OSquare",
+                   "DeepRoute", "FDNET", "Graph2Route", "M2G4RTP")
+    return {
+        "table3": ExperimentSpec(
+            name="table3",
+            description="Route prediction across all methods (Table III)",
+            methods=all_methods,
+        ),
+        "table4": ExperimentSpec(
+            name="table4",
+            description="Time prediction across all methods (Table IV)",
+            methods=all_methods,
+        ),
+        "fig5": ExperimentSpec(
+            name="fig5",
+            description="Component analysis of M2G4RTP (Fig. 5)",
+            methods=(),
+            variants=KNOWN_VARIANTS,
+            buckets=("all",),
+        ),
+        "smoke": ExperimentSpec(
+            name="smoke",
+            description="Tiny fast sanity comparison",
+            methods=("Distance-Greedy", "M2G4RTP"),
+            generator=GeneratorConfig(num_aois=30, num_couriers=3,
+                                      num_days=6,
+                                      instances_per_courier_day=2,
+                                      seed=5),
+            budget=BudgetConfig(deep_epochs=2, deep_time_epochs=2,
+                                m2g_epochs=3, osquare_estimators=8),
+            buckets=("all",),
+        ),
+    }
+
+
+REGISTRY: Dict[str, ExperimentSpec] = _default_registry()
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look up a registered experiment spec by name."""
+    if name not in REGISTRY:
+        raise KeyError(f"unknown experiment {name!r}; "
+                       f"options: {sorted(REGISTRY)}")
+    return REGISTRY[name]

@@ -1,0 +1,21 @@
+"""Graph substrate: k-NN connectivity and multi-level graph builders."""
+
+from .knn import knn_adjacency, connectivity_matrix
+from .multilevel import (
+    AOI_NODE_FEATURES,
+    EDGE_FEATURES,
+    GLOBAL_CONTINUOUS,
+    GLOBAL_DISCRETE,
+    LOCATION_NODE_FEATURES,
+    GraphBuilder,
+    LevelGraph,
+    MultiLevelGraph,
+    build_graphs,
+)
+
+__all__ = [
+    "knn_adjacency", "connectivity_matrix",
+    "GraphBuilder", "LevelGraph", "MultiLevelGraph", "build_graphs",
+    "LOCATION_NODE_FEATURES", "AOI_NODE_FEATURES", "EDGE_FEATURES",
+    "GLOBAL_CONTINUOUS", "GLOBAL_DISCRETE",
+]

@@ -1,0 +1,46 @@
+"""k-nearest-neighbour connectivity (paper Eq. 15).
+
+Two nodes are connected when either is among the other's k nearest
+*spatial* neighbours (by distance) or k nearest *temporal* neighbours
+(by deadline gap); every node is connected to itself.  The result is a
+symmetric boolean adjacency matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def knn_adjacency(cost: np.ndarray, k: int) -> np.ndarray:
+    """Boolean adjacency where ``j`` is among ``i``'s k nearest by ``cost``.
+
+    ``cost`` is an ``(n, n)`` symmetric non-negative matrix; the
+    diagonal is ignored for neighbour selection.  The output is
+    symmetrised (an edge exists if either endpoint selects the other).
+    """
+    cost = np.asarray(cost, dtype=np.float64)
+    n = cost.shape[0]
+    if cost.shape != (n, n):
+        raise ValueError(f"cost matrix must be square, got {cost.shape}")
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    adjacency = np.zeros((n, n), dtype=bool)
+    if n == 1 or k == 0:
+        return adjacency
+    masked = cost.copy()
+    np.fill_diagonal(masked, np.inf)
+    effective_k = min(k, n - 1)
+    neighbor_idx = np.argpartition(masked, effective_k - 1, axis=1)[:, :effective_k]
+    rows = np.repeat(np.arange(n), effective_k)
+    adjacency[rows, neighbor_idx.reshape(-1)] = True
+    return adjacency | adjacency.T
+
+
+def connectivity_matrix(distance: np.ndarray, deadline_gap: np.ndarray,
+                        k: int) -> np.ndarray:
+    """Eq. 15: union of spatial k-NN, temporal k-NN, and self-loops."""
+    spatial = knn_adjacency(distance, k)
+    temporal = knn_adjacency(np.abs(deadline_gap), k)
+    connectivity = spatial | temporal
+    np.fill_diagonal(connectivity, True)
+    return connectivity

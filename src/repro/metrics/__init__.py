@@ -1,0 +1,36 @@
+"""Evaluation metrics for route and time prediction (paper Section V-C)."""
+
+from .route import (
+    hit_rate_at_k,
+    kendall_rank_correlation,
+    location_square_deviation,
+    ranks_from_route,
+)
+from .time import accuracy_within, mae, rmse
+from .report import (
+    MetricReport,
+    RoutePrediction,
+    TimePrediction,
+    combined_report,
+    evaluate_route_predictions,
+    evaluate_time_predictions,
+)
+from .extra import (
+    edit_distance,
+    normalized_edit_distance,
+    prefix_accuracy,
+    route_length_meters,
+    route_length_ratio,
+)
+from .significance import PairedComparison, paired_comparison
+
+__all__ = [
+    "hit_rate_at_k", "kendall_rank_correlation", "location_square_deviation",
+    "ranks_from_route",
+    "accuracy_within", "mae", "rmse",
+    "MetricReport", "RoutePrediction", "TimePrediction",
+    "combined_report", "evaluate_route_predictions", "evaluate_time_predictions",
+    "edit_distance", "normalized_edit_distance", "prefix_accuracy",
+    "route_length_meters", "route_length_ratio",
+    "PairedComparison", "paired_comparison",
+]

@@ -1,0 +1,78 @@
+"""Additional route metrics used in the surrounding literature.
+
+* Edit distance (ED) — used by the Graph2Route paper; here it reduces
+  to the number of positions where two permutations disagree, and a
+  normalised variant in [0, 1].
+* Route length ratio — predicted chained distance divided by the true
+  route's chained distance; values near 1 mean the prediction costs
+  the courier the same travel as reality.
+* ACC@k — prefix accuracy: 1 if the first k predictions match the true
+  first k *in order* (stricter than HR@k's set overlap).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data.entities import RTPInstance
+from .route import _as_route
+
+
+def edit_distance(predicted: Sequence[int], actual: Sequence[int]) -> int:
+    """Positions where the two routes disagree (Hamming on permutations).
+
+    For permutations, substitution-only edit distance equals the count
+    of mismatched positions.
+    """
+    predicted, actual = _as_route(predicted), _as_route(actual)
+    if predicted.size != actual.size:
+        raise ValueError("routes must have equal length")
+    return int(np.sum(predicted != actual))
+
+
+def normalized_edit_distance(predicted: Sequence[int],
+                             actual: Sequence[int]) -> float:
+    """Edit distance divided by route length — 0 is perfect, 1 is worst."""
+    predicted, actual = _as_route(predicted), _as_route(actual)
+    if predicted.size == 0:
+        return 0.0
+    return edit_distance(predicted, actual) / predicted.size
+
+
+def prefix_accuracy(predicted: Sequence[int], actual: Sequence[int],
+                    k: int = 1) -> float:
+    """ACC@k: 1.0 iff the first k steps match exactly, in order."""
+    predicted, actual = _as_route(predicted), _as_route(actual)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, predicted.size)
+    return float(np.array_equal(predicted[:k], actual[:k]))
+
+
+def route_length_meters(instance: RTPInstance,
+                        route: Sequence[int]) -> float:
+    """Total chained travel distance of a route from the courier start."""
+    route = _as_route(route)
+    position = instance.courier_position
+    total = 0.0
+    for location_index in route:
+        location = instance.locations[int(location_index)]
+        total += location.distance_to(*position)
+        position = location.coord
+    return total
+
+
+def route_length_ratio(instance: RTPInstance,
+                       predicted: Sequence[int]) -> float:
+    """Predicted route length / true route length.
+
+    Values < 1 mean the predicted route is *shorter* than the real one
+    (couriers do not minimise distance); values near 1 mean the
+    prediction implies a realistic travel budget.
+    """
+    true_length = route_length_meters(instance, instance.route)
+    if true_length <= 0:
+        raise ValueError("true route has zero length")
+    return route_length_meters(instance, predicted) / true_length

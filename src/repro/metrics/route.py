@@ -1,0 +1,75 @@
+"""Route prediction metrics: HR@k, KRC, LSD (paper Eqs. 42-44)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _as_route(route: Sequence[int]) -> np.ndarray:
+    route = np.asarray(route, dtype=np.int64)
+    n = route.size
+    if sorted(route.tolist()) != list(range(n)):
+        raise ValueError(f"route must be a permutation of 0..{n - 1}, got {route}")
+    return route
+
+
+def ranks_from_route(route: Sequence[int]) -> np.ndarray:
+    """``ranks[node]`` = 0-indexed position of ``node`` in the route."""
+    route = _as_route(route)
+    ranks = np.empty(route.size, dtype=np.int64)
+    ranks[route] = np.arange(route.size)
+    return ranks
+
+
+def hit_rate_at_k(predicted: Sequence[int], actual: Sequence[int],
+                  k: int = 3) -> float:
+    """HR@k (Eq. 42): overlap of the first-k sets of the two routes.
+
+    When the route is shorter than ``k`` the comparison uses the whole
+    route (k is clipped), matching common practice for short samples.
+    """
+    predicted, actual = _as_route(predicted), _as_route(actual)
+    if predicted.size != actual.size:
+        raise ValueError("routes must have equal length")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, predicted.size)
+    overlap = len(set(predicted[:k].tolist()) & set(actual[:k].tolist()))
+    return overlap / k
+
+
+def kendall_rank_correlation(predicted: Sequence[int],
+                             actual: Sequence[int]) -> float:
+    """KRC (Eq. 43): (concordant - discordant) / total pairs.
+
+    Since both inputs are strict permutations there are no ties; a
+    single-location route has no pairs and scores 1.0 by convention.
+    """
+    predicted_ranks = ranks_from_route(predicted)
+    actual_ranks = ranks_from_route(actual)
+    if predicted_ranks.size != actual_ranks.size:
+        raise ValueError("routes must have equal length")
+    n = predicted_ranks.size
+    if n < 2:
+        return 1.0
+    # Vectorised pair comparison over the upper triangle.
+    pred_diff = predicted_ranks[:, None] - predicted_ranks[None, :]
+    actual_diff = actual_ranks[:, None] - actual_ranks[None, :]
+    upper = np.triu_indices(n, k=1)
+    agreement = np.sign(pred_diff[upper]) * np.sign(actual_diff[upper])
+    concordant = int(np.sum(agreement > 0))
+    discordant = int(np.sum(agreement < 0))
+    return (concordant - discordant) / (concordant + discordant)
+
+
+def location_square_deviation(predicted: Sequence[int],
+                              actual: Sequence[int]) -> float:
+    """LSD (Eq. 44): mean squared difference of per-location positions."""
+    predicted_ranks = ranks_from_route(predicted)
+    actual_ranks = ranks_from_route(actual)
+    if predicted_ranks.size != actual_ranks.size:
+        raise ValueError("routes must have equal length")
+    deviation = predicted_ranks.astype(float) - actual_ranks.astype(float)
+    return float(np.mean(deviation ** 2))

@@ -1,0 +1,43 @@
+"""Arrival-time prediction metrics: RMSE, MAE, acc@tau (paper Eq. 45)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _paired(predicted: Sequence[float], actual: Sequence[float]):
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape:
+        raise ValueError(
+            f"shape mismatch: predicted {predicted.shape} vs actual {actual.shape}")
+    if predicted.size == 0:
+        raise ValueError("empty prediction arrays")
+    return predicted, actual
+
+
+def rmse(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Root mean squared error (minutes)."""
+    predicted, actual = _paired(predicted, actual)
+    return float(np.sqrt(np.mean((predicted - actual) ** 2)))
+
+
+def mae(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Mean absolute error (minutes)."""
+    predicted, actual = _paired(predicted, actual)
+    return float(np.mean(np.abs(predicted - actual)))
+
+
+def accuracy_within(predicted: Sequence[float], actual: Sequence[float],
+                    threshold: float = 20.0) -> float:
+    """acc@tau (Eq. 45): fraction of predictions within ``threshold`` minutes.
+
+    The paper reports acc@20 in percent; this returns a fraction in
+    [0, 1] — multiply by 100 for the paper's convention.
+    """
+    predicted, actual = _paired(predicted, actual)
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    return float(np.mean(np.abs(predicted - actual) < threshold))

@@ -1,0 +1,101 @@
+"""Attention layers.
+
+* :class:`AdditivePointerAttention` — the masked pointer attention used
+  by every route decoder in the paper family (Eqs. 29-30 for M²G4RTP,
+  and the decoders of DeepRoute / FDNET / Graph2Route).
+* :class:`MultiHeadSelfAttention` + :class:`TransformerEncoderLayer` —
+  the DeepRoute baseline encoder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, log_softmax, softmax
+from .init import xavier_uniform
+from .layers import LayerNorm, Linear, MLP
+from .module import Module, Parameter
+
+
+class AdditivePointerAttention(Module):
+    """Bahdanau-style pointer scorer with a feasibility mask.
+
+    Scores candidate ``keys`` (node embeddings) against a ``query``
+    (decoder state), Eq. 29::
+
+        o_j = v^T tanh(W_k key_j + W_q query)     if j feasible
+        o_j = -inf                                otherwise
+
+    :meth:`log_probs` applies masked log-softmax (Eq. 30).
+    """
+
+    def __init__(self, key_dim: int, query_dim: int, hidden_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.key_proj = Linear(key_dim, hidden_dim, rng, bias=False)
+        self.query_proj = Linear(query_dim, hidden_dim, rng, bias=False)
+        self.v = Parameter(xavier_uniform(rng, hidden_dim, 1, shape=(hidden_dim,)))
+
+    def scores(self, keys: Tensor, query: Tensor) -> Tensor:
+        """Unmasked scores, one per key: ``(n,)``."""
+        hidden = (self.key_proj(keys) + self.query_proj(query)).tanh()
+        return hidden @ self.v
+
+    def log_probs(self, keys: Tensor, query: Tensor,
+                  mask: np.ndarray) -> Tensor:
+        """Masked log-probabilities over candidates.
+
+        ``mask`` is boolean, ``True`` where a candidate is feasible.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if not mask.any():
+            raise ValueError("pointer attention requires at least one feasible candidate")
+        return log_softmax(self.scores(keys, query), axis=-1, mask=mask)
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head scaled-dot-product self-attention over ``(n, d)`` inputs."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng, bias=False)
+        self.k_proj = Linear(dim, dim, rng, bias=False)
+        self.v_proj = Linear(dim, dim, rng, bias=False)
+        self.out_proj = Linear(dim, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n = x.shape[0]
+        scale = 1.0 / np.sqrt(self.head_dim)
+        heads = []
+        for head in range(self.num_heads):
+            lo, hi = head * self.head_dim, (head + 1) * self.head_dim
+            q = self.q_proj(x)[:, lo:hi]
+            k = self.k_proj(x)[:, lo:hi]
+            v = self.v_proj(x)[:, lo:hi]
+            weights = softmax((q @ k.T) * scale, axis=-1)
+            heads.append(weights @ v)
+        return self.out_proj(concat(heads, axis=-1))
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer block: self-attention + position-wise MLP."""
+
+    def __init__(self, dim: int, num_heads: int, ff_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.attention = MultiHeadSelfAttention(dim, num_heads, rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.feed_forward = MLP([dim, ff_dim, dim], rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.norm1(x))
+        x = x + self.feed_forward(self.norm2(x))
+        return x

@@ -1,0 +1,62 @@
+"""Graph convolution layer used by the Graph2Route baseline.
+
+Standard Kipf & Welling GCN with symmetric normalisation of the
+(self-loop augmented) adjacency matrix.  The adjacency is a plain numpy
+array — it is data, not a learnable quantity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from .layers import Linear
+from .module import Module
+
+
+def normalize_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Return ``D^{-1/2} (A + I) D^{-1/2}`` for a boolean/float adjacency."""
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError(f"adjacency must be square, got shape {adjacency.shape}")
+    a_hat = adjacency + np.eye(adjacency.shape[0])
+    degree = a_hat.sum(axis=1)
+    d_inv_sqrt = 1.0 / np.sqrt(degree)
+    return a_hat * d_inv_sqrt[:, None] * d_inv_sqrt[None, :]
+
+
+class GCNLayer(Module):
+    """One graph-convolution step: ``relu(Â X W)``."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 activation: bool = True):
+        super().__init__()
+        self.linear = Linear(in_dim, out_dim, rng)
+        self.activation = activation
+
+    def forward(self, x: Tensor, normalized_adjacency: np.ndarray) -> Tensor:
+        out = Tensor(normalized_adjacency) @ self.linear(x)
+        return out.relu() if self.activation else out
+
+
+class GCN(Module):
+    """Stack of GCN layers (the Graph2Route encoder)."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, num_layers: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        dims = [in_dim] + [hidden_dim] * num_layers
+        self.layers = [
+            GCNLayer(d_in, d_out, rng, activation=(i < num_layers - 1))
+            for i, (d_in, d_out) in enumerate(zip(dims, dims[1:]))
+        ]
+        self.output_dim = hidden_dim
+
+    def forward(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
+        normalized = normalize_adjacency(adjacency)
+        for layer in self.layers:
+            update = layer(x, normalized)
+            # Residual connection when shapes allow; counters the
+            # oversmoothing GCN stacks suffer on small dense graphs.
+            x = x + update if update.shape == x.shape else update
+        return x

@@ -1,0 +1,68 @@
+"""GRU cell and unrolled GRU.
+
+An alternative recurrent cell for the decoders (configurable through
+``M2G4RTPConfig.cell_type``); GRUs have fewer parameters than LSTMs and
+are a common drop-in in pointer-network literature.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..autodiff import Tensor, stack
+from .init import orthogonal, xavier_uniform
+from .module import Module, Parameter
+
+
+class GRUCell(Module):
+    """Single GRU step::
+
+        r = sigmoid(x W_xr + h W_hr + b_r)
+        z = sigmoid(x W_xz + h W_hz + b_z)
+        n = tanh(x W_xn + r * (h W_hn) + b_n)
+        h' = (1 - z) * n + z * h
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.weight_x = Parameter(xavier_uniform(rng, input_dim, 3 * hidden_dim))
+        self.weight_h = Parameter(np.concatenate(
+            [orthogonal(rng, hidden_dim, hidden_dim) for _ in range(3)], axis=1))
+        self.bias = Parameter(np.zeros(3 * hidden_dim))
+
+    def initial_state(self, batch_shape: Tuple[int, ...] = ()) -> Tensor:
+        return Tensor(np.zeros(batch_shape + (self.hidden_dim,)))
+
+    def forward(self, x: Tensor, h: Optional[Tensor] = None) -> Tensor:
+        if h is None:
+            h = self.initial_state(x.shape[:-1])
+        d = self.hidden_dim
+        gates_x = x @ self.weight_x + self.bias
+        gates_h = h @ self.weight_h
+        reset = (gates_x[..., 0:d] + gates_h[..., 0:d]).sigmoid()
+        update = (gates_x[..., d:2 * d] + gates_h[..., d:2 * d]).sigmoid()
+        candidate = (gates_x[..., 2 * d:3 * d]
+                     + reset * gates_h[..., 2 * d:3 * d]).tanh()
+        one = Tensor(np.ones_like(update.data))
+        return (one - update) * candidate + update * h
+
+
+class GRU(Module):
+    """Unrolled single-layer GRU over a ``(seq, features)`` tensor."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = GRUCell(input_dim, hidden_dim, rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, sequence: Tensor,
+                h: Optional[Tensor] = None) -> Tuple[Tensor, Tensor]:
+        outputs: List[Tensor] = []
+        for step in range(sequence.shape[0]):
+            h = self.cell(sequence[step], h)
+            outputs.append(h)
+        return stack(outputs, axis=0), h

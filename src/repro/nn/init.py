@@ -1,0 +1,37 @@
+"""Weight initialisation schemes.
+
+All initialisers take an explicit ``numpy.random.Generator`` so that
+model construction is fully reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                   shape=None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    if shape is None:
+        shape = (fan_in, fan_out)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(rng: np.random.Generator, fan_in: int, shape) -> np.ndarray:
+    """He uniform initialisation, suited to ReLU networks."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(rng: np.random.Generator, shape, std: float = 0.02) -> np.ndarray:
+    """Small-variance Gaussian initialisation (used for embeddings)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def orthogonal(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    """Orthogonal initialisation (used for LSTM recurrent weights)."""
+    matrix = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, _ = np.linalg.qr(matrix)
+    q = q[:rows, :cols] if q.shape[0] >= rows else q.T[:rows, :cols]
+    return q

@@ -1,0 +1,140 @@
+"""Core feed-forward layers: Linear, Embedding, LayerNorm, Dropout, MLP."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, dropout as dropout_fn
+from .init import normal, xavier_uniform
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``.
+
+    Accepts inputs of any leading shape; the last axis must equal
+    ``in_features``.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform(rng, in_features, out_features))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(normal(rng, (num_embeddings, embedding_dim), std=0.05))
+
+    def forward(self, indices) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if np.any(indices < 0) or np.any(indices >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        return self.weight[indices]
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (variance + self.eps) ** 0.5
+        return normed * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit RNG for reproducibility."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_fn(x, self.rate, self._rng, training=self.training)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations between layers.
+
+    Used as the plug-in time-prediction head for route-only baselines
+    (Section V-B of the paper: "a three-layer fully connected neural
+    network").
+    """
+
+    def __init__(self, dims: Sequence[int], rng: np.random.Generator,
+                 final_activation: bool = False):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        self.layers = [Linear(d_in, d_out, rng) for d_in, d_out in zip(dims, dims[1:])]
+        self.final_activation = final_activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < last or self.final_activation:
+                x = x.relu()
+        return x
+
+
+class FeatureEncoder(Module):
+    """Embeds mixed discrete/continuous features (paper Eq. 18).
+
+    Continuous columns go through a linear projection, each discrete
+    column through its own embedding table; the results are concatenated.
+    """
+
+    def __init__(self, continuous_dim: int, discrete_cardinalities: Sequence[int],
+                 continuous_out: int, discrete_out: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.continuous_dim = continuous_dim
+        self.continuous = Linear(continuous_dim, continuous_out, rng)
+        self.embeddings = [
+            Embedding(cardinality, discrete_out, rng)
+            for cardinality in discrete_cardinalities
+        ]
+        self.output_dim = continuous_out + discrete_out * len(discrete_cardinalities)
+
+    def forward(self, continuous: Tensor, discrete: Optional[np.ndarray] = None) -> Tensor:
+        parts = [self.continuous(continuous)]
+        if self.embeddings:
+            if discrete is None:
+                raise ValueError("discrete features required but not provided")
+            discrete = np.asarray(discrete, dtype=np.int64)
+            for column, table in enumerate(self.embeddings):
+                parts.append(table(discrete[..., column]))
+        return concat(parts, axis=-1) if len(parts) > 1 else parts[0]

@@ -1,0 +1,40 @@
+"""Model introspection: parameter tables for any Module tree."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from .module import Module
+
+
+def parameter_table(module: Module, group_depth: int = 1) -> str:
+    """Render a parameter-count table grouped by name prefix.
+
+    ``group_depth`` controls how many dotted name segments form a
+    group, e.g. depth 1 groups ``encoder.location_encoder.w`` under
+    ``encoder``.
+    """
+    if group_depth < 1:
+        raise ValueError("group_depth must be >= 1")
+    groups: Dict[str, int] = defaultdict(int)
+    for name, parameter in module.named_parameters():
+        key = ".".join(name.split(".")[:group_depth])
+        groups[key] += parameter.size
+
+    total = sum(groups.values())
+    width = max([len(k) for k in groups] + [9])
+    lines = [f"{'component':<{width}s} {'params':>10s} {'share':>7s}"]
+    for key in sorted(groups, key=groups.get, reverse=True):
+        share = 100.0 * groups[key] / total if total else 0.0
+        lines.append(f"{key:<{width}s} {groups[key]:10d} {share:6.1f}%")
+    lines.append(f"{'total':<{width}s} {total:10d} {100.0:6.1f}%")
+    return "\n".join(lines)
+
+
+def count_parameters_by_module(module: Module) -> Dict[str, int]:
+    """Parameter counts keyed by first-level component name."""
+    groups: Dict[str, int] = defaultdict(int)
+    for name, parameter in module.named_parameters():
+        groups[name.split(".")[0]] += parameter.size
+    return dict(groups)

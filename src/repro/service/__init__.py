@@ -1,0 +1,20 @@
+"""Deployment-style inference service and applications (Section VI)."""
+
+from .request import RTPRequest
+from .rtp_service import (
+    ETAEntry,
+    ETAService,
+    OrderSortingService,
+    RTPResponse,
+    RTPService,
+    SortedOrder,
+)
+from .monitoring import ServiceMonitor, ServiceStats, DEFAULT_BUCKETS
+
+__all__ = [
+    "RTPRequest",
+    "RTPService", "RTPResponse",
+    "OrderSortingService", "SortedOrder",
+    "ETAService", "ETAEntry",
+    "ServiceMonitor", "ServiceStats", "DEFAULT_BUCKETS",
+]

@@ -1,0 +1,113 @@
+"""Operational monitoring for the RTP service.
+
+A production RTP service (paper Section VI: "hundreds of thousands of
+queries per day") needs observability.  :class:`ServiceMonitor` wraps
+an :class:`~repro.service.rtp_service.RTPService` and maintains
+latency histograms, throughput counters and error accounting, rendered
+in a Prometheus-exposition-like text format.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .request import RTPRequest
+from .rtp_service import RTPResponse, RTPService
+
+#: Latency histogram bucket upper bounds (milliseconds).
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, float("inf"))
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """A snapshot of the monitor's counters."""
+
+    queries: int
+    errors: int
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    max_latency_ms: float
+    mean_route_length: float
+
+
+class ServiceMonitor:
+    """Wraps a service; every ``handle`` is timed and counted."""
+
+    def __init__(self, service: RTPService,
+                 buckets=DEFAULT_BUCKETS):
+        if list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted")
+        self.service = service
+        self.buckets = tuple(buckets)
+        self._bucket_counts = [0] * len(self.buckets)
+        self._latencies: List[float] = []
+        self._route_lengths: List[int] = []
+        self._errors = 0
+
+    # ------------------------------------------------------------------
+    def handle(self, request: RTPRequest) -> RTPResponse:
+        start = time.perf_counter()
+        try:
+            response = self.service.handle(request)
+        except Exception:
+            self._errors += 1
+            raise
+        latency = (time.perf_counter() - start) * 1000.0
+        self._observe(latency, len(response.route))
+        return response
+
+    def _observe(self, latency_ms: float, route_length: int) -> None:
+        self._latencies.append(latency_ms)
+        self._route_lengths.append(route_length)
+        for index, bound in enumerate(self.buckets):
+            if latency_ms <= bound:
+                self._bucket_counts[index] += 1
+                break
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        if not self._latencies:
+            return ServiceStats(queries=0, errors=self._errors,
+                                mean_latency_ms=0.0, p50_latency_ms=0.0,
+                                p95_latency_ms=0.0, max_latency_ms=0.0,
+                                mean_route_length=0.0)
+        latencies = np.asarray(self._latencies)
+        return ServiceStats(
+            queries=latencies.size,
+            errors=self._errors,
+            mean_latency_ms=float(latencies.mean()),
+            p50_latency_ms=float(np.percentile(latencies, 50)),
+            p95_latency_ms=float(np.percentile(latencies, 95)),
+            max_latency_ms=float(latencies.max()),
+            mean_route_length=float(np.mean(self._route_lengths)),
+        )
+
+    def render_metrics(self) -> str:
+        """Prometheus-exposition-style text of the counters."""
+        stats = self.stats()
+        lines = [
+            "# TYPE rtp_queries_total counter",
+            f"rtp_queries_total {stats.queries}",
+            "# TYPE rtp_errors_total counter",
+            f"rtp_errors_total {stats.errors}",
+            "# TYPE rtp_latency_ms histogram",
+        ]
+        cumulative = 0
+        for bound, count in zip(self.buckets, self._bucket_counts):
+            cumulative += count
+            label = "+Inf" if bound == float("inf") else f"{bound:g}"
+            lines.append(f'rtp_latency_ms_bucket{{le="{label}"}} {cumulative}')
+        lines.append(f"rtp_latency_ms_sum {sum(self._latencies):.3f}")
+        lines.append(f"rtp_latency_ms_count {stats.queries}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._bucket_counts = [0] * len(self.buckets)
+        self._latencies.clear()
+        self._route_lengths.clear()
+        self._errors = 0

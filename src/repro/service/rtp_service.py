@@ -1,0 +1,128 @@
+"""In-process reproduction of the deployed M²G4RTP service (Section VI).
+
+Pipeline per request: feature extraction (graph building) → model
+inference → application responses.  The two deployed applications sit
+on top:
+
+* :class:`OrderSortingService` — Intelligent Order Sorting (VI-B):
+  ranks the courier's unpicked orders by the predicted route.
+* :class:`ETAService` — Minute-Level ETA (VI-C): per-location ETAs and
+  "courier is arriving soon" push notifications ahead of arrival.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.model import M2G4RTP
+from ..graphs import GraphBuilder
+from .request import RTPRequest
+
+
+@dataclasses.dataclass
+class RTPResponse:
+    """Route + per-location ETA prediction for one request."""
+
+    route: np.ndarray
+    eta_minutes: np.ndarray
+    aoi_route: Optional[np.ndarray]
+    aoi_eta_minutes: Optional[np.ndarray]
+    latency_ms: float
+
+
+class RTPService:
+    """Wraps a trained model behind the online request shape."""
+
+    def __init__(self, model: M2G4RTP, builder: Optional[GraphBuilder] = None):
+        self.model = model
+        self.builder = builder or GraphBuilder(
+            num_aoi_ids=model.config.num_aoi_ids)
+        self._queries_served = 0
+
+    def handle(self, request: RTPRequest) -> RTPResponse:
+        start = time.perf_counter()
+        graph = self.builder.build(request)
+        output = self.model.predict(graph)
+        latency = (time.perf_counter() - start) * 1000.0
+        self._queries_served += 1
+        return RTPResponse(
+            route=output.route,
+            eta_minutes=output.arrival_times,
+            aoi_route=output.aoi_route,
+            aoi_eta_minutes=output.aoi_arrival_times,
+            latency_ms=latency,
+        )
+
+    @property
+    def queries_served(self) -> int:
+        return self._queries_served
+
+
+@dataclasses.dataclass
+class SortedOrder:
+    """One entry of the intelligent order list (VI-B)."""
+
+    position: int
+    location_id: int
+    aoi_id: int
+    eta_minutes: float
+    deadline_minutes: float
+
+
+class OrderSortingService:
+    """Ranks unpicked orders by the predicted visit route (VI-B)."""
+
+    def __init__(self, service: RTPService):
+        self.service = service
+
+    def sort_orders(self, request: RTPRequest) -> List[SortedOrder]:
+        response = self.service.handle(request)
+        entries = []
+        for position, location_index in enumerate(response.route, start=1):
+            location = request.locations[int(location_index)]
+            entries.append(SortedOrder(
+                position=position,
+                location_id=location.location_id,
+                aoi_id=location.aoi_id,
+                eta_minutes=float(response.eta_minutes[int(location_index)]),
+                deadline_minutes=location.deadline - request.request_time,
+            ))
+        return entries
+
+
+@dataclasses.dataclass
+class ETAEntry:
+    """Minute-level ETA for one location (VI-C)."""
+
+    location_id: int
+    eta_minutes: float
+    notify_at_minutes: float
+    overdue_risk: bool
+
+
+class ETAService:
+    """Minute-level ETA plus ahead-of-arrival notification times (VI-C)."""
+
+    def __init__(self, service: RTPService, notify_ahead_minutes: float = 10.0):
+        if notify_ahead_minutes < 0:
+            raise ValueError("notify_ahead_minutes must be non-negative")
+        self.service = service
+        self.notify_ahead_minutes = notify_ahead_minutes
+
+    def etas(self, request: RTPRequest) -> List[ETAEntry]:
+        response = self.service.handle(request)
+        entries = []
+        for location_index, location in enumerate(request.locations):
+            eta = float(response.eta_minutes[location_index])
+            deadline_gap = location.deadline - request.request_time
+            entries.append(ETAEntry(
+                location_id=location.location_id,
+                eta_minutes=eta,
+                notify_at_minutes=max(eta - self.notify_ahead_minutes, 0.0),
+                overdue_risk=eta > deadline_gap,
+            ))
+        return entries

@@ -1,0 +1,26 @@
+"""Checkpointing: persist model weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..nn import Module
+
+
+def save_checkpoint(model: Module, path: Union[str, Path]) -> None:
+    """Write the model's parameters to ``path`` (``.npz``)."""
+    path = Path(path)
+    state = model.state_dict()
+    # Parameter names contain dots; np.savez handles arbitrary keys.
+    np.savez(path, **state)
+
+
+def load_checkpoint(model: Module, path: Union[str, Path]) -> None:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``."""
+    path = Path(path)
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)

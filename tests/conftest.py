@@ -1,0 +1,49 @@
+"""Shared fixtures: a small synthetic world and dataset reused across tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import GeneratorConfig, RTPDataset, SyntheticWorld
+from repro.graphs import GraphBuilder
+
+
+@pytest.fixture(scope="session")
+def world():
+    config = GeneratorConfig(
+        num_aois=40, num_couriers=4, num_days=6,
+        instances_per_courier_day=2, seed=123)
+    return SyntheticWorld(config)
+
+
+@pytest.fixture(scope="session")
+def dataset(world):
+    return RTPDataset(world.generate())
+
+
+@pytest.fixture(scope="session")
+def splits(dataset):
+    return dataset.split_by_day()
+
+
+@pytest.fixture(scope="session")
+def builder():
+    return GraphBuilder(k_neighbors=3)
+
+
+@pytest.fixture(scope="session")
+def instance(dataset):
+    # A multi-AOI instance with a handful of locations.
+    for candidate in dataset:
+        if candidate.num_aois >= 2 and candidate.num_locations >= 5:
+            return candidate
+    return dataset[0]
+
+
+@pytest.fixture(scope="session")
+def graph(builder, instance):
+    return builder.build(instance)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

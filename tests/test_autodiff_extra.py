@@ -1,0 +1,145 @@
+"""Tests for the extra autodiff ops, RMSprop and cosine annealing."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    CosineAnnealingLR,
+    RMSprop,
+    SGD,
+    Tensor,
+    check_gradients,
+    clip,
+    l2_norm,
+    logsumexp,
+    min_reduce,
+    minimum,
+    softplus,
+    tensor_pow,
+)
+
+
+class TestClip:
+    def test_values(self):
+        out = clip(Tensor([-5.0, 0.5, 5.0]), 0.0, 1.0)
+        assert np.allclose(out.data, [0.0, 0.5, 1.0])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            clip(Tensor([1.0]), 2.0, 1.0)
+
+    def test_gradient_zero_outside(self):
+        x = Tensor([-5.0, 0.5, 5.0], requires_grad=True)
+        clip(x, 0.0, 1.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_gradcheck_interior(self, rng):
+        x = Tensor(rng.uniform(0.2, 0.8, size=5), requires_grad=True)
+        check_gradients(lambda: (clip(x, 0.0, 1.0) ** 2).sum(), [x])
+
+
+class TestLogsumexp:
+    def test_matches_naive(self, rng):
+        x = rng.normal(size=(3, 4))
+        out = logsumexp(Tensor(x), axis=1)
+        assert np.allclose(out.data, np.log(np.exp(x).sum(axis=1)))
+
+    def test_stable_for_large_values(self):
+        out = logsumexp(Tensor([1000.0, 1000.0]))
+        assert np.isclose(out.item(), 1000.0 + np.log(2.0))
+
+    def test_keepdims(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert logsumexp(x, axis=1, keepdims=True).shape == (3, 1)
+        assert logsumexp(x, axis=1).shape == (3,)
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        check_gradients(lambda: logsumexp(x, axis=1).sum(), [x])
+
+
+class TestMinOps:
+    def test_minimum(self):
+        out = minimum(Tensor([1.0, 5.0]), Tensor([3.0, 2.0]))
+        assert np.allclose(out.data, [1.0, 2.0])
+
+    def test_min_reduce(self, rng):
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(min_reduce(Tensor(x), axis=1).data, x.min(axis=1))
+
+    def test_min_reduce_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: min_reduce(x, axis=1).sum(), [x])
+
+
+class TestPowAndNorms:
+    def test_tensor_pow_values(self):
+        out = tensor_pow(Tensor([2.0, 3.0]), Tensor([3.0, 2.0]))
+        assert np.allclose(out.data, [8.0, 9.0])
+
+    def test_tensor_pow_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            tensor_pow(Tensor([-1.0]), Tensor([2.0]))
+
+    def test_tensor_pow_gradcheck(self, rng):
+        base = Tensor(rng.uniform(0.5, 2.0, size=4), requires_grad=True)
+        exponent = Tensor(rng.uniform(-1.0, 2.0, size=4), requires_grad=True)
+        check_gradients(lambda: tensor_pow(base, exponent).sum(),
+                        [base, exponent])
+
+    def test_l2_norm(self):
+        assert np.isclose(l2_norm(Tensor([3.0, 4.0])).item(), 5.0, atol=1e-5)
+
+    def test_softplus_values(self):
+        x = np.array([-50.0, 0.0, 50.0])
+        out = softplus(Tensor(x))
+        assert np.allclose(out.data, np.logaddexp(0.0, x))
+
+    def test_softplus_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=4), requires_grad=True)
+        check_gradients(lambda: softplus(x).sum(), [x])
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self):
+        target = np.array([2.0, -1.0])
+        parameter = Tensor(np.zeros(2), requires_grad=True)
+        optimizer = RMSprop([parameter], lr=0.05)
+        for _ in range(300):
+            optimizer.zero_grad()
+            ((parameter - Tensor(target)) ** 2).sum().backward()
+            optimizer.step()
+        assert np.allclose(parameter.data, target, atol=0.05)
+
+
+class TestCosineAnnealing:
+    def test_endpoints(self):
+        parameter = Tensor(np.zeros(1), requires_grad=True)
+        optimizer = SGD([parameter], lr=1.0)
+        schedule = CosineAnnealingLR(optimizer, total_epochs=10, min_lr=0.1)
+        for _ in range(10):
+            schedule.step()
+        assert np.isclose(optimizer.lr, 0.1)
+
+    def test_monotone_decrease(self):
+        parameter = Tensor(np.zeros(1), requires_grad=True)
+        optimizer = SGD([parameter], lr=1.0)
+        schedule = CosineAnnealingLR(optimizer, total_epochs=8)
+        rates = []
+        for _ in range(8):
+            schedule.step()
+            rates.append(optimizer.lr)
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_invalid_epochs(self):
+        parameter = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(SGD([parameter], lr=1.0), total_epochs=0)
+
+    def test_clamps_after_horizon(self):
+        parameter = Tensor(np.zeros(1), requires_grad=True)
+        optimizer = SGD([parameter], lr=1.0)
+        schedule = CosineAnnealingLR(optimizer, total_epochs=3)
+        for _ in range(10):
+            schedule.step()
+        assert np.isclose(optimizer.lr, 0.0, atol=1e-12)

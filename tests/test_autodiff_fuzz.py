@@ -1,0 +1,111 @@
+"""Fuzz tests: random op chains checked against finite differences.
+
+Hypothesis drives random compositions of differentiable operations;
+the analytic gradient of each composed program must match central
+finite differences.  This is the strongest guarantee the autodiff
+engine gets — every unary/binary op participates, in random orders.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor, check_gradients, concat, softmax, stack, where
+
+# Unary ops safe on strictly positive inputs.
+_UNARY = [
+    lambda x: x.tanh(),
+    lambda x: x.sigmoid(),
+    lambda x: x.relu(),
+    lambda x: x.leaky_relu(0.1),
+    lambda x: x.tanh().exp(),      # bounded argument: no overflow when chained
+    lambda x: (x * x + 0.5).log(),  # argument strictly positive
+    lambda x: x.abs(),
+    lambda x: x * 2.5 - 1.0,
+    lambda x: (x * x) * 0.5,
+    lambda x: x.reshape(-1).reshape(*x.shape),
+]
+
+_BINARY = [
+    lambda a, b: a + b,
+    lambda a, b: a - b,
+    lambda a, b: a * b,
+    lambda a, b: a / (b * b + 1.0),
+    lambda a, b: concat([a, b], axis=0).sum(axis=0, keepdims=True)
+    * Tensor(np.ones(a.shape)),
+]
+
+
+@st.composite
+def op_programs(draw):
+    """A random program: sequence of (kind, index) op picks."""
+    length = draw(st.integers(1, 6))
+    ops = []
+    for _ in range(length):
+        kind = draw(st.sampled_from(["unary", "binary"]))
+        if kind == "unary":
+            ops.append(("unary", draw(st.integers(0, len(_UNARY) - 1))))
+        else:
+            ops.append(("binary", draw(st.integers(0, len(_BINARY) - 1))))
+    return ops
+
+
+class TestFuzzGradients:
+    @given(program=op_programs(), seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_program_gradcheck(self, program, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.uniform(-0.9, 0.9, size=(2, 3)), requires_grad=True)
+        y = Tensor(rng.uniform(-0.9, 0.9, size=(2, 3)), requires_grad=True)
+
+        def fn():
+            out = x
+            for kind, index in program:
+                if kind == "unary":
+                    out = _UNARY[index](out)
+                else:
+                    out = _BINARY[index](out, y)
+            # tanh keeps magnitudes sane; the y-term guarantees y always
+            # participates even in all-unary programs.
+            return (out.tanh()).sum() + (y * y).sum() * 0.01
+
+        check_gradients(fn, [x, y], atol=5e-4, rtol=5e-3)
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_weighted_sum_gradcheck(self, seed, n):
+        rng = np.random.default_rng(seed)
+        logits = Tensor(rng.normal(size=n), requires_grad=True)
+        weights = rng.normal(size=n)
+
+        def fn():
+            return (softmax(logits) * Tensor(weights)).sum()
+
+        check_gradients(fn, [logits])
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_where_stack_chain_gradcheck(self, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.normal(size=4), requires_grad=True)
+        b = Tensor(rng.normal(size=4), requires_grad=True)
+        condition = rng.random(4) > 0.5
+
+        def fn():
+            mixed = where(condition, a * 2.0, b + 1.0)
+            return (stack([mixed, a + b], axis=0) ** 2).sum()
+
+        check_gradients(fn, [a, b])
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_second_backward_accumulates(self, seed):
+        """backward() twice doubles the gradient (accumulate semantics)."""
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=3), requires_grad=True)
+        loss = (x * x).sum()
+        loss.backward()
+        first = x.grad.copy()
+        loss = (x * x).sum()
+        loss.backward()
+        assert np.allclose(x.grad, 2 * first)

@@ -1,0 +1,107 @@
+"""Optimiser tests: convergence on convex problems, schedules, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import SGD, Adam, AdamW, StepLR, Tensor, clip_grad_norm
+
+
+def quadratic_step(optimizer, parameter, target):
+    optimizer.zero_grad()
+    loss = ((parameter - Tensor(target)) ** 2).sum()
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+@pytest.mark.parametrize("optimizer_cls,kwargs", [
+    (SGD, {"lr": 0.1}),
+    (SGD, {"lr": 0.05, "momentum": 0.9}),
+    (Adam, {"lr": 0.1}),
+    (AdamW, {"lr": 0.1, "weight_decay": 1e-4}),
+])
+def test_converges_on_quadratic(optimizer_cls, kwargs):
+    target = np.array([3.0, -2.0, 0.5])
+    parameter = Tensor(np.zeros(3), requires_grad=True)
+    optimizer = optimizer_cls([parameter], **kwargs)
+    for _ in range(200):
+        quadratic_step(optimizer, parameter, target)
+    assert np.allclose(parameter.data, target, atol=0.05)
+
+
+def test_sgd_weight_decay_shrinks_weights():
+    parameter = Tensor(np.ones(4), requires_grad=True)
+    optimizer = SGD([parameter], lr=0.1, weight_decay=1.0)
+    # Zero-gradient steps: only decay acts.
+    for _ in range(10):
+        optimizer.zero_grad()
+        parameter.grad = np.zeros(4)
+        optimizer.step()
+    assert np.all(parameter.data < 1.0)
+
+
+def test_optimizer_requires_parameters():
+    with pytest.raises(ValueError):
+        Adam([], lr=0.1)
+
+
+def test_step_skips_parameters_without_grad():
+    a = Tensor(np.ones(2), requires_grad=True)
+    b = Tensor(np.ones(2), requires_grad=True)
+    optimizer = Adam([a, b], lr=0.5)
+    loss = (a ** 2).sum()
+    loss.backward()
+    optimizer.step()
+    assert np.allclose(b.data, 1.0)
+    assert not np.allclose(a.data, 1.0)
+
+
+def test_zero_grad_clears():
+    a = Tensor(np.ones(2), requires_grad=True)
+    optimizer = SGD([a], lr=0.1)
+    (a ** 2).sum().backward()
+    assert a.grad is not None
+    optimizer.zero_grad()
+    assert a.grad is None
+
+
+def test_step_lr_halves():
+    parameter = Tensor(np.zeros(1), requires_grad=True)
+    optimizer = SGD([parameter], lr=1.0)
+    schedule = StepLR(optimizer, step_size=2, gamma=0.5)
+    schedule.step()
+    assert optimizer.lr == 1.0
+    schedule.step()
+    assert optimizer.lr == 0.5
+    schedule.step()
+    schedule.step()
+    assert optimizer.lr == 0.25
+
+
+def test_clip_grad_norm_scales_down():
+    a = Tensor(np.zeros(2), requires_grad=True)
+    a.grad = np.array([3.0, 4.0])  # norm 5
+    norm = clip_grad_norm([a], max_norm=1.0)
+    assert np.isclose(norm, 5.0)
+    assert np.isclose(np.linalg.norm(a.grad), 1.0)
+
+
+def test_clip_grad_norm_leaves_small_grads():
+    a = Tensor(np.zeros(2), requires_grad=True)
+    a.grad = np.array([0.3, 0.4])
+    clip_grad_norm([a], max_norm=1.0)
+    assert np.allclose(a.grad, [0.3, 0.4])
+
+
+def test_clip_handles_missing_grads():
+    a = Tensor(np.zeros(2), requires_grad=True)
+    assert clip_grad_norm([a], max_norm=1.0) == 0.0
+
+
+def test_adam_bias_correction_first_step():
+    parameter = Tensor(np.array([0.0]), requires_grad=True)
+    optimizer = Adam([parameter], lr=0.1)
+    parameter.grad = np.array([1.0])
+    optimizer.step()
+    # With bias correction the first step is ~lr regardless of betas.
+    assert np.isclose(parameter.data[0], -0.1, atol=1e-6)

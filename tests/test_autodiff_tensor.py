@@ -1,0 +1,281 @@
+"""Unit tests for the autodiff Tensor: forward values and gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor, check_gradients, no_grad, is_grad_enabled
+
+
+def t(data, grad=True):
+    return Tensor(np.asarray(data, dtype=float), requires_grad=grad)
+
+
+class TestForwardValues:
+    def test_add(self):
+        assert np.allclose((t([1, 2]) + t([3, 4])).data, [4, 6])
+
+    def test_add_scalar(self):
+        assert np.allclose((t([1, 2]) + 1.5).data, [2.5, 3.5])
+
+    def test_radd(self):
+        assert np.allclose((1.5 + t([1, 2])).data, [2.5, 3.5])
+
+    def test_sub(self):
+        assert np.allclose((t([5, 7]) - t([1, 2])).data, [4, 5])
+
+    def test_rsub(self):
+        assert np.allclose((10 - t([1, 2])).data, [9, 8])
+
+    def test_mul(self):
+        assert np.allclose((t([2, 3]) * t([4, 5])).data, [8, 15])
+
+    def test_div(self):
+        assert np.allclose((t([8, 9]) / t([2, 3])).data, [4, 3])
+
+    def test_rdiv(self):
+        assert np.allclose((6 / t([2, 3])).data, [3, 2])
+
+    def test_neg(self):
+        assert np.allclose((-t([1, -2])).data, [-1, 2])
+
+    def test_pow(self):
+        assert np.allclose((t([2, 3]) ** 2).data, [4, 9])
+
+    def test_pow_non_scalar_rejected(self):
+        with pytest.raises(TypeError):
+            t([2.0]) ** t([2.0])
+
+    def test_matmul_2d(self):
+        a = t([[1, 2], [3, 4]])
+        b = t([[5, 6], [7, 8]])
+        assert np.allclose((a @ b).data, [[19, 22], [43, 50]])
+
+    def test_matmul_vec(self):
+        assert np.allclose((t([[1, 2], [3, 4]]) @ t([1, 1])).data, [3, 7])
+
+    def test_sum_all(self):
+        assert t([[1, 2], [3, 4]]).sum().item() == 10
+
+    def test_sum_axis(self):
+        assert np.allclose(t([[1, 2], [3, 4]]).sum(axis=0).data, [4, 6])
+
+    def test_mean(self):
+        assert t([[1, 2], [3, 4]]).mean().item() == 2.5
+
+    def test_mean_axis(self):
+        assert np.allclose(t([[1, 2], [3, 4]]).mean(axis=1).data, [1.5, 3.5])
+
+    def test_max(self):
+        assert t([1, 5, 3]).max().item() == 5
+
+    def test_relu(self):
+        assert np.allclose(t([-1, 0, 2]).relu().data, [0, 0, 2])
+
+    def test_leaky_relu(self):
+        assert np.allclose(t([-10.0, 2.0]).leaky_relu(0.1).data, [-1.0, 2.0])
+
+    def test_abs(self):
+        assert np.allclose(t([-3, 4]).abs().data, [3, 4])
+
+    def test_tanh_sigmoid_exp_log(self):
+        x = np.array([0.3, -0.7])
+        assert np.allclose(t(x).tanh().data, np.tanh(x))
+        assert np.allclose(t(x).sigmoid().data, 1 / (1 + np.exp(-x)))
+        assert np.allclose(t(x).exp().data, np.exp(x))
+        assert np.allclose(t([1.0, 2.0]).log().data, np.log([1.0, 2.0]))
+
+    def test_sqrt(self):
+        assert np.allclose(t([4.0, 9.0]).sqrt().data, [2, 3])
+
+    def test_reshape_and_flatten(self):
+        x = t([[1, 2], [3, 4]])
+        assert x.reshape(4).shape == (4,)
+        assert x.flatten().shape == (4,)
+        assert x.reshape(1, 4).shape == (1, 4)
+
+    def test_transpose(self):
+        x = t(np.arange(6).reshape(2, 3))
+        assert x.T.shape == (3, 2)
+        assert np.allclose(x.T.data, x.data.T)
+
+    def test_getitem(self):
+        x = t([[1, 2], [3, 4]])
+        assert np.allclose(x[0].data, [1, 2])
+        assert x[1, 1].item() == 4
+
+    def test_getitem_fancy(self):
+        x = t([10, 20, 30])
+        assert np.allclose(x[np.array([2, 0])].data, [30, 10])
+
+    def test_len_and_repr(self):
+        x = t([[1, 2], [3, 4]])
+        assert len(x) == 2
+        assert "Tensor" in repr(x)
+
+    def test_zeros_ones(self):
+        assert np.allclose(Tensor.zeros(2, 3).data, np.zeros((2, 3)))
+        assert np.allclose(Tensor.ones(2).data, np.ones(2))
+
+    def test_item_non_scalar_ok_for_size1(self):
+        assert Tensor(np.array([[3.0]])).item() == 3.0
+
+
+class TestBackward:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_seed(self):
+        x = t([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_simple_chain(self):
+        x = t([2.0])
+        y = (x * 3 + 1) ** 2
+        y.backward()
+        # d/dx (3x+1)^2 = 2*(3x+1)*3 = 42 at x=2
+        assert np.allclose(x.grad, [42.0])
+
+    def test_grad_accumulates_across_uses(self):
+        x = t([1.0])
+        y = x * 2 + x * 3
+        y.backward()
+        assert np.allclose(x.grad, [5.0])
+
+    def test_zero_grad(self):
+        x = t([1.0])
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_broadcast_add_grad(self):
+        x = t(np.ones((3, 2)))
+        b = t(np.zeros(2))
+        (x + b).sum().backward()
+        assert np.allclose(b.grad, [3.0, 3.0])
+
+    def test_broadcast_mul_grad(self):
+        x = t(np.full((2, 3), 2.0))
+        s = t([3.0])
+        (x * s).sum().backward()
+        assert np.allclose(s.grad, [12.0])
+
+    @pytest.mark.parametrize("op", [
+        lambda a, b: a + b,
+        lambda a, b: a - b,
+        lambda a, b: a * b,
+        lambda a, b: a / b,
+        lambda a, b: a @ b,
+    ])
+    def test_binary_op_gradcheck(self, op, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, (3, 3)), requires_grad=True)
+        b = Tensor(rng.uniform(0.5, 2.0, (3, 3)), requires_grad=True)
+        check_gradients(lambda: op(a, b).sum(), [a, b])
+
+    @pytest.mark.parametrize("fn", [
+        lambda x: x.tanh(), lambda x: x.sigmoid(), lambda x: x.exp(),
+        lambda x: x.log(), lambda x: x.abs(), lambda x: x ** 3,
+        lambda x: x.relu(), lambda x: x.leaky_relu(0.2), lambda x: x.sqrt(),
+    ])
+    def test_unary_op_gradcheck(self, fn, rng):
+        x = Tensor(rng.uniform(0.5, 2.0, (4,)), requires_grad=True)
+        check_gradients(lambda: fn(x).sum(), [x])
+
+    def test_matmul_vec_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        v = Tensor(rng.normal(size=3), requires_grad=True)
+        check_gradients(lambda: (a @ v).sum(), [a, v])
+
+    def test_matmul_3d_by_vec_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        v = Tensor(rng.normal(size=4), requires_grad=True)
+        check_gradients(lambda: (a @ v).sum(), [a, v])
+
+    def test_matmul_3d_by_matrix_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        check_gradients(lambda: (a @ w).sum(), [a, w])
+
+    def test_vec_by_matrix_gradcheck(self, rng):
+        v = Tensor(rng.normal(size=3), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        check_gradients(lambda: (v @ w).sum(), [v, w])
+
+    def test_sum_keepdims_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: (x.sum(axis=1, keepdims=True) * x).sum(), [x])
+
+    def test_max_axis_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: x.max(axis=1).sum(), [x])
+
+    def test_mean_axis_tuple(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        check_gradients(lambda: x.mean(axis=(0, 2)).sum(), [x])
+
+    def test_getitem_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        idx = np.array([0, 2, 2, 4])
+        check_gradients(lambda: (x[idx] ** 2).sum(), [x])
+
+    def test_transpose_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        check_gradients(lambda: (x.transpose(2, 0, 1) ** 2).sum(), [x])
+
+    def test_reshape_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        check_gradients(lambda: (x.reshape(3, 4) ** 2).sum(), [x])
+
+    def test_diamond_graph(self):
+        x = t([1.0])
+        a = x * 2
+        b = x * 3
+        y = a * b  # y = 6 x^2, dy/dx = 12 x
+        y.backward()
+        assert np.allclose(x.grad, [12.0])
+
+
+class TestNoGrad:
+    def test_no_grad_disables_tape(self):
+        x = t([1.0])
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_no_grad_nests_and_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach(self):
+        x = t([1.0, 2.0])
+        d = x.detach()
+        assert not d.requires_grad
+        assert np.shares_memory(d.data, x.data)
+
+
+class TestHypothesisProperties:
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_matches_numpy(self, values):
+        assert np.isclose(Tensor(values).sum().item(), np.sum(values))
+
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_add_sub_roundtrip(self, values):
+        x = Tensor(values)
+        y = Tensor(np.ones(len(values)))
+        assert np.allclose((x + y - y).data, x.data)
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_matmul_shapes(self, n, m):
+        a = Tensor(np.ones((n, m)))
+        b = Tensor(np.ones((m, n)))
+        assert (a @ b).shape == (n, n)

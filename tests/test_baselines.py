@@ -1,0 +1,208 @@
+"""Tests for every baseline: greedy, TSP heuristic, GBDT, OSquare, deep."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DeepBaselineConfig,
+    DeepRoute,
+    DistanceGreedy,
+    FDNET,
+    GBDTBinaryClassifier,
+    GBDTRegressor,
+    Graph2Route,
+    OSquare,
+    RegressionTree,
+    ShortestRouteTSP,
+    TimeGreedy,
+    estimate_effective_speed,
+    nearest_neighbor_path,
+    path_length,
+    route_travel_times,
+    two_opt,
+)
+
+
+def assert_valid_prediction(prediction, instance):
+    assert sorted(prediction.route.tolist()) == list(range(instance.num_locations))
+    assert prediction.arrival_times.shape == (instance.num_locations,)
+    assert np.all(np.isfinite(prediction.arrival_times))
+
+
+class TestGreedy:
+    def test_time_greedy_orders_by_deadline(self, splits):
+        train, _, test = splits
+        model = TimeGreedy().fit(train)
+        instance = test[0]
+        prediction = model.predict(instance)
+        deadlines = [instance.locations[i].deadline for i in prediction.route]
+        assert deadlines == sorted(deadlines)
+        assert_valid_prediction(prediction, instance)
+
+    def test_distance_greedy_first_step_nearest(self, splits):
+        train, _, test = splits
+        model = DistanceGreedy().fit(train)
+        instance = test[0]
+        prediction = model.predict(instance)
+        distances = [loc.distance_to(*instance.courier_position)
+                     for loc in instance.locations]
+        assert prediction.route[0] == int(np.argmin(distances))
+        assert_valid_prediction(prediction, instance)
+
+    def test_arrival_times_monotone_along_predicted_route(self, splits):
+        train, _, test = splits
+        model = DistanceGreedy().fit(train)
+        prediction = model.predict(test[0])
+        ordered = prediction.arrival_times[prediction.route]
+        assert np.all(np.diff(ordered) >= 0)
+
+    def test_speed_estimation_positive(self, splits):
+        train, _, _ = splits
+        speed = estimate_effective_speed(train)
+        assert 10 < speed < 1000
+
+    def test_route_travel_times_rejects_bad_speed(self, dataset):
+        with pytest.raises(ValueError):
+            route_travel_times(dataset[0], dataset[0].route, speed=0.0)
+
+    def test_explicit_speed_respected(self, dataset):
+        instance = dataset[0]
+        slow = TimeGreedy(speed=50.0).predict(instance)
+        fast = TimeGreedy(speed=500.0).predict(instance)
+        assert slow.arrival_times.max() > fast.arrival_times.max()
+
+
+class TestTSP:
+    def test_two_opt_never_worse(self, rng):
+        for _ in range(10):
+            coords = rng.random((8, 2)) * 1000
+            distance = np.linalg.norm(coords[:, None] - coords[None, :], axis=-1)
+            start = rng.random(8) * 1000
+            initial = nearest_neighbor_path(start, distance)
+            improved = two_opt(initial, start, distance)
+            assert (path_length(improved, start, distance)
+                    <= path_length(initial, start, distance) + 1e-9)
+
+    def test_two_opt_fixes_crossing(self):
+        # Square visited in a crossing order: 2-opt must unknot it.
+        distance = np.array([
+            [0, 1, np.sqrt(2), 1],
+            [1, 0, 1, np.sqrt(2)],
+            [np.sqrt(2), 1, 0, 1],
+            [1, np.sqrt(2), 1, 0],
+        ])
+        start = np.array([0.0, 10, 10, 10])
+        crossed = np.array([0, 2, 1, 3])
+        fixed = two_opt(crossed, start, distance)
+        assert path_length(fixed, start, distance) < path_length(
+            crossed, start, distance)
+
+    def test_solver_prediction_valid(self, splits):
+        train, _, test = splits
+        model = ShortestRouteTSP().fit(train)
+        for instance in list(test)[:3]:
+            assert_valid_prediction(model.predict(instance), instance)
+
+    def test_shorter_than_random_route(self, splits, rng):
+        train, _, test = splits
+        model = ShortestRouteTSP().fit(train)
+        instance = test[0]
+        from repro.data import pairwise_distance_matrix, geo_distance_meters
+        distance = pairwise_distance_matrix(instance.location_coords())
+        start = np.array([geo_distance_meters(*instance.courier_position, *l.coord)
+                          for l in instance.locations])
+        solved = model.solve(instance)
+        random_route = rng.permutation(instance.num_locations)
+        assert (path_length(solved, start, distance)
+                <= path_length(random_route, start, distance) + 1e-9)
+
+
+class TestGBDT:
+    def test_tree_fits_step_function(self):
+        x = np.linspace(0, 1, 200).reshape(-1, 1)
+        y = (x[:, 0] > 0.5).astype(float)
+        tree = RegressionTree(max_depth=2, min_samples_leaf=5).fit(x, y)
+        prediction = tree.predict(x)
+        assert np.mean((prediction - y) ** 2) < 0.01
+
+    def test_tree_input_validation(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_tree_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((2, 2)))
+
+    def test_regressor_learns_linear(self, rng):
+        x = rng.uniform(-1, 1, (300, 2))
+        y = 3 * x[:, 0] - 2 * x[:, 1]
+        model = GBDTRegressor(n_estimators=60, learning_rate=0.2).fit(x, y)
+        prediction = model.predict(x)
+        residual = np.mean((prediction - y) ** 2) / np.var(y)
+        assert residual < 0.1
+
+    def test_regressor_constant_target(self):
+        x = np.random.default_rng(0).random((50, 2))
+        model = GBDTRegressor(n_estimators=5).fit(x, np.full(50, 7.0))
+        assert np.allclose(model.predict(x), 7.0, atol=1e-6)
+
+    def test_classifier_separates_clusters(self, rng):
+        x = np.vstack([rng.normal(-2, 0.5, (100, 2)), rng.normal(2, 0.5, (100, 2))])
+        y = np.array([0.0] * 100 + [1.0] * 100)
+        model = GBDTBinaryClassifier(n_estimators=20).fit(x, y)
+        probability = model.predict_proba(x)
+        accuracy = np.mean((probability > 0.5) == y)
+        assert accuracy > 0.97
+
+    def test_classifier_probabilities_bounded(self, rng):
+        x = rng.normal(size=(50, 3))
+        y = (x[:, 0] > 0).astype(float)
+        model = GBDTBinaryClassifier(n_estimators=10).fit(x, y)
+        probability = model.predict_proba(x)
+        assert np.all((probability > 0) & (probability < 1))
+
+
+class TestOSquare:
+    def test_fit_predict_valid(self, splits):
+        train, _, test = splits
+        model = OSquare(n_estimators=8).fit(train[:20])
+        for instance in list(test)[:3]:
+            assert_valid_prediction(model.predict(instance), instance)
+
+    def test_beats_random_route(self, splits, rng):
+        train, _, test = splits
+        from repro.metrics import kendall_rank_correlation
+        model = OSquare(n_estimators=10).fit(train)
+        model_krc, random_krc = [], []
+        for instance in test:
+            prediction = model.predict(instance)
+            model_krc.append(kendall_rank_correlation(
+                prediction.route, instance.route))
+            random_krc.append(kendall_rank_correlation(
+                rng.permutation(instance.num_locations), instance.route))
+        assert np.mean(model_krc) > np.mean(random_krc)
+
+
+@pytest.mark.parametrize("baseline_cls", [DeepRoute, FDNET, Graph2Route])
+class TestDeepBaselines:
+    def test_fit_predict_valid(self, baseline_cls, splits):
+        train, _, test = splits
+        config = DeepBaselineConfig(epochs=1, time_epochs=1)
+        model = baseline_cls(config).fit(train[:8])
+        for instance in list(test)[:2]:
+            assert_valid_prediction(model.predict(instance), instance)
+
+    def test_training_reduces_route_loss(self, baseline_cls, splits):
+        from repro.metrics import kendall_rank_correlation
+        train, _, _ = splits
+        subset = train[:12]
+        config = DeepBaselineConfig(epochs=4, time_epochs=1, seed=1)
+        model = baseline_cls(config)
+        untrained = [kendall_rank_correlation(model.predict(i).route, i.route)
+                     for i in subset]
+        model.fit(subset)
+        trained = [kendall_rank_correlation(model.predict(i).route, i.route)
+                   for i in subset]
+        assert np.mean(trained) > np.mean(untrained)

@@ -1,0 +1,85 @@
+"""Tests for Borda-count route aggregation and the model ensemble."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import EnsemblePredictor, M2G4RTP, M2G4RTPConfig, borda_aggregate
+
+
+class TestBordaAggregate:
+    def test_single_route_identity(self):
+        route = np.array([2, 0, 1])
+        assert np.array_equal(borda_aggregate([route]), route)
+
+    def test_unanimous_routes(self):
+        route = np.array([3, 1, 0, 2])
+        assert np.array_equal(borda_aggregate([route, route, route]), route)
+
+    def test_majority_wins(self):
+        a = np.array([0, 1, 2])
+        b = np.array([2, 1, 0])
+        result = borda_aggregate([a, a, b])
+        assert result.tolist() == [0, 1, 2]
+
+    def test_tie_breaks_toward_first_member(self):
+        a = np.array([0, 1])
+        b = np.array([1, 0])
+        assert borda_aggregate([a, b]).tolist() == [0, 1]
+        assert borda_aggregate([b, a]).tolist() == [1, 0]
+
+    def test_requires_routes(self):
+        with pytest.raises(ValueError):
+            borda_aggregate([])
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            borda_aggregate([np.array([0, 0, 1])])
+
+    @given(st.integers(2, 8), st.integers(1, 5), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_always_a_permutation(self, n, members, seed):
+        rng = np.random.default_rng(seed)
+        routes = [rng.permutation(n) for _ in range(members)]
+        result = borda_aggregate(routes)
+        assert sorted(result.tolist()) == list(range(n))
+
+
+class TestEnsemblePredictor:
+    @pytest.fixture(scope="class")
+    def ensemble(self):
+        models = [
+            M2G4RTP(M2G4RTPConfig(hidden_dim=16, num_heads=2,
+                                  num_encoder_layers=1, seed=seed))
+            for seed in (0, 1, 2)
+        ]
+        return EnsemblePredictor(models)
+
+    def test_needs_models(self):
+        with pytest.raises(ValueError):
+            EnsemblePredictor([])
+
+    def test_len(self, ensemble):
+        assert len(ensemble) == 3
+
+    def test_prediction_valid(self, ensemble, graph, instance):
+        output = ensemble.predict(graph)
+        assert sorted(output.route.tolist()) == list(
+            range(instance.num_locations))
+        assert sorted(output.aoi_route.tolist()) == list(
+            range(instance.num_aois))
+        assert np.all(np.isfinite(output.arrival_times))
+
+    def test_times_are_member_mean(self, ensemble, graph):
+        member_times = [model.predict(graph).arrival_times
+                        for model in ensemble.models]
+        output = ensemble.predict(graph)
+        assert np.allclose(output.arrival_times,
+                           np.mean(member_times, axis=0))
+
+    def test_single_member_matches_model(self, graph):
+        model = M2G4RTP(M2G4RTPConfig(hidden_dim=16, num_heads=2,
+                                      num_encoder_layers=1, seed=7))
+        solo = EnsemblePredictor([model])
+        assert np.array_equal(solo.predict(graph).route,
+                              model.predict(graph).route)

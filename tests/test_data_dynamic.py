@@ -1,0 +1,66 @@
+"""Tests for the dynamic courier-day simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data import DynamicDaySimulator, GeneratorConfig, SyntheticWorld
+
+
+@pytest.fixture(scope="module")
+def dynamic_day(world):
+    simulator = DynamicDaySimulator(world, courier_index=1, seed=7)
+    return simulator.simulate()
+
+
+class TestDynamicDay:
+    def test_starts_with_start_event(self, dynamic_day):
+        assert dynamic_day.event_kinds[0] == "start"
+        assert len(dynamic_day) == len(dynamic_day.event_kinds)
+
+    def test_all_snapshots_validate(self, dynamic_day):
+        for snapshot in dynamic_day.snapshots:
+            snapshot.validate()
+
+    def test_clock_monotone(self, dynamic_day):
+        times = [s.request_time for s in dynamic_day.snapshots]
+        assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_pickups_shrink_order_set(self, dynamic_day):
+        for previous, current, kind in zip(dynamic_day.snapshots,
+                                           dynamic_day.snapshots[1:],
+                                           dynamic_day.event_kinds[1:]):
+            if kind == "pickup":
+                assert current.num_locations == previous.num_locations - 1
+            elif kind == "arrival":
+                assert current.num_locations > previous.num_locations
+
+    def test_arrival_events_present(self, dynamic_day):
+        assert "arrival" in dynamic_day.event_kinds
+        assert "pickup" in dynamic_day.event_kinds
+
+    def test_location_ids_unique_within_snapshot(self, dynamic_day):
+        for snapshot in dynamic_day.snapshots:
+            ids = [loc.location_id for loc in snapshot.locations]
+            assert len(ids) == len(set(ids))
+
+    def test_deterministic_given_seed(self, world):
+        a = DynamicDaySimulator(world, courier_index=0, seed=13).simulate()
+        b = DynamicDaySimulator(world, courier_index=0, seed=13).simulate()
+        assert len(a) == len(b)
+        for x, y in zip(a.snapshots, b.snapshots):
+            assert np.array_equal(x.route, y.route)
+
+    def test_invalid_configuration(self, world):
+        with pytest.raises(ValueError):
+            DynamicDaySimulator(world, initial_orders=1,
+                                min_snapshot_orders=3)
+
+    def test_snapshots_are_model_ready(self, dynamic_day, builder):
+        """Every snapshot must pass through the full feature pipeline."""
+        from repro.core import M2G4RTP, M2G4RTPConfig
+        model = M2G4RTP(M2G4RTPConfig(hidden_dim=16, num_heads=2,
+                                      num_encoder_layers=1))
+        snapshot = dynamic_day.snapshots[0]
+        output = model.predict(builder.build(snapshot))
+        assert sorted(output.route.tolist()) == list(
+            range(snapshot.num_locations))

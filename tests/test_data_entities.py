@@ -1,0 +1,150 @@
+"""Tests for domain entities, distances and instance invariants."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    AOI,
+    Courier,
+    Location,
+    RTPInstance,
+    geo_distance_meters,
+    pairwise_distance_matrix,
+)
+
+
+def make_courier(**overrides):
+    defaults = dict(courier_id=1, speed=200.0, working_hours=8.0,
+                    attendance_rate=0.95, service_time_mean=3.0,
+                    aoi_type_preference=(0, 1, 2, 3, 4, 5))
+    defaults.update(overrides)
+    return Courier(**defaults)
+
+
+def make_instance(n=3, same_aoi=True):
+    aoi = AOI(aoi_id=7, aoi_type=1, center=(120.1, 30.2))
+    aois = [aoi]
+    locations = [
+        Location(location_id=i, coord=(120.1 + i * 1e-3, 30.2),
+                 aoi_id=7, accept_time=400.0, deadline=550.0)
+        for i in range(n)
+    ]
+    return RTPInstance(
+        courier=make_courier(),
+        request_time=480.0,
+        courier_position=(120.1, 30.2),
+        locations=locations,
+        aois=aois,
+        route=np.arange(n),
+        arrival_times=np.linspace(5, 30, n),
+        aoi_route=np.array([0]),
+        aoi_arrival_times=np.array([5.0]),
+    )
+
+
+class TestDistances:
+    def test_zero_distance(self):
+        assert geo_distance_meters(120.0, 30.0, 120.0, 30.0) == 0.0
+
+    def test_one_degree_latitude(self):
+        distance = geo_distance_meters(120.0, 30.0, 120.0, 31.0)
+        assert 110_000 < distance < 112_000
+
+    def test_symmetric(self):
+        a = geo_distance_meters(120.0, 30.0, 120.3, 30.2)
+        b = geo_distance_meters(120.3, 30.2, 120.0, 30.0)
+        assert np.isclose(a, b)
+
+    def test_pairwise_matrix_matches_scalar(self):
+        coords = np.array([[120.0, 30.0], [120.1, 30.1], [120.2, 30.0]])
+        matrix = pairwise_distance_matrix(coords)
+        assert matrix.shape == (3, 3)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert np.isclose(matrix[0, 1],
+                          geo_distance_meters(120.0, 30.0, 120.1, 30.1))
+
+    @given(st.floats(119.9, 120.4), st.floats(30.0, 30.5),
+           st.floats(119.9, 120.4), st.floats(30.0, 30.5))
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality_through_midpoint(self, lon1, lat1, lon2, lat2):
+        mid_lon, mid_lat = (lon1 + lon2) / 2, (lat1 + lat2) / 2
+        direct = geo_distance_meters(lon1, lat1, lon2, lat2)
+        detour = (geo_distance_meters(lon1, lat1, mid_lon, mid_lat)
+                  + geo_distance_meters(mid_lon, mid_lat, lon2, lat2))
+        assert direct <= detour + 1e-6
+
+
+class TestEntities:
+    def test_courier_profile_features(self):
+        courier = make_courier(working_hours=8.0, speed=200.0,
+                               attendance_rate=0.9)
+        assert np.allclose(courier.profile_features(), [8.0, 200.0, 0.9])
+
+    def test_aoi_distance_to(self):
+        aoi = AOI(aoi_id=1, aoi_type=0, center=(120.0, 30.0))
+        assert aoi.distance_to(120.0, 30.0) == 0.0
+
+    def test_location_frozen(self):
+        location = Location(1, (120.0, 30.0), 1, 400.0, 500.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            location.deadline = 600.0
+
+
+class TestInstanceInvariants:
+    def test_valid_instance_passes(self):
+        make_instance()
+
+    def test_route_must_be_permutation(self):
+        instance = make_instance()
+        with pytest.raises(ValueError):
+            dataclasses.replace(instance, route=np.array([0, 0, 2]))
+
+    def test_arrival_times_length(self):
+        instance = make_instance()
+        with pytest.raises(ValueError):
+            dataclasses.replace(instance, arrival_times=np.array([1.0]))
+
+    def test_negative_arrival_rejected(self):
+        instance = make_instance()
+        with pytest.raises(ValueError):
+            dataclasses.replace(instance,
+                                arrival_times=np.array([-1.0, 2.0, 3.0]))
+
+    def test_unknown_aoi_rejected(self):
+        instance = make_instance()
+        bad_location = Location(9, (120.1, 30.2), aoi_id=999,
+                                accept_time=400.0, deadline=550.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(
+                instance, locations=instance.locations[:-1] + [bad_location])
+
+    def test_empty_instance_rejected(self):
+        instance = make_instance()
+        with pytest.raises(ValueError):
+            dataclasses.replace(
+                instance, locations=[], route=np.array([], dtype=int),
+                arrival_times=np.array([]))
+
+    def test_location_ranks_inverse_of_route(self, dataset):
+        instance = dataset[0]
+        ranks = instance.location_ranks()
+        assert np.array_equal(np.argsort(ranks), instance.route)
+
+    def test_aoi_ranks_inverse_of_aoi_route(self, dataset):
+        instance = dataset[0]
+        ranks = instance.aoi_ranks()
+        assert np.array_equal(np.argsort(ranks), instance.aoi_route)
+
+    def test_aoi_index_of_location_consistent(self, dataset):
+        instance = dataset[0]
+        mapping = instance.aoi_index_of_location()
+        for loc, aoi_index in zip(instance.locations, mapping):
+            assert instance.aois[aoi_index].aoi_id == loc.aoi_id
+
+    def test_describe_contains_counts(self):
+        instance = make_instance()
+        text = instance.describe()
+        assert "n=3" in text and "m=1" in text

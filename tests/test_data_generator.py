@@ -1,0 +1,169 @@
+"""Behavioural tests for the synthetic workload generator.
+
+These certify the two phenomena the substitution must preserve:
+AOI-first transfer mode and route-time coupling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GeneratorConfig,
+    NUM_AOI_TYPES,
+    RTPDataset,
+    SyntheticWorld,
+    transfer_statistics,
+)
+
+
+def small_world(seed=5):
+    return SyntheticWorld(GeneratorConfig(
+        num_aois=30, num_couriers=3, num_days=4,
+        instances_per_courier_day=2, seed=seed))
+
+
+class TestWorldConstruction:
+    def test_aoi_count_and_types(self):
+        world = small_world()
+        assert len(world.aois) == 30
+        assert all(0 <= aoi.aoi_type < NUM_AOI_TYPES for aoi in world.aois)
+
+    def test_courier_count_and_preferences(self):
+        world = small_world()
+        assert len(world.couriers) == 3
+        for courier in world.couriers:
+            assert sorted(courier.aoi_type_preference) == list(range(NUM_AOI_TYPES))
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticWorld(GeneratorConfig(num_aois=20, num_couriers=2,
+                                           num_days=2, seed=42)).generate()
+        b = SyntheticWorld(GeneratorConfig(num_aois=20, num_couriers=2,
+                                           num_days=2, seed=42)).generate()
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.route, y.route)
+            assert np.allclose(x.arrival_times, y.arrival_times)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticWorld(GeneratorConfig(num_aois=20, num_couriers=2,
+                                           num_days=2, seed=1)).generate()
+        b = SyntheticWorld(GeneratorConfig(num_aois=20, num_couriers=2,
+                                           num_days=2, seed=2)).generate()
+        assert any(not np.array_equal(x.route, y.route) for x, y in zip(a, b))
+
+
+class TestInstanceProperties:
+    def test_sizes_within_config(self):
+        config = GeneratorConfig(num_aois=30, num_couriers=3, num_days=3,
+                                 min_locations=3, max_locations=12,
+                                 max_aois_per_instance=5, seed=9)
+        for instance in SyntheticWorld(config).generate():
+            assert 3 <= instance.num_locations <= 12
+            assert 1 <= instance.num_aois <= 5
+
+    def test_aoi_first_invariant(self, dataset):
+        """The ground-truth route never revisits a finished AOI."""
+        for instance in dataset:
+            aoi_of = instance.aoi_index_of_location()
+            seen = []
+            for location_index in instance.route:
+                aoi = aoi_of[location_index]
+                if seen and seen[-1] == aoi:
+                    continue
+                assert aoi not in seen, "route returned to a finished AOI"
+                seen.append(aoi)
+
+    def test_aoi_route_matches_location_route(self, dataset):
+        for instance in dataset:
+            aoi_of = instance.aoi_index_of_location()
+            first_seen = []
+            for location_index in instance.route:
+                aoi = aoi_of[location_index]
+                if aoi not in first_seen:
+                    first_seen.append(aoi)
+            assert first_seen == instance.aoi_route.tolist()
+
+    def test_arrival_monotone_along_route(self, dataset):
+        for instance in dataset:
+            ordered = instance.arrival_times[instance.route]
+            assert np.all(np.diff(ordered) > 0)
+
+    def test_aoi_arrival_is_first_location_arrival(self, dataset):
+        for instance in dataset:
+            aoi_of = instance.aoi_index_of_location()
+            for aoi_index in range(instance.num_aois):
+                members = [i for i in range(instance.num_locations)
+                           if aoi_of[i] == aoi_index]
+                assert np.isclose(instance.aoi_arrival_times[aoi_index],
+                                  instance.arrival_times[members].min())
+
+    def test_deadlines_after_accept(self, dataset):
+        for instance in dataset:
+            for location in instance.locations:
+                assert location.deadline > location.accept_time
+                assert location.accept_time < instance.request_time
+
+    def test_route_time_coupling(self, dataset):
+        """Later route positions have later arrival times (by construction),
+        and travel time between consecutive stops is bounded below by
+        distance/speed."""
+        instance = dataset[0]
+        speed = instance.courier.speed  # clear-weather upper bound
+        position = instance.courier_position
+        previous_arrival = 0.0
+        for location_index in instance.route:
+            location = instance.locations[location_index]
+            min_travel = location.distance_to(*position) / speed
+            arrival = instance.arrival_times[location_index]
+            assert arrival >= previous_arrival + min_travel * 0.69  # storm factor
+            previous_arrival = arrival
+            position = location.coord
+
+
+class TestTransferStatistics:
+    def test_day_simulation_shape(self):
+        world = small_world()
+        day = world.simulate_courier_day(0, 0, num_locations=52,
+                                         num_aois=7, seed=3)
+        assert day.num_locations == 52
+        assert day.num_aois <= 7
+
+    def test_transfer_ratio_matches_paper_phenomenon(self):
+        """Paper: ~51 location transfers vs ~6 AOI transfers per day."""
+        world = small_world()
+        days = [world.simulate_courier_day(c % 3, 0, seed=c)
+                for c in range(6)]
+        location_transfers, aoi_transfers = transfer_statistics(days)
+        assert location_transfers > 45
+        assert aoi_transfers < 10
+        assert location_transfers / aoi_transfers > 5
+
+    def test_transfer_statistics_simple_case(self, dataset):
+        location_transfers, aoi_transfers = transfer_statistics(list(dataset))
+        assert aoi_transfers <= location_transfers
+
+
+class TestCourierPreferenceSignal:
+    def test_preferred_types_visited_earlier(self):
+        """Across many instances, a courier's top-preference AOI types
+        should appear earlier in the AOI route than bottom ones."""
+        config = GeneratorConfig(num_aois=60, num_couriers=2, num_days=30,
+                                 instances_per_courier_day=2, seed=11,
+                                 urgency_strength=0.0,
+                                 route_noise_meters=50.0)
+        world = SyntheticWorld(config)
+        courier = world.couriers[0]
+        top = set(courier.aoi_type_preference[:2])
+        bottom = set(courier.aoi_type_preference[-2:])
+        top_positions, bottom_positions = [], []
+        for instance in world.generate():
+            if instance.courier.courier_id != 0 or instance.num_aois < 3:
+                continue
+            for position, aoi_index in enumerate(instance.aoi_route):
+                aoi_type = instance.aois[aoi_index].aoi_type
+                relative = position / (instance.num_aois - 1)
+                if aoi_type in top:
+                    top_positions.append(relative)
+                elif aoi_type in bottom:
+                    bottom_positions.append(relative)
+        assert np.mean(top_positions) < np.mean(bottom_positions)

@@ -1,0 +1,141 @@
+"""Tests for perturbation transforms and the robustness sweep."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    drop_locations,
+    drop_random_locations,
+    jitter_coordinates,
+    perturb_deadlines,
+    robustness_sweep,
+)
+
+
+class TestJitter:
+    def test_zero_sigma_identity(self, dataset, rng):
+        instance = dataset[0]
+        jittered = jitter_coordinates(instance, 0.0, rng)
+        assert np.allclose(jittered.location_coords(),
+                           instance.location_coords())
+
+    def test_negative_sigma_rejected(self, dataset, rng):
+        with pytest.raises(ValueError):
+            jitter_coordinates(dataset[0], -1.0, rng)
+
+    def test_displacement_scale(self, dataset):
+        instance = dataset[0]
+        rng = np.random.default_rng(0)
+        jittered = jitter_coordinates(instance, 50.0, rng)
+        from repro.data import geo_distance_meters
+        displacements = [
+            geo_distance_meters(*a.coord, *b.coord)
+            for a, b in zip(instance.locations, jittered.locations)
+        ]
+        assert 0 < np.mean(displacements) < 300
+
+    def test_labels_unchanged(self, dataset, rng):
+        instance = dataset[0]
+        jittered = jitter_coordinates(instance, 100.0, rng)
+        assert np.array_equal(jittered.route, instance.route)
+        assert np.allclose(jittered.arrival_times, instance.arrival_times)
+
+    def test_input_not_mutated(self, dataset, rng):
+        instance = dataset[0]
+        coords_before = instance.location_coords().copy()
+        jitter_coordinates(instance, 100.0, rng)
+        assert np.allclose(instance.location_coords(), coords_before)
+
+    def test_result_validates(self, dataset, rng):
+        jitter_coordinates(dataset[0], 200.0, rng).validate()
+
+
+class TestDeadlinePerturbation:
+    def test_zero_sigma_identity(self, dataset, rng):
+        instance = dataset[0]
+        perturbed = perturb_deadlines(instance, 0.0, rng)
+        assert all(a.deadline == b.deadline for a, b in
+                   zip(instance.locations, perturbed.locations))
+
+    def test_negative_rejected(self, dataset, rng):
+        with pytest.raises(ValueError):
+            perturb_deadlines(dataset[0], -5.0, rng)
+
+    def test_deadlines_moved(self, dataset, rng):
+        instance = dataset[0]
+        perturbed = perturb_deadlines(instance, 30.0, rng)
+        moved = [a.deadline != b.deadline for a, b in
+                 zip(instance.locations, perturbed.locations)]
+        assert any(moved)
+
+
+class TestDropLocations:
+    def test_keep_all_identity(self, dataset):
+        instance = dataset[0]
+        kept = drop_locations(instance, range(instance.num_locations))
+        assert kept.num_locations == instance.num_locations
+        assert np.array_equal(kept.route, instance.route)
+
+    def test_subset_preserves_relative_order(self, dataset):
+        instance = next(i for i in dataset if i.num_locations >= 5)
+        keep = list(range(instance.num_locations))[::2]
+        reduced = drop_locations(instance, keep)
+        # Reconstruct the original relative order of the kept subset.
+        kept_in_route_order = [i for i in instance.route if i in set(keep)]
+        expected = [sorted(keep).index(i) for i in kept_in_route_order]
+        assert reduced.route.tolist() == expected
+
+    def test_result_validates(self, dataset):
+        instance = next(i for i in dataset if i.num_locations >= 5)
+        drop_locations(instance, [0, 2, 4]).validate()
+
+    def test_empty_keep_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            drop_locations(dataset[0], [])
+
+    def test_out_of_range_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            drop_locations(dataset[0], [999])
+
+    def test_aois_pruned(self, dataset):
+        instance = next(i for i in dataset if i.num_aois >= 3)
+        # Keep exactly the members of the first-visited AOI.
+        aoi_of = instance.aoi_index_of_location()
+        first_aoi = aoi_of[instance.route[0]]
+        keep = [i for i in range(instance.num_locations)
+                if aoi_of[i] == first_aoi]
+        reduced = drop_locations(instance, keep)
+        assert reduced.num_aois == 1
+        assert reduced.aoi_route.tolist() == [0]
+
+    def test_drop_random_fraction(self, dataset, rng):
+        instance = next(i for i in dataset if i.num_locations >= 8)
+        reduced = drop_random_locations(instance, 0.5, rng)
+        assert 2 <= reduced.num_locations <= instance.num_locations
+        reduced.validate()
+
+    def test_drop_random_invalid_fraction(self, dataset, rng):
+        with pytest.raises(ValueError):
+            drop_random_locations(dataset[0], 0.0, rng)
+
+
+class TestRobustnessSweep:
+    def test_monotone_degradation_signal(self, splits):
+        """A distance-based router degrades as GPS noise grows."""
+        from repro.baselines import DistanceGreedy
+        from repro.metrics import kendall_rank_correlation
+        train, _, test = splits
+        baseline = DistanceGreedy().fit(train)
+
+        def predict(instance):
+            prediction = baseline.predict(instance)
+            return prediction.route, prediction.arrival_times
+
+        def metric(route, times, instance):
+            return kendall_rank_correlation(route, instance.route)
+
+        scores = robustness_sweep(
+            predict, list(test), noise_levels=[0.0, 2000.0],
+            transform=jitter_coordinates, metric=metric)
+        assert len(scores) == 2
+        assert scores[1] < scores[0]  # heavy noise clearly hurts

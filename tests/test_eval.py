@@ -1,0 +1,113 @@
+"""Tests for the evaluation harness: buckets, tables, profiler, cases."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DistanceGreedy
+from repro.eval import (
+    COMPLEXITY,
+    aoi_switch_count,
+    baseline_predictor,
+    build_case_study,
+    evaluate_method,
+    format_latency_table,
+    format_table,
+    model_predictor,
+    profile_method,
+    select_interesting_cases,
+)
+
+
+@pytest.fixture(scope="module")
+def greedy_predictor(splits):
+    train, _, _ = splits
+    return baseline_predictor(DistanceGreedy().fit(train))
+
+
+class TestEvaluateMethod:
+    def test_bucket_reports(self, splits, greedy_predictor):
+        _, _, test = splits
+        evaluation = evaluate_method("greedy", greedy_predictor, test)
+        assert "all" in evaluation.buckets
+        report = evaluation.buckets["all"]
+        assert 0 <= report.hr_at_3 <= 100
+        assert -1 <= report.krc <= 1
+        assert report.num_instances == len(test)
+
+    def test_bucket_counts_sum(self, splits, greedy_predictor):
+        _, _, test = splits
+        evaluation = evaluate_method("greedy", greedy_predictor, test)
+        total = evaluation.buckets["all"].num_instances
+        partial = sum(
+            evaluation.buckets[b].num_instances
+            for b in ("(3-10]", "(10-20]") if b in evaluation.buckets)
+        tiny = sum(1 for i in test if i.num_locations <= 3)
+        assert partial + tiny == total
+
+    def test_model_predictor_adapter(self, splits, graph):
+        from repro.core import M2G4RTP, M2G4RTPConfig
+        _, _, test = splits
+        model = M2G4RTP(M2G4RTPConfig(hidden_dim=16, num_heads=2,
+                                      num_encoder_layers=1))
+        predictor = model_predictor(model)
+        route, times = predictor(test[0])
+        assert sorted(route.tolist()) == list(range(test[0].num_locations))
+        assert times.shape == (test[0].num_locations,)
+
+    def test_format_table_route_and_time(self, splits, greedy_predictor):
+        _, _, test = splits
+        evaluation = evaluate_method("greedy", greedy_predictor, test)
+        route_table = format_table([evaluation], "route")
+        time_table = format_table([evaluation], "time")
+        assert "HR@3" in route_table and "greedy" in route_table
+        assert "RMSE" in time_table
+
+    def test_format_table_bad_kind(self, splits, greedy_predictor):
+        _, _, test = splits
+        evaluation = evaluate_method("greedy", greedy_predictor, test)
+        with pytest.raises(ValueError):
+            format_table([evaluation], "bogus")
+
+
+class TestProfiler:
+    def test_latency_report(self, splits, greedy_predictor):
+        _, _, test = splits
+        report = profile_method("Distance-Greedy", greedy_predictor,
+                                list(test)[:5])
+        assert report.mean_ms > 0
+        assert report.p95_ms >= report.p50_ms * 0.5
+        assert report.num_queries == 5
+        assert report.complexity == COMPLEXITY["Distance-Greedy"]
+
+    def test_empty_instances_rejected(self, greedy_predictor):
+        with pytest.raises(ValueError):
+            profile_method("x", greedy_predictor, [])
+
+    def test_format_latency_table(self, splits, greedy_predictor):
+        _, _, test = splits
+        report = profile_method("Distance-Greedy", greedy_predictor,
+                                list(test)[:3])
+        table = format_latency_table([report])
+        assert "Inference Time Complexity" in table
+        assert "Distance-Greedy" in table
+
+
+class TestCaseStudy:
+    def test_selection_prefers_rich_instances(self, dataset):
+        cases = select_interesting_cases(list(dataset), count=2)
+        assert len(cases) == 2
+        assert cases[0].num_locations >= cases[1].num_locations
+        assert all(case.num_aois >= 2 for case in cases)
+
+    def test_build_and_render(self, splits, greedy_predictor):
+        _, _, test = splits
+        case = build_case_study(test[0], {"greedy": greedy_predictor})
+        assert len(case.results) == 1
+        text = case.render()
+        assert "true route" in text and "greedy" in text
+        assert np.isfinite(case.results[0].rmse)
+
+    def test_aoi_switch_count(self):
+        aoi_of = np.array([0, 0, 1, 1])
+        assert aoi_switch_count(np.array([0, 1, 2, 3]), aoi_of) == 1
+        assert aoi_switch_count(np.array([0, 2, 1, 3]), aoi_of) == 3

@@ -1,0 +1,99 @@
+"""Tests for the error-analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DistanceGreedy
+from repro.eval import (
+    baseline_predictor,
+    breakdown_by,
+    calibration_report,
+    format_breakdown,
+    position_error_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def predictor(splits):
+    train, _, _ = splits
+    return baseline_predictor(DistanceGreedy().fit(train))
+
+
+class TestPositionErrorCurve:
+    def test_positions_covered(self, predictor, splits):
+        _, _, test = splits
+        curve = position_error_curve(predictor, list(test))
+        assert curve.positions[0] == 1
+        assert np.all(curve.mae >= 0)
+        assert np.all(curve.counts > 0)
+        # Every instance contributes a position-1 location.
+        assert curve.counts[0] == len(test)
+
+    def test_perfect_predictor_zero_curve(self, splits):
+        _, _, test = splits
+
+        def oracle(instance):
+            return instance.route, instance.arrival_times
+
+        curve = position_error_curve(oracle, list(test))
+        assert np.allclose(curve.mae, 0.0)
+
+    def test_render(self, predictor, splits):
+        _, _, test = splits
+        curve = position_error_curve(predictor, list(test))
+        text = curve.render()
+        assert "MAE(min)" in text
+        assert len(text.splitlines()) == curve.positions.size + 1
+
+
+class TestCalibration:
+    def test_oracle_slope_one(self, splits):
+        _, _, test = splits
+
+        def oracle(instance):
+            return instance.route, instance.arrival_times
+
+        report = calibration_report(oracle, list(test))
+        assert np.isclose(report.slope, 1.0)
+        assert np.isclose(report.mean_bias, 0.0, atol=1e-9)
+        assert np.isclose(report.correlation, 1.0)
+
+    def test_biased_predictor_detected(self, splits):
+        _, _, test = splits
+
+        def biased(instance):
+            return instance.route, instance.arrival_times + 15.0
+
+        report = calibration_report(biased, list(test))
+        assert report.mean_bias > 14.0
+        assert "bias=+" in report.render()
+
+    def test_requires_data(self):
+        with pytest.raises(ValueError):
+            calibration_report(lambda i: ([], []), [])
+
+
+class TestBreakdown:
+    def test_by_weather_groups(self, predictor, splits):
+        _, _, test = splits
+        breakdown = breakdown_by(predictor, list(test),
+                                 key=lambda i: i.weather)
+        total = sum(int(stats["count"]) for stats in breakdown.values())
+        assert total == len(test)
+        for stats in breakdown.values():
+            assert -1 <= stats["krc"] <= 1
+            assert stats["time_mae"] >= 0
+
+    def test_by_bucket(self, predictor, splits):
+        _, _, test = splits
+        breakdown = breakdown_by(
+            predictor, list(test),
+            key=lambda i: "small" if i.num_locations <= 10 else "large")
+        assert set(breakdown) <= {"small", "large"}
+
+    def test_format(self, predictor, splits):
+        _, _, test = splits
+        breakdown = breakdown_by(predictor, list(test),
+                                 key=lambda i: i.weekday)
+        text = format_breakdown(breakdown, "weekday")
+        assert "KRC" in text and "weekday" in text

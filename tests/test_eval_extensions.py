@@ -1,0 +1,103 @@
+"""Tests for seed-variance aggregation and SVG case rendering."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DistanceGreedy, TimeGreedy
+from repro.eval import (
+    MeanStd,
+    baseline_predictor,
+    build_case_study,
+    evaluate_over_seeds,
+    format_seeded_table,
+    render_case_svg,
+    write_case_svgs,
+)
+
+
+class TestMeanStd:
+    def test_format(self):
+        assert str(MeanStd(74.456, 0.011)) == "74.46±0.01"
+
+
+class TestEvaluateOverSeeds:
+    def _factory(self, splits):
+        train, _, _ = splits
+
+        def factory(seed):
+            # A deterministic heuristic: seeds produce identical output,
+            # so the std must be exactly zero.
+            return baseline_predictor(DistanceGreedy().fit(train))
+        return factory
+
+    def test_requires_seeds(self, splits):
+        _, _, test = splits
+        with pytest.raises(ValueError):
+            evaluate_over_seeds("x", self._factory(splits), test, seeds=[])
+
+    def test_deterministic_predictor_zero_std(self, splits):
+        _, _, test = splits
+        result = evaluate_over_seeds(
+            "greedy", self._factory(splits), test, seeds=[0, 1, 2])
+        cell = result.cell("all", "krc")
+        assert cell.std == 0.0
+        assert -1 <= cell.mean <= 1
+
+    def test_varying_predictor_nonzero_std(self, splits, rng):
+        _, _, test = splits
+
+        def factory(seed):
+            local = np.random.default_rng(seed)
+
+            def predict(instance):
+                route = local.permutation(instance.num_locations)
+                times = local.uniform(0, 100, instance.num_locations)
+                return route, times
+            return predict
+
+        result = evaluate_over_seeds("random", factory, test, seeds=[1, 2, 3])
+        assert result.cell("all", "mae").std > 0
+
+    def test_row_and_table_formatting(self, splits):
+        _, _, test = splits
+        result = evaluate_over_seeds(
+            "greedy", self._factory(splits), test, seeds=[0, 1])
+        route_row = result.row("all", "route")
+        assert route_row.count("±") == 3
+        table = format_seeded_table([result], "time")
+        assert "greedy" in table and "±" in table
+        with pytest.raises(ValueError):
+            result.row("all", "bogus")
+
+
+class TestSVG:
+    @pytest.fixture
+    def case(self, splits):
+        train, _, test = splits
+        predictors = {
+            "greedy": baseline_predictor(DistanceGreedy().fit(train)),
+            "time": baseline_predictor(TimeGreedy().fit(train)),
+        }
+        instance = next(i for i in test if i.num_aois >= 2)
+        return build_case_study(instance, predictors)
+
+    def test_render_valid_svg(self, case):
+        svg = render_case_svg(case)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        # 3 panels: true + 2 methods.
+        assert svg.count("<polyline") == 3
+        # Every location appears as a dot in every panel.
+        assert svg.count("<circle") == 3 * case.instance.num_locations
+
+    def test_write_case_svgs(self, case, tmp_path):
+        paths = write_case_svgs([case, case], tmp_path, prefix="demo")
+        assert [p.name for p in paths] == ["demo1.svg", "demo2.svg"]
+        for path in paths:
+            assert path.exists()
+            assert "<svg" in path.read_text()
+
+    def test_panel_count_matches_methods(self, case):
+        svg = render_case_svg(case)
+        assert "true route" in svg
+        assert "greedy" in svg and "time" in svg

@@ -1,0 +1,49 @@
+"""Smoke checks for the example scripts.
+
+Examples are exercised end-to-end manually (they train real models);
+here we guarantee they at least parse, import only public API, and
+carry usage documentation.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert {"quickstart.py", "order_sorting_service.py",
+            "eta_service.py", "compare_baselines.py",
+            "lade_pipeline.py", "dynamic_replay.py",
+            "run_experiment.py"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+class TestExampleFiles:
+    def test_parses(self, path):
+        ast.parse(path.read_text())
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} missing docstring"
+
+    def test_has_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+
+    def test_imports_only_repro_and_stdlib(self, path):
+        tree = ast.parse(path.read_text())
+        allowed_roots = {"repro", "numpy", "sys", "tempfile", "pathlib"}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                roots = {alias.name.split(".")[0] for alias in node.names}
+            elif isinstance(node, ast.ImportFrom):
+                roots = {(node.module or "").split(".")[0]}
+            else:
+                continue
+            assert roots <= allowed_roots, (
+                f"{path.name} imports outside the public surface: {roots}")

@@ -1,0 +1,78 @@
+"""Tests for the declarative experiments package."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentSpec,
+    KNOWN_METHODS,
+    KNOWN_VARIANTS,
+    REGISTRY,
+    get_spec,
+    run_experiment,
+)
+
+
+class TestSpecs:
+    def test_registry_contains_paper_experiments(self):
+        assert {"table3", "table4", "fig5", "smoke"} <= set(REGISTRY)
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(KeyError):
+            get_spec("bogus")
+
+    def test_spec_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", description="", methods=("NotAModel",))
+
+    def test_spec_rejects_unknown_variant(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", description="", methods=(),
+                           variants=("w/o everything",))
+
+    def test_all_table_methods_known(self):
+        spec = get_spec("table3")
+        assert set(spec.methods) <= set(KNOWN_METHODS)
+        assert set(get_spec("fig5").variants) == set(KNOWN_VARIANTS)
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_experiment("smoke")
+
+
+class TestRunner:
+    def test_smoke_runs_both_methods(self, smoke_result):
+        assert set(smoke_result.metrics) == {"Distance-Greedy", "M2G4RTP"}
+        assert smoke_result.seconds > 0
+
+    def test_metric_grid_shape(self, smoke_result):
+        for buckets in smoke_result.metrics.values():
+            assert "all" in buckets
+            assert {"hr_at_3", "krc", "lsd", "rmse", "mae",
+                    "acc_at_20"} <= set(buckets["all"])
+
+    def test_json_roundtrip(self, smoke_result, tmp_path):
+        path = tmp_path / "result.json"
+        smoke_result.save(path)
+        loaded = ExperimentResult.load(path)
+        assert loaded.spec_name == smoke_result.spec_name
+        assert loaded.metrics == smoke_result.metrics
+
+    def test_markdown_rendering(self, smoke_result):
+        markdown = smoke_result.render_markdown("route")
+        assert markdown.startswith("| Method |")
+        assert "M2G4RTP" in markdown
+        with pytest.raises(ValueError):
+            smoke_result.render_markdown("bogus")
+
+    def test_best_selector(self, smoke_result):
+        winner = smoke_result.best("krc", higher_is_better=True)
+        assert winner in smoke_result.metrics
+        loser_metric = smoke_result.best("mae", higher_is_better=False)
+        assert loser_metric in smoke_result.metrics
+
+    def test_best_unknown_bucket(self, smoke_result):
+        with pytest.raises(KeyError):
+            smoke_result.best("krc", bucket="(99-100]")

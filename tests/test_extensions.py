@@ -1,0 +1,103 @@
+"""Tests for scheduled sampling and the DeepETA time-only baseline."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.baselines import DeepBaselineConfig, DeepETA, DistanceGreedy
+from repro.core import M2G4RTP, M2G4RTPConfig, RouteDecoder, RTPTargets
+from repro.training import Trainer, TrainerConfig
+
+
+class TestScheduledSampling:
+    @pytest.fixture
+    def decoder(self, rng):
+        return RouteDecoder(node_dim=6, state_dim=8, courier_dim=3, rng=rng,
+                            restrict_to_neighbors=False)
+
+    def test_zero_prob_matches_teacher_forcing(self, decoder, rng):
+        nodes = Tensor(rng.normal(size=(6, 6)))
+        teacher = np.array([3, 1, 5, 0, 4, 2])
+        output = decoder(nodes, Tensor(np.zeros(3)), teacher_route=teacher,
+                         sample_prob=0.0)
+        assert np.array_equal(output.route, teacher)
+        assert np.array_equal(output.step_targets, teacher)
+
+    def test_sampling_requires_rng(self, decoder, rng):
+        nodes = Tensor(rng.normal(size=(4, 6)))
+        with pytest.raises(ValueError):
+            decoder(nodes, Tensor(np.zeros(3)),
+                    teacher_route=np.arange(4), sample_prob=0.5)
+
+    def test_full_sampling_still_supervised(self, decoder, rng):
+        nodes = Tensor(rng.normal(size=(6, 6)))
+        teacher = np.array([3, 1, 5, 0, 4, 2])
+        output = decoder(nodes, Tensor(np.zeros(3)), teacher_route=teacher,
+                         sample_prob=1.0, rng=np.random.default_rng(0))
+        # The decoded route is the model's own choice (a permutation)...
+        assert sorted(output.route.tolist()) == list(range(6))
+        # ... while targets stay aligned with the true ordering: each
+        # target is the earliest unvisited node of the teacher route.
+        visited = set()
+        rank = {int(node): position for position, node in enumerate(teacher)}
+        for step in range(6):
+            expected = min((i for i in range(6) if i not in visited),
+                           key=lambda i: rank[i])
+            assert output.step_targets[step] == expected
+            visited.add(int(output.route[step]))
+
+    def test_model_forward_with_sampling(self, graph, instance):
+        model = M2G4RTP(M2G4RTPConfig(hidden_dim=16, num_heads=2,
+                                      num_encoder_layers=1))
+        output = model(graph, RTPTargets.from_instance(instance),
+                       sample_prob=0.8, rng=np.random.default_rng(1))
+        assert np.isfinite(float(output.total_loss.data))
+
+    def test_trainer_with_scheduled_sampling(self, splits):
+        train, _, _ = splits
+        model = M2G4RTP(M2G4RTPConfig(hidden_dim=16, num_heads=2,
+                                      num_encoder_layers=1))
+        config = TrainerConfig(epochs=3, scheduled_sampling=0.5)
+        history = Trainer(model, config).fit(train[:8])
+        assert history.num_epochs == 3
+        assert all(np.isfinite(loss) for loss in history.train_loss)
+
+
+class TestDeepETA:
+    def test_fit_predict_valid(self, splits):
+        train, _, test = splits
+        model = DeepETA(DeepBaselineConfig(epochs=2)).fit(train[:10])
+        instance = test[0]
+        prediction = model.predict(instance)
+        assert sorted(prediction.route.tolist()) == list(
+            range(instance.num_locations))
+        assert prediction.arrival_times.shape == (instance.num_locations,)
+
+    def test_route_comes_from_provider(self, splits):
+        train, _, test = splits
+        provider = DistanceGreedy()
+        model = DeepETA(DeepBaselineConfig(epochs=1),
+                        route_provider=provider).fit(train[:6])
+        instance = test[0]
+        assert np.array_equal(model.predict(instance).route,
+                              provider.predict(instance).route)
+
+    def test_training_improves_time_error(self, splits):
+        from repro.metrics import mae
+        train, _, _ = splits
+        subset = train[:12]
+        model = DeepETA(DeepBaselineConfig(epochs=4, seed=2))
+        model.route_provider.fit(subset)
+
+        def score():
+            errors = []
+            for instance in subset:
+                prediction = model.predict(instance)
+                errors.append(mae(prediction.arrival_times,
+                                  instance.arrival_times))
+            return float(np.mean(errors))
+
+        before = score()
+        model.fit(subset)
+        after = score()
+        assert after < before

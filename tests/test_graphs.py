@@ -1,0 +1,140 @@
+"""Tests for k-NN connectivity and the multi-level graph builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import pairwise_distance_matrix
+from repro.graphs import (
+    EDGE_FEATURES,
+    GraphBuilder,
+    LOCATION_NODE_FEATURES,
+    build_graphs,
+    connectivity_matrix,
+    knn_adjacency,
+)
+
+
+class TestKnnAdjacency:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            knn_adjacency(np.zeros((2, 3)), 1)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            knn_adjacency(np.zeros((3, 3)), -1)
+
+    def test_single_node(self):
+        assert not knn_adjacency(np.zeros((1, 1)), 3).any()
+
+    def test_k_zero_empty(self):
+        assert not knn_adjacency(np.ones((4, 4)), 0).any()
+
+    def test_line_graph_neighbors(self):
+        # Points on a line at 0, 1, 2, 10: with k=1 the pairs (0,1),(1,2)
+        # connect, and 10 connects to 2 (its nearest).
+        positions = np.array([0.0, 1.0, 2.0, 10.0])
+        cost = np.abs(positions[:, None] - positions[None, :])
+        adjacency = knn_adjacency(cost, 1)
+        assert adjacency[0, 1] and adjacency[1, 0]
+        assert adjacency[3, 2] and adjacency[2, 3]  # symmetrised
+        assert not adjacency[0, 3]
+
+    def test_symmetric(self, rng):
+        cost = rng.random((8, 8))
+        cost = (cost + cost.T) / 2
+        adjacency = knn_adjacency(cost, 2)
+        assert np.array_equal(adjacency, adjacency.T)
+
+    def test_k_larger_than_n_connects_everything(self, rng):
+        cost = rng.random((5, 5))
+        cost = (cost + cost.T) / 2
+        adjacency = knn_adjacency(cost, 10)
+        off_diagonal = adjacency | np.eye(5, dtype=bool)
+        assert off_diagonal.all()
+
+    @given(st.integers(2, 12), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_each_row_has_at_least_k_neighbors(self, n, k):
+        rng = np.random.default_rng(n * 13 + k)
+        coords = rng.random((n, 2))
+        cost = np.linalg.norm(coords[:, None] - coords[None, :], axis=-1)
+        adjacency = knn_adjacency(cost, k)
+        effective = min(k, n - 1)
+        assert np.all(adjacency.sum(axis=1) >= effective)
+
+
+class TestConnectivity:
+    def test_self_loops_present(self, rng):
+        distance = rng.random((6, 6))
+        distance = (distance + distance.T) / 2
+        gap = rng.random((6, 6))
+        connectivity = connectivity_matrix(distance, gap, 2)
+        assert np.all(np.diag(connectivity))
+
+    def test_union_of_spatial_and_temporal(self):
+        # Two clusters far apart spatially but adjacent temporally.
+        distance = np.array([[0.0, 1.0, 100.0],
+                             [1.0, 0.0, 100.0],
+                             [100.0, 100.0, 0.0]])
+        gap = np.array([[0.0, 50.0, 1.0],
+                        [50.0, 0.0, 50.0],
+                        [1.0, 50.0, 0.0]])
+        connectivity = connectivity_matrix(distance, gap, 1)
+        assert connectivity[0, 1]  # spatial neighbour
+        assert connectivity[0, 2]  # temporal neighbour
+
+
+class TestGraphBuilder:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(k_neighbors=0)
+
+    def test_shapes(self, graph, instance):
+        n, m = instance.num_locations, instance.num_aois
+        assert graph.location.continuous.shape == (n, len(LOCATION_NODE_FEATURES))
+        assert graph.location.discrete.shape == (n, 2)
+        assert graph.location.edge_features.shape == (n, n, len(EDGE_FEATURES))
+        assert graph.location.adjacency.shape == (n, n)
+        assert graph.aoi.continuous.shape[0] == m
+        assert graph.aoi_of_location.shape == (n,)
+        assert graph.courier_profile.shape == (3,)
+        assert graph.global_discrete.shape == (2,)
+
+    def test_distance_feature_consistent(self, graph, instance):
+        coords = instance.location_coords()
+        expected = pairwise_distance_matrix(coords) / 1000.0
+        assert np.allclose(graph.location.distance_km, expected)
+        assert np.allclose(graph.location.edge_features[..., 0], expected)
+
+    def test_connectivity_feature_matches_adjacency(self, graph):
+        assert np.array_equal(
+            graph.location.edge_features[..., 2].astype(bool),
+            graph.location.adjacency)
+
+    def test_slack_feature_positive_before_deadline(self, graph, instance):
+        slack_hours = graph.location.continuous[:, 5]
+        for location, slack in zip(instance.locations, slack_hours):
+            assert np.isclose(slack, (location.deadline - instance.request_time) / 60.0)
+
+    def test_aoi_member_count(self, graph, instance):
+        counts = graph.aoi.continuous[:, 5]
+        assert counts.sum() == instance.num_locations
+
+    def test_discrete_features_in_vocab(self, graph, builder):
+        assert np.all(graph.location.discrete[:, 0] < builder.num_aoi_ids)
+        assert np.all(graph.location.discrete[:, 1] < builder.num_aoi_types)
+
+    def test_courier_id_threaded(self, graph, instance):
+        assert graph.courier_id == instance.courier.courier_id
+
+    def test_build_graphs_bulk(self, dataset, builder):
+        graphs = build_graphs(list(dataset)[:4], builder)
+        assert set(graphs) == {0, 1, 2, 3}
+
+    def test_features_are_order1(self, dataset, builder):
+        """Scaling convention: every continuous feature is O(1)-ish."""
+        for instance in list(dataset)[:10]:
+            graph = builder.build(instance)
+            assert np.all(np.abs(graph.location.continuous) < 50)
+            assert np.all(np.abs(graph.aoi.continuous) < 50)

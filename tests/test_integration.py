@@ -1,0 +1,85 @@
+"""Integration tests: full pipelines from generation to evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DistanceGreedy, TimeGreedy
+from repro.core import M2G4RTP, M2G4RTPConfig
+from repro.data import GeneratorConfig, RTPDataset, SyntheticWorld, read_csv, write_csv
+from repro.eval import baseline_predictor, evaluate_method, model_predictor
+from repro.service import ETAService, OrderSortingService, RTPRequest, RTPService
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def trained(splits):
+    train, val, _ = splits
+    model = M2G4RTP(M2G4RTPConfig(hidden_dim=24, num_heads=2,
+                                  num_encoder_layers=1, seed=5))
+    trainer = Trainer(model, TrainerConfig(epochs=14, patience=6))
+    history = trainer.fit(train, val)
+    return model, history
+
+
+class TestEndToEnd:
+    def test_trained_model_beats_random_routes(self, trained, splits, rng):
+        model, _ = trained
+        _, _, test = splits
+        from repro.metrics import kendall_rank_correlation
+        predictor = model_predictor(model)
+        model_scores, random_scores = [], []
+        for instance in test:
+            route, _ = predictor(instance)
+            model_scores.append(
+                kendall_rank_correlation(route, instance.route))
+            random_scores.append(kendall_rank_correlation(
+                rng.permutation(instance.num_locations), instance.route))
+        assert np.mean(model_scores) > np.mean(random_scores) + 0.1
+
+    def test_trained_model_beats_time_greedy_on_time(self, trained, splits):
+        model, _ = trained
+        train, _, test = splits
+        ours = evaluate_method("ours", model_predictor(model), test)
+        greedy = evaluate_method(
+            "greedy", baseline_predictor(TimeGreedy().fit(train)), test)
+        assert ours.buckets["all"].mae < greedy.buckets["all"].mae
+
+    def test_history_converged(self, trained):
+        _, history = trained
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_service_pipeline_on_trained_model(self, trained, splits):
+        model, _ = trained
+        _, _, test = splits
+        service = RTPService(model)
+        sorting = OrderSortingService(service)
+        eta = ETAService(service)
+        for instance in list(test)[:3]:
+            request = RTPRequest.from_instance(instance)
+            orders = sorting.sort_orders(request)
+            assert len(orders) == instance.num_locations
+            entries = eta.etas(request)
+            assert len(entries) == instance.num_locations
+
+    def test_csv_roundtrip_preserves_evaluation(self, splits, tmp_path):
+        train, _, test = splits
+        path = tmp_path / "test.csv"
+        write_csv(list(test), path)
+        reloaded = read_csv(path)
+        baseline = DistanceGreedy().fit(train)
+        original = evaluate_method(
+            "greedy", baseline_predictor(baseline), test)
+        roundtrip = evaluate_method(
+            "greedy", baseline_predictor(baseline), reloaded)
+        assert np.isclose(original.buckets["all"].hr_at_3,
+                          roundtrip.buckets["all"].hr_at_3)
+        assert np.isclose(original.buckets["all"].mae,
+                          roundtrip.buckets["all"].mae, rtol=1e-6)
+
+    def test_generation_scales(self):
+        config = GeneratorConfig(num_aois=25, num_couriers=2, num_days=3,
+                                 instances_per_courier_day=1, seed=77)
+        dataset = RTPDataset(SyntheticWorld(config).generate())
+        assert len(dataset) == 2 * 3 * 1
+        for instance in dataset:
+            instance.validate()

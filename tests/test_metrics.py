@@ -1,0 +1,194 @@
+"""Unit + property tests for route and time metrics (Eqs. 42-45)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    MetricReport,
+    RoutePrediction,
+    TimePrediction,
+    accuracy_within,
+    combined_report,
+    evaluate_route_predictions,
+    evaluate_time_predictions,
+    hit_rate_at_k,
+    kendall_rank_correlation,
+    location_square_deviation,
+    mae,
+    ranks_from_route,
+    rmse,
+)
+
+permutations = st.integers(2, 12).flatmap(
+    lambda n: st.permutations(list(range(n))))
+
+
+class TestRanks:
+    def test_ranks_inverse(self):
+        assert ranks_from_route([2, 0, 1]).tolist() == [1, 2, 0]
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            ranks_from_route([0, 0, 2])
+
+
+class TestHitRate:
+    def test_identical_routes(self):
+        assert hit_rate_at_k([0, 1, 2, 3], [0, 1, 2, 3], 3) == 1.0
+
+    def test_disjoint_prefixes(self):
+        assert hit_rate_at_k([0, 1, 2, 3, 4, 5],
+                             [3, 4, 5, 0, 1, 2], 3) == 0.0
+
+    def test_set_semantics(self):
+        # Same first-3 set in different order counts fully.
+        assert hit_rate_at_k([0, 1, 2, 3], [2, 1, 0, 3], 3) == 1.0
+
+    def test_partial_overlap(self):
+        assert hit_rate_at_k([0, 1, 2, 3], [0, 3, 2, 1], 3) == pytest.approx(2 / 3)
+
+    def test_k_clipped_to_length(self):
+        assert hit_rate_at_k([1, 0], [1, 0], 3) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hit_rate_at_k([0, 1], [0, 1, 2], 3)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            hit_rate_at_k([0, 1], [0, 1], 0)
+
+    @given(permutations)
+    @settings(max_examples=40, deadline=None)
+    def test_self_hit_rate_is_one(self, route):
+        assert hit_rate_at_k(route, list(route), 3) == 1.0
+
+
+class TestKRC:
+    def test_identical_is_one(self):
+        assert kendall_rank_correlation([0, 1, 2, 3], [0, 1, 2, 3]) == 1.0
+
+    def test_reversed_is_minus_one(self):
+        assert kendall_rank_correlation([3, 2, 1, 0], [0, 1, 2, 3]) == -1.0
+
+    def test_singleton_convention(self):
+        assert kendall_rank_correlation([0], [0]) == 1.0
+
+    def test_known_value(self):
+        # pred [0,2,1,3] vs true [0,1,2,3]: one discordant pair of six.
+        value = kendall_rank_correlation([0, 2, 1, 3], [0, 1, 2, 3])
+        assert np.isclose(value, (5 - 1) / 6)
+
+    def test_symmetry(self):
+        a, b = [2, 0, 3, 1], [0, 1, 2, 3]
+        assert np.isclose(kendall_rank_correlation(a, b),
+                          kendall_rank_correlation(b, a))
+
+    @given(permutations)
+    @settings(max_examples=40, deadline=None)
+    def test_bounded(self, route):
+        rng = np.random.default_rng(len(route))
+        other = rng.permutation(len(route)).tolist()
+        value = kendall_rank_correlation(route, other)
+        assert -1.0 <= value <= 1.0
+
+    @given(permutations)
+    @settings(max_examples=40, deadline=None)
+    def test_reversal_negates(self, route):
+        rng = np.random.default_rng(len(route) + 7)
+        other = rng.permutation(len(route)).tolist()
+        forward = kendall_rank_correlation(route, other)
+        backward = kendall_rank_correlation(list(reversed(route)), other)
+        assert np.isclose(forward, -backward)
+
+
+class TestLSD:
+    def test_zero_iff_identical(self):
+        assert location_square_deviation([1, 0, 2], [1, 0, 2]) == 0.0
+
+    def test_known_value(self):
+        # pred [1,0] vs true [0,1]: each location off by one position.
+        assert location_square_deviation([1, 0], [0, 1]) == 1.0
+
+    def test_nonnegative_property(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            n = rng.integers(2, 10)
+            a, b = rng.permutation(n), rng.permutation(n)
+            assert location_square_deviation(a, b) >= 0
+
+    @given(permutations)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric(self, route):
+        rng = np.random.default_rng(len(route) + 3)
+        other = rng.permutation(len(route)).tolist()
+        assert np.isclose(location_square_deviation(route, other),
+                          location_square_deviation(other, route))
+
+
+class TestTimeMetrics:
+    def test_rmse_known(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_mae_known(self):
+        assert mae([0.0, 0.0], [3.0, 4.0]) == 3.5
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        predicted = rng.normal(size=50)
+        actual = rng.normal(size=50)
+        assert rmse(predicted, actual) >= mae(predicted, actual)
+
+    def test_accuracy_within(self):
+        assert accuracy_within([0, 0, 0], [5, 25, 19.9], 20) == pytest.approx(2 / 3)
+
+    def test_accuracy_threshold_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_within([0.0], [0.0], 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mae([], [])
+
+
+class TestReports:
+    def test_route_aggregation(self):
+        predictions = [
+            RoutePrediction(np.array([0, 1, 2]), np.array([0, 1, 2])),
+            RoutePrediction(np.array([2, 1, 0]), np.array([0, 1, 2])),
+        ]
+        result = evaluate_route_predictions(predictions)
+        assert result["hr@3"] == 100.0  # set semantics at k=n
+        assert np.isclose(result["krc"], 0.0)
+
+    def test_time_pooling(self):
+        predictions = [
+            TimePrediction(np.array([0.0]), np.array([10.0])),
+            TimePrediction(np.array([0.0, 0.0]), np.array([30.0, 30.0])),
+        ]
+        result = evaluate_time_predictions(predictions)
+        # Pooled MAE over 3 locations: (10+30+30)/3.
+        assert np.isclose(result["rmse"], np.sqrt((100 + 900 + 900) / 3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_route_predictions([])
+        with pytest.raises(ValueError):
+            evaluate_time_predictions([])
+
+    def test_combined_report_rows(self):
+        report = combined_report(
+            [RoutePrediction(np.array([0, 1]), np.array([0, 1]))],
+            [TimePrediction(np.array([5.0, 5.0]), np.array([5.0, 10.0]))],
+        )
+        assert isinstance(report, MetricReport)
+        assert report.hr_at_3 == 100.0
+        assert report.acc_at_20 == 100.0
+        assert len(report.route_row().split()) == 3
+        assert len(report.time_row().split()) == 3
+        assert report.as_dict()["num_instances"] == 1

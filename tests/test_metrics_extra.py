@@ -1,0 +1,113 @@
+"""Tests for the extra route metrics and paired significance testing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    PairedComparison,
+    edit_distance,
+    normalized_edit_distance,
+    paired_comparison,
+    prefix_accuracy,
+    route_length_meters,
+    route_length_ratio,
+)
+
+permutations = st.integers(2, 10).flatmap(
+    lambda n: st.permutations(list(range(n))))
+
+
+class TestEditDistance:
+    def test_identical_zero(self):
+        assert edit_distance([0, 1, 2], [0, 1, 2]) == 0
+
+    def test_swap_costs_two(self):
+        assert edit_distance([1, 0, 2], [0, 1, 2]) == 2
+
+    def test_normalized_range(self):
+        assert normalized_edit_distance([2, 1, 0], [0, 1, 2]) == pytest.approx(2 / 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            edit_distance([0, 1], [0, 1, 2])
+
+    @given(permutations)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetric_and_bounded(self, route):
+        rng = np.random.default_rng(len(route))
+        other = rng.permutation(len(route)).tolist()
+        d1 = edit_distance(route, other)
+        d2 = edit_distance(other, route)
+        assert d1 == d2
+        assert 0 <= d1 <= len(route)
+        assert d1 != 1  # permutations can't differ in exactly one slot
+
+
+class TestPrefixAccuracy:
+    def test_exact_prefix(self):
+        assert prefix_accuracy([3, 1, 0, 2], [3, 1, 2, 0], k=2) == 1.0
+
+    def test_wrong_first(self):
+        assert prefix_accuracy([1, 0], [0, 1], k=1) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            prefix_accuracy([0, 1], [0, 1], k=0)
+
+    def test_k_clipped(self):
+        assert prefix_accuracy([0, 1], [0, 1], k=10) == 1.0
+
+
+class TestRouteLength:
+    def test_true_route_ratio_is_one(self, dataset):
+        instance = dataset[0]
+        assert route_length_ratio(instance, instance.route) == pytest.approx(1.0)
+
+    def test_longer_route_ratio_above_one(self, dataset):
+        instance = next(i for i in dataset if i.num_locations >= 4)
+        from repro.baselines import ShortestRouteTSP
+        solver = ShortestRouteTSP()
+        shortest = solver.solve(instance)
+        # The heuristic-shortest route is never longer than the true one.
+        assert route_length_ratio(instance, shortest) <= 1.0 + 1e-9
+
+    def test_length_positive(self, dataset):
+        instance = dataset[0]
+        assert route_length_meters(instance, instance.route) > 0
+
+
+class TestPairedComparison:
+    def test_clear_difference_significant(self, rng):
+        a = rng.normal(1.0, 0.1, size=50)
+        b = rng.normal(0.0, 0.1, size=50)
+        result = paired_comparison(a, b, seed=1)
+        assert result.significant
+        assert result.p_value < 0.01
+        assert result.ci_low > 0.5
+
+    def test_no_difference_not_significant(self, rng):
+        shared = rng.normal(0.0, 1.0, size=60)
+        noise = rng.normal(0.0, 0.01, size=60)
+        result = paired_comparison(shared + noise, shared - noise, seed=2)
+        assert result.p_value > 0.01 or not result.significant
+
+    def test_sign_of_mean_difference(self, rng):
+        a = rng.normal(0.0, 0.1, size=30)
+        result = paired_comparison(a, a + 2.0, seed=3)
+        assert result.mean_difference < 0
+        assert result.ci_high < 0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            paired_comparison([1.0], [1.0])
+        with pytest.raises(ValueError):
+            paired_comparison([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            paired_comparison([1.0, 2.0], [1.0, 2.0], confidence=1.5)
+
+    def test_render(self, rng):
+        a = rng.normal(1.0, 0.1, size=20)
+        b = rng.normal(0.0, 0.1, size=20)
+        text = paired_comparison(a, b).render("ours-baseline")
+        assert "ours-baseline" in text and "p=" in text

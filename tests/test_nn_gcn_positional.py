@@ -1,0 +1,106 @@
+"""Tests for the GCN layer and sinusoidal positional encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor
+from repro.nn import (
+    GCN,
+    GCNLayer,
+    normalize_adjacency,
+    position_encoding_table,
+    sinusoidal_position_encoding,
+)
+
+
+class TestNormalizeAdjacency:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            normalize_adjacency(np.ones((2, 3)))
+
+    def test_symmetric_output_for_symmetric_input(self, rng):
+        adjacency = rng.random((5, 5)) > 0.5
+        adjacency = adjacency | adjacency.T
+        normalized = normalize_adjacency(adjacency)
+        assert np.allclose(normalized, normalized.T)
+
+    def test_isolated_node_keeps_self_loop(self):
+        adjacency = np.zeros((3, 3))
+        normalized = normalize_adjacency(adjacency)
+        assert np.allclose(normalized, np.eye(3))
+
+    def test_row_sums_bounded(self, rng):
+        adjacency = (rng.random((6, 6)) > 0.4).astype(float)
+        adjacency = np.maximum(adjacency, adjacency.T)
+        normalized = normalize_adjacency(adjacency)
+        assert np.all(normalized >= 0)
+        # Symmetric normalisation keeps spectral radius <= 1.
+        eigenvalues = np.linalg.eigvalsh(normalized)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+
+class TestGCN:
+    def test_layer_shape(self, rng):
+        layer = GCNLayer(4, 6, rng)
+        adjacency = normalize_adjacency(np.eye(5))
+        assert layer(Tensor(np.zeros((5, 4))), adjacency).shape == (5, 6)
+
+    def test_stack_shape_and_gradients(self, rng):
+        gcn = GCN(4, 8, num_layers=2, rng=rng)
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        adjacency = (rng.random((5, 5)) > 0.5)
+        adjacency = adjacency | adjacency.T
+        out = gcn(x, adjacency)
+        assert out.shape == (5, 8)
+        (out ** 2).sum().backward()
+        assert x.grad is not None
+
+    def test_information_propagates_along_edges(self, rng):
+        gcn = GCN(2, 4, num_layers=2, rng=rng)
+        adjacency = np.zeros((3, 3), dtype=bool)
+        adjacency[0, 1] = adjacency[1, 0] = True
+        x = np.zeros((3, 2))
+        base = gcn(Tensor(x), adjacency).data.copy()
+        x2 = x.copy()
+        x2[0] += 1.0
+        moved = gcn(Tensor(x2), adjacency).data
+        # Node 1 is connected to node 0, node 2 is not.
+        assert not np.allclose(base[1], moved[1])
+        assert np.allclose(base[2], moved[2])
+
+
+class TestPositionalEncoding:
+    def test_values_match_formula(self):
+        encoding = sinusoidal_position_encoding(3, 4)
+        assert np.isclose(encoding[0], np.sin(3 / 10000 ** 0.0))
+        assert np.isclose(encoding[1], np.cos(3 / 10000 ** 0.0))
+        assert np.isclose(encoding[2], np.sin(3 / 10000 ** 0.5))
+
+    def test_rejects_zero_position(self):
+        with pytest.raises(ValueError):
+            sinusoidal_position_encoding(0, 4)
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            sinusoidal_position_encoding(1, 0)
+
+    def test_odd_dim_supported(self):
+        assert sinusoidal_position_encoding(2, 5).shape == (5,)
+
+    def test_table_rows(self):
+        table = position_encoding_table(6, 8)
+        assert table.shape == (6, 8)
+        assert np.allclose(table[0], sinusoidal_position_encoding(1, 8))
+        assert np.allclose(table[5], sinusoidal_position_encoding(6, 8))
+
+    @given(st.integers(1, 100), st.integers(2, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_values_bounded(self, position, dim):
+        encoding = sinusoidal_position_encoding(position, dim)
+        assert np.all(np.abs(encoding) <= 1.0)
+
+    def test_distinct_positions_distinct_codes(self):
+        a = sinusoidal_position_encoding(1, 16)
+        b = sinusoidal_position_encoding(2, 16)
+        assert not np.allclose(a, b)

@@ -1,0 +1,72 @@
+"""Tests for the GRU cell and unrolled GRU."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+from repro.nn import GRU, GRUCell
+
+
+class TestGRUCell:
+    def test_shapes(self, rng):
+        cell = GRUCell(4, 6, rng)
+        assert cell(Tensor(np.zeros(4))).shape == (6,)
+        assert cell(Tensor(np.zeros((3, 4)))).shape == (3, 6)
+
+    def test_state_threading(self, rng):
+        cell = GRUCell(4, 6, rng)
+        x = Tensor(rng.normal(size=4))
+        h1 = cell(x)
+        h2 = cell(x, h1)
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_bounded_output(self, rng):
+        cell = GRUCell(4, 6, rng)
+        h = cell(Tensor(rng.normal(size=4) * 100))
+        assert np.all(np.abs(h.data) <= 1.0)
+
+    def test_zero_update_gate_limits(self, rng):
+        # With h=0 and candidate bounded, h' interpolates toward n.
+        cell = GRUCell(3, 5, rng)
+        h = cell(Tensor(np.zeros(3)))
+        assert np.all(np.isfinite(h.data))
+
+    def test_gradcheck(self, rng):
+        cell = GRUCell(3, 2, rng)
+        x = Tensor(rng.normal(size=3), requires_grad=True)
+
+        def fn():
+            h = cell(x)
+            h = cell(x, h)
+            return (h ** 2).sum()
+
+        check_gradients(fn, [x, cell.weight_x, cell.weight_h, cell.bias])
+
+    def test_fewer_parameters_than_lstm(self, rng):
+        from repro.nn import LSTMCell
+        gru = GRUCell(8, 16, rng)
+        lstm = LSTMCell(8, 16, rng)
+        assert gru.num_parameters() < lstm.num_parameters()
+
+
+class TestGRU:
+    def test_unroll_shapes(self, rng):
+        gru = GRU(4, 6, rng)
+        states, last = gru(Tensor(np.zeros((5, 4))))
+        assert states.shape == (5, 6)
+        assert last.shape == (6,)
+        assert np.allclose(states.data[-1], last.data)
+
+    def test_order_sensitivity(self, rng):
+        gru = GRU(4, 6, rng)
+        x = rng.normal(size=(5, 4))
+        fwd, _ = gru(Tensor(x))
+        rev, _ = gru(Tensor(x[::-1].copy()))
+        assert not np.allclose(fwd.data[-1], rev.data[-1])
+
+    def test_gradients_flow(self, rng):
+        gru = GRU(3, 4, rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        states, _ = gru(x)
+        (states ** 2).sum().backward()
+        assert x.grad is not None and np.any(x.grad != 0)

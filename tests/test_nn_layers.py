@@ -1,0 +1,188 @@
+"""Tests for feed-forward layers and the Module/Parameter machinery."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+from repro.nn import (
+    Dropout,
+    Embedding,
+    FeatureEncoder,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    Parameter,
+)
+
+
+class TestModule:
+    def test_parameter_discovery_nested(self, rng):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.zeros(2))
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.b = Parameter(np.zeros(3))
+                self.layers = [Inner(), Inner()]
+
+        outer = Outer()
+        names = dict(outer.named_parameters())
+        assert set(names) == {"inner.w", "b", "layers.0.w", "layers.1.w"}
+        assert len(outer.parameters()) == 4
+        assert outer.num_parameters() == 2 + 3 + 2 + 2
+
+    def test_train_eval_propagates(self, rng):
+        mlp = MLP([2, 3, 1], rng)
+        mlp.eval()
+        assert all(not m.training for m in mlp.modules())
+        mlp.train()
+        assert all(m.training for m in mlp.modules())
+
+    def test_state_dict_roundtrip(self, rng):
+        source = MLP([2, 4, 1], rng)
+        target = MLP([2, 4, 1], np.random.default_rng(99))
+        target.load_state_dict(source.state_dict())
+        x = Tensor(rng.normal(size=(3, 2)))
+        assert np.allclose(source(x).data, target(x).data)
+
+    def test_load_state_dict_rejects_mismatch(self, rng):
+        model = MLP([2, 4, 1], rng)
+        state = model.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self, rng):
+        model = MLP([2, 4, 1], rng)
+        state = model.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((7, 7))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_zero_grad(self, rng):
+        model = MLP([2, 2, 1], rng)
+        loss = model(Tensor(np.ones((1, 2)))).sum()
+        loss.backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_parameter_requires_grad_under_no_grad(self):
+        from repro.autodiff import no_grad
+        with no_grad():
+            p = Parameter(np.zeros(2))
+        assert p.requires_grad
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(4, 3, rng)
+        assert layer(Tensor(np.zeros((5, 4)))).shape == (5, 3)
+        assert layer(Tensor(np.zeros(4))).shape == (3,)
+        assert layer(Tensor(np.zeros((2, 5, 4)))).shape == (2, 5, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        assert np.allclose(layer(Tensor(np.zeros(4))).data, 0.0)
+
+    def test_gradcheck(self, rng):
+        layer = Linear(3, 2, rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        check_gradients(lambda: (layer(x) ** 2).sum(),
+                        [x, layer.weight, layer.bias])
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        table = Embedding(10, 4, rng)
+        out = table(np.array([1, 1, 3]))
+        assert out.shape == (3, 4)
+        assert np.allclose(out.data[0], out.data[1])
+
+    def test_scalar_index(self, rng):
+        table = Embedding(10, 4, rng)
+        assert table(3).shape == (4,)
+
+    def test_out_of_range_raises(self, rng):
+        table = Embedding(5, 2, rng)
+        with pytest.raises(IndexError):
+            table(np.array([5]))
+        with pytest.raises(IndexError):
+            table(np.array([-1]))
+
+    def test_gradient_accumulates_for_repeated_index(self, rng):
+        table = Embedding(5, 2, rng)
+        out = table(np.array([2, 2])).sum()
+        out.backward()
+        assert np.allclose(table.weight.grad[2], 2.0)
+        assert np.allclose(table.weight.grad[0], 0.0)
+
+
+class TestLayerNorm:
+    def test_output_standardized(self, rng):
+        norm = LayerNorm(8)
+        out = norm(Tensor(rng.normal(5.0, 3.0, size=(4, 8))))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradcheck(self, rng):
+        norm = LayerNorm(4)
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        check_gradients(lambda: (norm(x) ** 2).sum(), [x, norm.gamma, norm.beta])
+
+
+class TestDropout:
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+    def test_eval_mode_identity(self, rng):
+        layer = Dropout(0.5, rng)
+        layer.eval()
+        x = Tensor(np.ones(50))
+        assert np.allclose(layer(x).data, 1.0)
+
+
+class TestMLP:
+    def test_requires_two_dims(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_forward_shape(self, rng):
+        mlp = MLP([4, 8, 8, 2], rng)
+        assert mlp(Tensor(np.zeros((3, 4)))).shape == (3, 2)
+
+    def test_final_activation_nonnegative(self, rng):
+        mlp = MLP([4, 8, 2], rng, final_activation=True)
+        out = mlp(Tensor(rng.normal(size=(10, 4))))
+        assert np.all(out.data >= 0)
+
+    def test_gradcheck(self, rng):
+        mlp = MLP([3, 4, 1], rng)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        check_gradients(lambda: (mlp(x) ** 2).sum(), [x] + mlp.parameters())
+
+
+class TestFeatureEncoder:
+    def test_output_dim(self, rng):
+        enc = FeatureEncoder(5, [10, 4], continuous_out=8, discrete_out=3, rng=rng)
+        assert enc.output_dim == 8 + 3 * 2
+        out = enc(Tensor(np.zeros((6, 5))), np.zeros((6, 2), dtype=int))
+        assert out.shape == (6, 14)
+
+    def test_no_discrete(self, rng):
+        enc = FeatureEncoder(5, [], continuous_out=8, discrete_out=3, rng=rng)
+        assert enc.output_dim == 8
+        assert enc(Tensor(np.zeros((2, 5)))).shape == (2, 8)
+
+    def test_missing_discrete_raises(self, rng):
+        enc = FeatureEncoder(5, [10], continuous_out=8, discrete_out=3, rng=rng)
+        with pytest.raises(ValueError):
+            enc(Tensor(np.zeros((2, 5))))

@@ -1,0 +1,97 @@
+"""Tests for LSTMCell, LSTM and BiLSTM."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+from repro.nn import BiLSTM, LSTM, LSTMCell
+
+
+class TestLSTMCell:
+    def test_shapes_unbatched(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        h, c = cell(Tensor(np.zeros(4)))
+        assert h.shape == (6,) and c.shape == (6,)
+
+    def test_shapes_batched(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        h, c = cell(Tensor(np.zeros((3, 4))))
+        assert h.shape == (3, 6) and c.shape == (3, 6)
+
+    def test_state_threading_changes_output(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        x = Tensor(rng.normal(size=4))
+        h1, c1 = cell(x)
+        h2, _ = cell(x, (h1, c1))
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_initial_state_zero(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        h, c = cell.initial_state()
+        assert np.allclose(h.data, 0.0) and np.allclose(c.data, 0.0)
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        assert np.allclose(cell.bias.data[6:12], 1.0)
+        assert np.allclose(cell.bias.data[:6], 0.0)
+
+    def test_hidden_bounded_by_tanh(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        h, _ = cell(Tensor(rng.normal(size=4) * 100))
+        assert np.all(np.abs(h.data) <= 1.0)
+
+    def test_gradcheck(self, rng):
+        cell = LSTMCell(3, 2, rng)
+        x = Tensor(rng.normal(size=3), requires_grad=True)
+
+        def fn():
+            h, c = cell(x)
+            h2, _ = cell(x, (h, c))
+            return (h2 ** 2).sum()
+
+        check_gradients(fn, [x, cell.weight_x, cell.weight_h, cell.bias])
+
+
+class TestLSTM:
+    def test_output_shapes(self, rng):
+        lstm = LSTM(4, 6, rng)
+        states, (h, c) = lstm(Tensor(np.zeros((5, 4))))
+        assert states.shape == (5, 6)
+        assert h.shape == (6,)
+
+    def test_last_state_matches_last_output(self, rng):
+        lstm = LSTM(4, 6, rng)
+        states, (h, _) = lstm(Tensor(rng.normal(size=(5, 4))))
+        assert np.allclose(states.data[-1], h.data)
+
+    def test_sequence_order_matters(self, rng):
+        lstm = LSTM(4, 6, rng)
+        x = rng.normal(size=(5, 4))
+        out_fwd, _ = lstm(Tensor(x))
+        out_rev, _ = lstm(Tensor(x[::-1].copy()))
+        assert not np.allclose(out_fwd.data[-1], out_rev.data[-1])
+
+
+class TestBiLSTM:
+    def test_output_dim_doubled(self, rng):
+        bilstm = BiLSTM(4, 6, rng)
+        assert bilstm.output_dim == 12
+        out = bilstm(Tensor(np.zeros((5, 4))))
+        assert out.shape == (5, 12)
+
+    def test_every_position_sees_whole_sequence(self, rng):
+        # Perturbing the last element must change the first output
+        # (through the backward pass).
+        bilstm = BiLSTM(3, 4, rng)
+        x = rng.normal(size=(5, 3))
+        base = bilstm(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[-1] += 1.0
+        shifted = bilstm(Tensor(x2)).data
+        assert not np.allclose(base[0], shifted[0])
+
+    def test_gradients_flow(self, rng):
+        bilstm = BiLSTM(3, 4, rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        (bilstm(x) ** 2).sum().backward()
+        assert x.grad is not None and np.any(x.grad != 0)

@@ -1,0 +1,112 @@
+"""Tests for the deployment-style service layer (Section VI)."""
+
+import numpy as np
+import pytest
+
+from repro.core import M2G4RTP, M2G4RTPConfig
+from repro.service import (
+    ETAService,
+    OrderSortingService,
+    RTPRequest,
+    RTPService,
+)
+
+
+@pytest.fixture(scope="module")
+def service():
+    model = M2G4RTP(M2G4RTPConfig(hidden_dim=16, num_heads=2,
+                                  num_encoder_layers=1))
+    return RTPService(model)
+
+
+@pytest.fixture
+def request_obj(dataset):
+    return RTPRequest.from_instance(dataset[0])
+
+
+class TestRTPRequest:
+    def test_from_instance_strips_labels(self, dataset):
+        request = RTPRequest.from_instance(dataset[0])
+        assert not hasattr(request, "route")
+        assert request.num_locations == dataset[0].num_locations
+
+    def test_rejects_empty(self, dataset):
+        instance = dataset[0]
+        with pytest.raises(ValueError):
+            RTPRequest(courier=instance.courier, request_time=0.0,
+                       courier_position=(120.0, 30.0), locations=[], aois=[])
+
+    def test_rejects_unknown_aoi(self, dataset):
+        instance = dataset[0]
+        with pytest.raises(ValueError):
+            RTPRequest(
+                courier=instance.courier,
+                request_time=instance.request_time,
+                courier_position=instance.courier_position,
+                locations=list(instance.locations),
+                aois=[],  # no AOIs at all
+            )
+
+    def test_duck_type_surface(self, request_obj, dataset):
+        instance = dataset[0]
+        assert np.allclose(request_obj.location_coords(),
+                           instance.location_coords())
+        assert np.array_equal(request_obj.aoi_index_of_location(),
+                              instance.aoi_index_of_location())
+
+
+class TestRTPService:
+    def test_handle_returns_route_and_etas(self, service, request_obj):
+        response = service.handle(request_obj)
+        n = request_obj.num_locations
+        assert sorted(response.route.tolist()) == list(range(n))
+        assert response.eta_minutes.shape == (n,)
+        assert response.latency_ms > 0
+        assert response.aoi_route is not None
+
+    def test_query_counter(self, service, request_obj):
+        before = service.queries_served
+        service.handle(request_obj)
+        assert service.queries_served == before + 1
+
+
+class TestOrderSorting:
+    def test_positions_follow_route(self, service, request_obj):
+        orders = OrderSortingService(service).sort_orders(request_obj)
+        assert [o.position for o in orders] == list(
+            range(1, request_obj.num_locations + 1))
+        response = service.handle(request_obj)
+        expected_ids = [request_obj.locations[i].location_id
+                        for i in response.route]
+        assert [o.location_id for o in orders] == expected_ids
+
+    def test_entries_carry_deadlines(self, service, request_obj):
+        orders = OrderSortingService(service).sort_orders(request_obj)
+        for order in orders:
+            assert np.isfinite(order.deadline_minutes)
+            assert np.isfinite(order.eta_minutes)
+
+
+class TestETAService:
+    def test_entries_per_location(self, service, request_obj):
+        entries = ETAService(service).etas(request_obj)
+        assert len(entries) == request_obj.num_locations
+        ids = {entry.location_id for entry in entries}
+        assert ids == {loc.location_id for loc in request_obj.locations}
+
+    def test_notify_ahead(self, service, request_obj):
+        entries = ETAService(service, notify_ahead_minutes=5.0).etas(request_obj)
+        for entry in entries:
+            assert entry.notify_at_minutes <= entry.eta_minutes
+            assert entry.notify_at_minutes >= 0
+
+    def test_negative_notify_rejected(self, service):
+        with pytest.raises(ValueError):
+            ETAService(service, notify_ahead_minutes=-1.0)
+
+    def test_overdue_flag(self, service, request_obj):
+        entries = ETAService(service).etas(request_obj)
+        for entry, location in zip(entries, request_obj.locations):
+            expected = entry.eta_minutes > (location.deadline
+                                            - request_obj.request_time)
+            assert entry.overdue_risk == expected

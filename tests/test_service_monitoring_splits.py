@@ -1,0 +1,114 @@
+"""Tests for service monitoring, courier splits and batched training."""
+
+import numpy as np
+import pytest
+
+from repro.core import M2G4RTP, M2G4RTPConfig
+from repro.data import cold_start_protocol, split_by_courier
+from repro.service import (
+    DEFAULT_BUCKETS,
+    RTPRequest,
+    RTPService,
+    ServiceMonitor,
+)
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def monitor(dataset):
+    model = M2G4RTP(M2G4RTPConfig(hidden_dim=16, num_heads=2,
+                                  num_encoder_layers=1))
+    return ServiceMonitor(RTPService(model))
+
+
+class TestServiceMonitor:
+    def test_counts_queries(self, monitor, dataset):
+        before = monitor.stats().queries
+        monitor.handle(RTPRequest.from_instance(dataset[0]))
+        monitor.handle(RTPRequest.from_instance(dataset[1]))
+        assert monitor.stats().queries == before + 2
+
+    def test_latency_percentiles_ordered(self, monitor, dataset):
+        for instance in list(dataset)[:5]:
+            monitor.handle(RTPRequest.from_instance(instance))
+        stats = monitor.stats()
+        assert 0 < stats.p50_latency_ms <= stats.p95_latency_ms
+        assert stats.p95_latency_ms <= stats.max_latency_ms
+
+    def test_render_metrics_format(self, monitor, dataset):
+        monitor.handle(RTPRequest.from_instance(dataset[0]))
+        text = monitor.render_metrics()
+        assert "rtp_queries_total" in text
+        assert 'rtp_latency_ms_bucket{le="+Inf"}' in text
+        # Cumulative histogram: the +Inf bucket equals the count.
+        inf_line = [l for l in text.splitlines() if '+Inf' in l][0]
+        count_line = [l for l in text.splitlines()
+                      if l.startswith("rtp_latency_ms_count")][0]
+        assert inf_line.split()[-1] == count_line.split()[-1]
+
+    def test_reset(self, monitor, dataset):
+        monitor.handle(RTPRequest.from_instance(dataset[0]))
+        monitor.reset()
+        assert monitor.stats().queries == 0
+
+    def test_unsorted_buckets_rejected(self, monitor):
+        with pytest.raises(ValueError):
+            ServiceMonitor(monitor.service, buckets=(5.0, 1.0))
+
+    def test_default_buckets_end_with_inf(self):
+        assert DEFAULT_BUCKETS[-1] == float("inf")
+
+
+class TestCourierSplits:
+    def test_split_disjoint_couriers(self, dataset):
+        seen, unseen = split_by_courier(dataset, holdout_fraction=0.25,
+                                        seed=1)
+        seen_ids = {i.courier.courier_id for i in seen}
+        unseen_ids = {i.courier.courier_id for i in unseen}
+        assert seen_ids and unseen_ids
+        assert not seen_ids & unseen_ids
+        assert len(seen) + len(unseen) == len(dataset)
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            split_by_courier(dataset, holdout_fraction=0.0)
+
+    def test_cold_start_protocol(self, dataset):
+        train, seen_test, unseen_test = cold_start_protocol(dataset, seed=2)
+        train_couriers = {i.courier.courier_id for i in train}
+        unseen_couriers = {i.courier.courier_id for i in unseen_test}
+        assert not train_couriers & unseen_couriers
+        # Seen test shares couriers with training but (mostly) not days.
+        seen_couriers = {i.courier.courier_id for i in seen_test}
+        assert seen_couriers <= train_couriers
+        assert len(train) > 0 and len(seen_test) > 0 and len(unseen_test) > 0
+
+    def test_deterministic_given_seed(self, dataset):
+        a1, b1 = split_by_courier(dataset, seed=3)
+        a2, b2 = split_by_courier(dataset, seed=3)
+        assert len(a1) == len(a2) and len(b1) == len(b2)
+
+
+class TestBatchedTraining:
+    def test_batch_size_trains(self, splits):
+        train, _, _ = splits
+        model = M2G4RTP(M2G4RTPConfig(hidden_dim=16, num_heads=2,
+                                      num_encoder_layers=1))
+        config = TrainerConfig(epochs=3, batch_size=4)
+        history = Trainer(model, config).fit(train[:12])
+        assert history.num_epochs == 3
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_batch_equals_online_when_size_one(self, splits):
+        """batch_size=1 must match the historical per-instance path."""
+        train, _, _ = splits
+
+        def run(batch_size):
+            model = M2G4RTP(M2G4RTPConfig(hidden_dim=16, num_heads=2,
+                                          num_encoder_layers=1, seed=8))
+            config = TrainerConfig(epochs=2, batch_size=batch_size,
+                                   shuffle_seed=4)
+            history = Trainer(model, config).fit(train[:8])
+            return history.train_loss
+
+        assert np.allclose(run(1), run(1))

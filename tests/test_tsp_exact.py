@@ -1,0 +1,102 @@
+"""Tests for Held-Karp exact TSP and Or-opt local search."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    held_karp_path,
+    nearest_neighbor_path,
+    or_opt,
+    path_length,
+    two_opt,
+)
+
+
+def random_instance(rng, n):
+    coords = rng.random((n, 2)) * 1000
+    distance = np.linalg.norm(coords[:, None] - coords[None, :], axis=-1)
+    start = rng.random(n) * 1000
+    return start, distance
+
+
+class TestHeldKarp:
+    def test_single_node(self):
+        path = held_karp_path(np.array([1.0]), np.zeros((1, 1)))
+        assert path.tolist() == [0]
+
+    def test_rejects_large_instances(self, rng):
+        start, distance = random_instance(rng, 16)
+        with pytest.raises(ValueError):
+            held_karp_path(start, distance)
+
+    def test_optimal_on_line(self):
+        # Points on a line; start cost favours the leftmost point.
+        positions = np.array([0.0, 1.0, 2.0, 3.0])
+        distance = np.abs(positions[:, None] - positions[None, :])
+        start = positions + 0.1
+        path = held_karp_path(start, distance)
+        assert path.tolist() == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_never_worse_than_heuristics(self, n, rng):
+        for _ in range(5):
+            start, distance = random_instance(rng, n)
+            exact = held_karp_path(start, distance)
+            heuristic = two_opt(nearest_neighbor_path(start, distance),
+                                start, distance)
+            assert (path_length(exact, start, distance)
+                    <= path_length(heuristic, start, distance) + 1e-9)
+
+    def test_exact_matches_bruteforce_small(self, rng):
+        import itertools
+        start, distance = random_instance(rng, 6)
+        exact = held_karp_path(start, distance)
+        best = min(
+            (path_length(np.array(perm), start, distance)
+             for perm in itertools.permutations(range(6))))
+        assert np.isclose(path_length(exact, start, distance), best)
+
+
+class TestOrOpt:
+    def test_never_worse(self, rng):
+        for _ in range(5):
+            start, distance = random_instance(rng, 9)
+            initial = nearest_neighbor_path(start, distance)
+            improved = or_opt(initial, start, distance)
+            assert (path_length(improved, start, distance)
+                    <= path_length(initial, start, distance) + 1e-9)
+
+    def test_output_is_permutation(self, rng):
+        start, distance = random_instance(rng, 10)
+        improved = or_opt(nearest_neighbor_path(start, distance),
+                          start, distance)
+        assert sorted(improved.tolist()) == list(range(10))
+
+    def test_fixes_obvious_relocation(self):
+        # Line 0-1-2-3 but node 3 wrongly visited first.
+        positions = np.array([0.0, 1.0, 2.0, 3.0])
+        distance = np.abs(positions[:, None] - positions[None, :])
+        start = positions + 0.1
+        bad = np.array([3, 0, 1, 2])
+        fixed = or_opt(bad, start, distance)
+        assert (path_length(fixed, start, distance)
+                < path_length(bad, start, distance))
+
+
+class TestHeuristicOptimalityGap:
+    def test_gap_small_at_paper_scale(self, rng):
+        """NN + 2-opt + Or-opt stays within a few percent of optimal for
+        n <= 12 — the evidence that the OR-Tools substitution is fair."""
+        gaps = []
+        for _ in range(10):
+            start, distance = random_instance(rng, 10)
+            heuristic = or_opt(
+                two_opt(nearest_neighbor_path(start, distance),
+                        start, distance),
+                start, distance)
+            exact = held_karp_path(start, distance)
+            h = path_length(heuristic, start, distance)
+            e = path_length(exact, start, distance)
+            gaps.append(h / e - 1.0)
+        assert np.mean(gaps) < 0.05
+        assert max(gaps) < 0.25
