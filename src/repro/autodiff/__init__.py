@@ -14,6 +14,8 @@ from .ops import (
     maximum,
     softmax,
     log_softmax,
+    masked_softmax,
+    padded_gather,
     cross_entropy,
     mae_loss,
     mse_loss,
@@ -38,7 +40,8 @@ from .gradcheck import check_gradients, numerical_gradient
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled",
     "as_tensor", "concat", "stack", "where", "maximum",
-    "softmax", "log_softmax", "cross_entropy",
+    "softmax", "log_softmax", "masked_softmax", "padded_gather",
+    "cross_entropy",
     "mae_loss", "mse_loss", "huber_loss", "dropout",
     "SGD", "Adam", "AdamW", "RMSprop", "StepLR", "CosineAnnealingLR",
     "Optimizer", "clip_grad_norm",

@@ -115,6 +115,59 @@ def log_softmax(logits: Tensor, axis: int = -1,
     return shifted - log_z
 
 
+def masked_softmax(logits: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Padding-safe masked softmax.
+
+    Unlike :func:`softmax`, this op tolerates slices whose mask is
+    entirely ``False`` (padding rows of a batched graph): such slices
+    produce an all-zero output instead of ``nan``.  Masked positions get
+    probability exactly zero and receive exactly zero gradient, and the
+    shift point is the *masked* maximum so that arbitrary (finite)
+    garbage in padding positions can never overflow ``exp``.
+    """
+    mask_arr = np.broadcast_to(np.asarray(mask, dtype=bool), logits.shape)
+    mask_f = mask_arr.astype(np.float64)
+    with np.errstate(invalid="ignore"):
+        row_max = np.where(mask_arr, logits.data, -np.inf).max(
+            axis=axis, keepdims=True)
+    row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    shifted = logits - Tensor(row_max)
+    # Clamp masked positions to zero *before* exp: their (finite but
+    # arbitrary) values must not overflow, and where() routes them zero
+    # gradient.
+    shifted = where(mask_arr, shifted, Tensor(np.zeros(logits.shape)))
+    exp = shifted.exp() * Tensor(mask_f)
+    denominator = exp.sum(axis=axis, keepdims=True)
+    # Fully-masked slices: denominator is 0; add 1 there so 0/1 = 0.
+    empty = (~mask_arr).all(axis=axis, keepdims=True)
+    denominator = denominator + Tensor(empty.astype(np.float64))
+    return exp / denominator
+
+
+def padded_gather(values: Tensor, indices: np.ndarray,
+                  valid: Optional[np.ndarray] = None) -> Tensor:
+    """Batched row gather with a validity mask for padding entries.
+
+    ``values`` is ``(B, N, ...)``; ``indices`` is an integer array
+    ``(B, ...)`` of row indices into axis 1.  Returns
+    ``values[b, indices[b, ...]]`` per batch element.  Where ``valid``
+    (same shape as ``indices``) is ``False`` the index is ignored: the
+    output is exactly zero and *no* gradient flows back into ``values``
+    — padded gather steps are inert.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    batch = np.arange(values.shape[0]).reshape(
+        (-1,) + (1,) * (indices.ndim - 1))
+    if valid is None:
+        return values[batch, indices]
+    valid = np.asarray(valid, dtype=bool)
+    safe = np.where(valid, indices, 0)
+    gathered = values[batch, safe]
+    keep = valid.astype(np.float64).reshape(
+        valid.shape + (1,) * (gathered.ndim - valid.ndim))
+    return gathered * Tensor(keep)
+
+
 def cross_entropy(logits: Tensor, target: int,
                   mask: Optional[np.ndarray] = None) -> Tensor:
     """Cross-entropy of a single decoding step.

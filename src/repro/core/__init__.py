@@ -18,6 +18,7 @@ from .model import (
     VARIANT_NAMES,
     make_variant,
 )
+from .batching import BatchedM2G4RTP, GraphBatch, LevelBatch
 from .beam import beam_search_route, beam_search_predict
 from .ensemble import EnsemblePredictor, borda_aggregate
 from .postprocess import (
@@ -35,6 +36,7 @@ __all__ = [
     "FixedWeighting", "UncertaintyWeighting", "TASKS",
     "M2G4RTP", "M2G4RTPConfig", "M2G4RTPOutput", "RTPTargets",
     "VARIANT_NAMES", "make_variant",
+    "BatchedM2G4RTP", "GraphBatch", "LevelBatch",
     "beam_search_route", "beam_search_predict",
     "UncertaintyPrediction", "enforce_aoi_contiguity",
     "predict_with_uncertainty", "sample_route",

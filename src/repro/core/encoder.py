@@ -15,7 +15,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..autodiff import Tensor, concat
+from ..autodiff import Tensor, concat, padded_gather, stack
 from ..graphs import LevelGraph, MultiLevelGraph
 from ..nn import BiLSTM, FeatureEncoder, Linear, Module
 from .gat_e import GATEEncoder
@@ -53,6 +53,11 @@ class GlobalFeatureEncoder(Module):
     def forward(self, graph: MultiLevelGraph) -> Tensor:
         return self.encoder(Tensor(graph.global_continuous), graph.global_discrete)
 
+    def forward_batch(self, global_continuous: np.ndarray,
+                      global_discrete: np.ndarray) -> Tensor:
+        """Batched global context: ``(B, 3)`` continuous, ``(B, 2)`` discrete → ``(B, g)``."""
+        return self.encoder(Tensor(global_continuous), global_discrete)
+
 
 class LevelEncoder(Module):
     """Feature embedding + GAT-e for one graph level."""
@@ -80,6 +85,23 @@ class LevelEncoder(Module):
         nodes = self.node_proj(concat([node_embed, tiled_global], axis=-1))
         edges = self.edge_proj(Tensor(level.edge_features))
         encoded_nodes, _ = self.gat(nodes, edges, level.adjacency)
+        return encoded_nodes
+
+    def forward_batch(self, level, global_vector: Tensor) -> Tensor:
+        """Batched :meth:`forward` over a padded level batch.
+
+        ``level`` is duck-typed (see ``repro.core.batching.LevelBatch``):
+        ``continuous (B, n, c)``, ``discrete (B, n, 2)``,
+        ``edge_features (B, n, n, 3)`` and ``adjacency (B, n, n)`` whose
+        padding rows/columns are all ``False``.
+        """
+        batch, n = level.continuous.shape[:2]
+        node_embed = self.node_features(Tensor(level.continuous), level.discrete)
+        tiled_global = global_vector.reshape(batch, 1, -1) * Tensor(np.ones((batch, n, 1)))
+        nodes = self.node_proj(concat([node_embed, tiled_global], axis=-1))
+        edges = self.edge_proj(Tensor(level.edge_features))
+        encoded_nodes, _ = self.gat.forward_batch(nodes, edges, level.adjacency,
+                                                  need_edges=False)
         return encoded_nodes
 
 
@@ -118,6 +140,54 @@ class SequenceEncoder(Module):
         inverse = np.argsort(order, kind="stable")
         return self.out_proj(states[inverse])
 
+    def forward_batch(self, level, global_vector: Tensor) -> Tensor:
+        """Batched :meth:`forward` over a padded level batch.
+
+        Real nodes are ordered nearest-first per instance exactly as in
+        the sequential path; padding nodes sort last (key ``inf``), so
+        they only ever sit *after* the real prefix in both LSTM
+        directions and cannot influence any real node's state.
+        """
+        batch, n = level.continuous.shape[:2]
+        lengths = np.asarray(level.lengths, dtype=np.int64)
+        node_embed = self.node_features(Tensor(level.continuous), level.discrete)
+        tiled_global = global_vector.reshape(batch, 1, -1) * Tensor(np.ones((batch, n, 1)))
+        nodes = self.node_proj(concat([node_embed, tiled_global], axis=-1))
+
+        key = np.where(level.mask, level.continuous[:, :, 2], np.inf)
+        order = np.argsort(key, axis=1, kind="stable")           # (B, n)
+        steps = np.arange(n)
+        step_valid = steps[None, :] < lengths[:, None]           # (B, n)
+        # Position s of the *reversed* real prefix reads position
+        # len-1-s of the forward one; padding positions read themselves.
+        reversed_positions = np.where(
+            step_valid, lengths[:, None] - 1 - steps[None, :], steps[None, :])
+        reversed_order = np.take_along_axis(order, reversed_positions, axis=1)
+
+        forward_seq = padded_gather(nodes, order, valid=step_valid)
+        backward_seq = padded_gather(nodes, reversed_order, valid=step_valid)
+        forward_states = _unroll_lstm_batch(self.bilstm.forward_lstm.cell, forward_seq)
+        backward_states = _unroll_lstm_batch(self.bilstm.backward_lstm.cell, backward_seq)
+        # Re-reverse the backward states so step s aligns with order[:, s].
+        backward_states = padded_gather(backward_states, reversed_positions,
+                                        valid=step_valid)
+        projected = self.out_proj(concat([forward_states, backward_states], axis=-1))
+        # Scatter step-ordered outputs back to node order.
+        inverse = np.argsort(order, axis=1, kind="stable")
+        return padded_gather(projected, inverse, valid=level.mask)
+
+
+def _unroll_lstm_batch(cell, sequence: Tensor) -> Tensor:
+    """Run an LSTM cell over ``(B, n, d)`` steps; returns ``(B, n, hidden)``."""
+    batch = sequence.shape[0]
+    state = cell.initial_state((batch,))
+    outputs = []
+    for step in range(sequence.shape[1]):
+        h, c = cell(sequence[:, step, :], state)
+        state = (h, c)
+        outputs.append(h)
+    return stack(outputs, axis=1)
+
 
 class MultiLevelEncoder(Module):
     """The full encoder: global context + one :class:`LevelEncoder` per level.
@@ -144,4 +214,19 @@ class MultiLevelEncoder(Module):
         global_vector = self.global_encoder(graph)
         locations = self.location_encoder(graph.location, global_vector)
         aois = self.aoi_encoder(graph.aoi, global_vector)
+        return locations, aois
+
+    def forward_batch(self, batch) -> Tuple[Tensor, Tensor]:
+        """Batched :meth:`forward` over a ``repro.core.batching.GraphBatch``.
+
+        ``batch`` is duck-typed: it provides ``global_continuous``,
+        ``global_discrete`` and padded ``location`` / ``aoi`` level
+        batches.  Returns ``(B, n, d)`` location and ``(B, m, d)`` AOI
+        representations; rows at padding positions carry finite values
+        that downstream masks ignore.
+        """
+        global_vector = self.global_encoder.forward_batch(
+            batch.global_continuous, batch.global_discrete)
+        locations = self.location_encoder.forward_batch(batch.location, global_vector)
+        aois = self.aoi_encoder.forward_batch(batch.aoi, global_vector)
         return locations, aois

@@ -20,11 +20,11 @@ follow the GAT semantics.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from ..autodiff import Tensor, concat, softmax, stack
+from ..autodiff import Tensor, concat, masked_softmax, softmax, stack
 from ..nn import Linear, Module
 from ..nn.init import xavier_uniform
 from ..nn.module import Parameter
@@ -77,6 +77,46 @@ class GATEHead(Module):
         )
         return node_update, edge_update, alpha
 
+    def attention_batch(self, nodes: Tensor, edges: Tensor,
+                        adjacency: np.ndarray) -> Tensor:
+        """Batched masked attention, ``(B, n, n)``.
+
+        ``adjacency`` rows belonging to padding nodes are entirely
+        ``False``; :func:`masked_softmax` gives those rows an all-zero
+        output instead of NaN, and padding columns get probability
+        exactly zero for every real row.
+        """
+        transformed = nodes @ self.w1
+        source_score = transformed @ self.a_src      # (B, n)
+        target_score = transformed @ self.a_dst      # (B, n)
+        edge_score = edges @ self.a_edge             # (B, n, n)
+        batch, n = source_score.shape
+        logits = (source_score.reshape(batch, n, 1)
+                  + target_score.reshape(batch, 1, n)
+                  + edge_score).leaky_relu(self.leaky_slope)
+        return masked_softmax(logits, np.asarray(adjacency, dtype=bool), axis=2)
+
+    def forward_batch(self, nodes: Tensor, edges: Tensor,
+                      adjacency: np.ndarray,
+                      need_edges: bool = True) -> Tuple[Tensor, Optional[Tensor], Tensor]:
+        """Batched :meth:`forward` over ``(B, n, d)`` nodes and ``(B, n, n, d)`` edges.
+
+        ``need_edges=False`` skips the edge update (the node update never
+        reads it, so node outputs are unchanged) — used for the last
+        encoder layer, whose edge output is discarded.
+        """
+        alpha = self.attention_batch(nodes, edges, adjacency)
+        node_update = alpha @ (nodes @ self.w2)
+        if not need_edges:
+            return node_update, None, alpha
+        batch, n = alpha.shape[0], alpha.shape[1]
+        edge_update = (
+            edges @ self.w3
+            + (nodes @ self.w4).reshape(batch, n, 1, -1)
+            + (nodes @ self.w5).reshape(batch, 1, n, -1)
+        )
+        return node_update, edge_update, alpha
+
 
 class GATELayer(Module):
     """Multi-head GAT-e layer.
@@ -124,6 +164,37 @@ class GATELayer(Module):
             return (node_out * (1.0 / count)).relu(), (edge_out * (1.0 / count)).relu()
         return concat(node_updates, axis=-1), concat(edge_updates, axis=-1)
 
+    def forward_batch(self, nodes: Tensor, edges: Tensor,
+                      adjacency: np.ndarray,
+                      need_edges: bool = True) -> Tuple[Tensor, Optional[Tensor]]:
+        """Batched :meth:`forward`; head combination is unchanged."""
+        node_updates = []
+        edge_updates = []
+        for head in self.heads:
+            node_update, edge_update, _ = head.forward_batch(
+                nodes, edges, adjacency, need_edges=need_edges)
+            if not self.final:
+                node_update = node_update.relu()
+                if need_edges:
+                    edge_update = edge_update.relu()
+            node_updates.append(node_update)
+            edge_updates.append(edge_update)
+        if self.final:
+            count = float(len(self.heads))
+            node_out = node_updates[0]
+            for node_update in node_updates[1:]:
+                node_out = node_out + node_update
+            node_out = (node_out * (1.0 / count)).relu()
+            if not need_edges:
+                return node_out, None
+            edge_out = edge_updates[0]
+            for edge_update in edge_updates[1:]:
+                edge_out = edge_out + edge_update
+            return node_out, (edge_out * (1.0 / count)).relu()
+        if not need_edges:
+            return concat(node_updates, axis=-1), None
+        return concat(node_updates, axis=-1), concat(edge_updates, axis=-1)
+
 
 class GATEEncoder(Module):
     """A stack of GAT-e layers with residual connections.
@@ -151,3 +222,21 @@ class GATEEncoder(Module):
             nodes = nodes + node_update
             edges = edges + edge_update
         return nodes, edges
+
+    def forward_batch(self, nodes: Tensor, edges: Tensor,
+                      adjacency: np.ndarray,
+                      need_edges: bool = True) -> Tuple[Tensor, Optional[Tensor]]:
+        """Batched stack over ``(B, n, d)`` / ``(B, n, n, d)`` inputs.
+
+        With ``need_edges=False`` the last layer's edge update — whose
+        output no caller reads — is skipped; node outputs are identical.
+        """
+        last = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            layer_need_edges = need_edges or index < last
+            node_update, edge_update = layer.forward_batch(
+                nodes, edges, adjacency, need_edges=layer_need_edges)
+            nodes = nodes + node_update
+            if layer_need_edges:
+                edges = edges + edge_update
+        return nodes, edges if need_edges else None

@@ -54,6 +54,28 @@ class AdditivePointerAttention(Module):
             raise ValueError("pointer attention requires at least one feasible candidate")
         return log_softmax(self.scores(keys, query), axis=-1, mask=mask)
 
+    def scores_batch(self, keys: Tensor, query: Tensor) -> Tensor:
+        """Batched unmasked scores: ``(B, n, d)`` keys × ``(B, q)`` queries → ``(B, n)``."""
+        batch = keys.shape[0]
+        projected_query = self.query_proj(query).reshape(batch, 1, -1)
+        hidden = (self.key_proj(keys) + projected_query).tanh()
+        return hidden @ self.v
+
+    def log_probs_batch(self, keys: Tensor, query: Tensor,
+                        mask: np.ndarray) -> Tensor:
+        """Batched masked log-probabilities, ``(B, n)``.
+
+        Each row of ``mask`` must have at least one feasible candidate
+        (batched decoders give finished/padded rows a dummy candidate).
+        The per-row arithmetic is identical to :meth:`log_probs`, so a
+        batched decode step reproduces the sequential one bit-for-bit.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if not mask.any(axis=-1).all():
+            raise ValueError(
+                "pointer attention requires at least one feasible candidate per row")
+        return log_softmax(self.scores_batch(keys, query), axis=-1, mask=mask)
+
 
 class MultiHeadSelfAttention(Module):
     """Multi-head scaled-dot-product self-attention over ``(n, d)`` inputs."""

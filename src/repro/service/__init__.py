@@ -9,6 +9,12 @@ from .rtp_service import (
     RTPService,
     SortedOrder,
 )
+from .batching import (
+    BatchTicket,
+    GraphCache,
+    MicroBatcher,
+    request_fingerprint,
+)
 from .monitoring import ServiceMonitor, ServiceStats, DEFAULT_BUCKETS
 
 __all__ = [
@@ -16,5 +22,6 @@ __all__ = [
     "RTPService", "RTPResponse",
     "OrderSortingService", "SortedOrder",
     "ETAService", "ETAEntry",
+    "BatchTicket", "GraphCache", "MicroBatcher", "request_fingerprint",
     "ServiceMonitor", "ServiceStats", "DEFAULT_BUCKETS",
 ]

@@ -1,0 +1,176 @@
+"""Serving-side batching utilities: graph cache and micro-batching queue.
+
+Two throughput levers for the deployed service (paper Section VI,
+"hundreds of thousands of queries per day"):
+
+* :class:`GraphCache` — an LRU cache of built
+  :class:`~repro.graphs.MultiLevelGraph` features keyed by a request
+  fingerprint.  Couriers poll the service while standing still, so the
+  exact same query recurs within seconds; caching skips the feature
+  extraction layer entirely.
+* :class:`MicroBatcher` — collects incoming requests into a queue and
+  flushes them through :meth:`RTPService.handle_batch` when either
+  ``max_batch_size`` requests are waiting or the oldest one has waited
+  ``max_wait_ms``.  The clock is injectable so tests control time.
+"""
+
+from __future__ import annotations
+
+import collections
+import hashlib
+import struct
+import time
+from typing import Callable, List, Optional, Tuple
+
+from .request import RTPRequest
+
+
+def request_fingerprint(request: RTPRequest) -> str:
+    """Deterministic content hash of everything the graph builder reads.
+
+    Two requests with equal fingerprints build bit-identical graphs, so
+    a cached graph can be substituted without changing any prediction.
+    """
+    digest = hashlib.sha256()
+
+    def put_floats(*values: float) -> None:
+        digest.update(struct.pack(f"<{len(values)}d", *values))
+
+    def put_ints(*values: int) -> None:
+        digest.update(struct.pack(f"<{len(values)}q", *values))
+
+    courier = request.courier
+    put_ints(courier.courier_id, request.weather, request.weekday)
+    put_floats(courier.speed, courier.working_hours, courier.attendance_rate,
+               request.request_time,
+               request.courier_position[0], request.courier_position[1])
+    put_ints(len(request.locations), len(request.aois))
+    for location in request.locations:
+        put_ints(location.location_id, location.aoi_id)
+        put_floats(location.coord[0], location.coord[1],
+                   location.accept_time, location.deadline)
+    for aoi in request.aois:
+        put_ints(aoi.aoi_id, aoi.aoi_type)
+        put_floats(aoi.center[0], aoi.center[1])
+    return digest.hexdigest()
+
+
+class GraphCache:
+    """LRU cache for built graphs with hit/miss accounting."""
+
+    def __init__(self, max_size: int):
+        if max_size < 1:
+            raise ValueError("cache max_size must be >= 1")
+        self.max_size = max_size
+        self._entries: "collections.OrderedDict[str, object]" = (
+            collections.OrderedDict())
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str):
+        """Return the cached value or ``None``; touches LRU order on hit."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+
+    def keys(self) -> List[str]:
+        """Keys in eviction order (least recently used first)."""
+        return list(self._entries.keys())
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class BatchTicket:
+    """Handle for one queued request; resolved when its batch flushes."""
+
+    __slots__ = ("request", "enqueued_at", "_response")
+
+    def __init__(self, request: RTPRequest, enqueued_at: float):
+        self.request = request
+        self.enqueued_at = enqueued_at
+        self._response = None
+
+    @property
+    def done(self) -> bool:
+        return self._response is not None
+
+    def result(self):
+        if self._response is None:
+            raise RuntimeError("batch has not been flushed yet")
+        return self._response
+
+
+class MicroBatcher:
+    """Synchronous micro-batching front of an :class:`RTPService`.
+
+    ``submit`` enqueues a request and flushes immediately once
+    ``max_batch_size`` requests are waiting.  ``poll`` flushes when the
+    oldest queued request has waited at least ``max_wait_ms`` (the
+    latency bound); on an empty queue it is a no-op.  ``clock`` returns
+    seconds and defaults to ``time.monotonic``.
+    """
+
+    def __init__(self, service, max_batch_size: int = 8,
+                 max_wait_ms: float = 10.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self.service = service
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.clock = clock
+        self._queue: List[BatchTicket] = []
+        self.batches_flushed = 0
+        self.requests_flushed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def submit(self, request: RTPRequest) -> BatchTicket:
+        """Queue one request; flush if the batch is now full."""
+        ticket = BatchTicket(request, self.clock())
+        self._queue.append(ticket)
+        if len(self._queue) >= self.max_batch_size:
+            self.flush()
+        return ticket
+
+    def poll(self) -> int:
+        """Flush if the oldest request has aged out; returns #flushed."""
+        if not self._queue:
+            return 0
+        waited_ms = (self.clock() - self._queue[0].enqueued_at) * 1000.0
+        if waited_ms >= self.max_wait_ms:
+            return self.flush()
+        return 0
+
+    def flush(self) -> int:
+        """Run every queued request through one batched call."""
+        if not self._queue:
+            return 0
+        tickets, self._queue = self._queue, []
+        responses = self.service.handle_batch([t.request for t in tickets])
+        for ticket, response in zip(tickets, responses):
+            ticket._response = response
+        self.batches_flushed += 1
+        self.requests_flushed += len(tickets)
+        return len(tickets)

@@ -33,6 +33,12 @@ class ServiceStats:
     p95_latency_ms: float
     max_latency_ms: float
     mean_route_length: float
+    # Build-vs-infer split of the latency (graph building vs model
+    # forward) plus the service's graph-cache counters.
+    mean_build_ms: float = 0.0
+    mean_infer_ms: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class ServiceMonitor:
@@ -46,6 +52,8 @@ class ServiceMonitor:
         self.buckets = tuple(buckets)
         self._bucket_counts = [0] * len(self.buckets)
         self._latencies: List[float] = []
+        self._build_times: List[float] = []
+        self._infer_times: List[float] = []
         self._route_lengths: List[int] = []
         self._errors = 0
 
@@ -58,12 +66,30 @@ class ServiceMonitor:
             self._errors += 1
             raise
         latency = (time.perf_counter() - start) * 1000.0
-        self._observe(latency, len(response.route))
+        self._observe(latency, len(response.route), response)
         return response
 
-    def _observe(self, latency_ms: float, route_length: int) -> None:
+    def handle_batch(self, requests) -> List[RTPResponse]:
+        """Timed batched handling; every member is counted individually."""
+        start = time.perf_counter()
+        try:
+            responses = self.service.handle_batch(requests)
+        except Exception:
+            self._errors += 1
+            raise
+        elapsed = (time.perf_counter() - start) * 1000.0
+        per_request = elapsed / len(responses) if responses else 0.0
+        for response in responses:
+            self._observe(per_request, len(response.route), response)
+        return responses
+
+    def _observe(self, latency_ms: float, route_length: int,
+                 response: Optional[RTPResponse] = None) -> None:
         self._latencies.append(latency_ms)
         self._route_lengths.append(route_length)
+        if response is not None:
+            self._build_times.append(response.build_ms)
+            self._infer_times.append(response.infer_ms)
         for index, bound in enumerate(self.buckets):
             if latency_ms <= bound:
                 self._bucket_counts[index] += 1
@@ -71,11 +97,15 @@ class ServiceMonitor:
 
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
+        cache_hits = getattr(self.service, "cache_hits", 0)
+        cache_misses = getattr(self.service, "cache_misses", 0)
         if not self._latencies:
             return ServiceStats(queries=0, errors=self._errors,
                                 mean_latency_ms=0.0, p50_latency_ms=0.0,
                                 p95_latency_ms=0.0, max_latency_ms=0.0,
-                                mean_route_length=0.0)
+                                mean_route_length=0.0,
+                                cache_hits=cache_hits,
+                                cache_misses=cache_misses)
         latencies = np.asarray(self._latencies)
         return ServiceStats(
             queries=latencies.size,
@@ -85,6 +115,12 @@ class ServiceMonitor:
             p95_latency_ms=float(np.percentile(latencies, 95)),
             max_latency_ms=float(latencies.max()),
             mean_route_length=float(np.mean(self._route_lengths)),
+            mean_build_ms=(float(np.mean(self._build_times))
+                           if self._build_times else 0.0),
+            mean_infer_ms=(float(np.mean(self._infer_times))
+                           if self._infer_times else 0.0),
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )
 
     def render_metrics(self) -> str:
@@ -104,10 +140,24 @@ class ServiceMonitor:
             lines.append(f'rtp_latency_ms_bucket{{le="{label}"}} {cumulative}')
         lines.append(f"rtp_latency_ms_sum {sum(self._latencies):.3f}")
         lines.append(f"rtp_latency_ms_count {stats.queries}")
+        lines.extend([
+            "# TYPE rtp_build_ms summary",
+            f"rtp_build_ms_sum {sum(self._build_times):.3f}",
+            f"rtp_build_ms_count {len(self._build_times)}",
+            "# TYPE rtp_infer_ms summary",
+            f"rtp_infer_ms_sum {sum(self._infer_times):.3f}",
+            f"rtp_infer_ms_count {len(self._infer_times)}",
+            "# TYPE rtp_cache_hits_total counter",
+            f"rtp_cache_hits_total {stats.cache_hits}",
+            "# TYPE rtp_cache_misses_total counter",
+            f"rtp_cache_misses_total {stats.cache_misses}",
+        ])
         return "\n".join(lines)
 
     def reset(self) -> None:
         self._bucket_counts = [0] * len(self.buckets)
         self._latencies.clear()
+        self._build_times.clear()
+        self._infer_times.clear()
         self._route_lengths.clear()
         self._errors = 0

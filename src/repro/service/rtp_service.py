@@ -14,52 +14,148 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.model import M2G4RTP
-from ..graphs import GraphBuilder
+from ..core.batching import BatchedM2G4RTP
+from ..core.model import M2G4RTP, M2G4RTPOutput
+from ..graphs import GraphBuilder, MultiLevelGraph
+from .batching import GraphCache, request_fingerprint
 from .request import RTPRequest
 
 
 @dataclasses.dataclass
 class RTPResponse:
-    """Route + per-location ETA prediction for one request."""
+    """Route + per-location ETA prediction for one request.
+
+    ``latency_ms`` is split into its two pipeline stages:
+    ``build_ms`` (feature extraction / graph building, ~0 on a cache
+    hit) and ``infer_ms`` (model forward; for batched handling, the
+    batch's inference time amortised over its members).  The stages sum
+    to ``latency_ms`` exactly.
+    """
 
     route: np.ndarray
     eta_minutes: np.ndarray
     aoi_route: Optional[np.ndarray]
     aoi_eta_minutes: Optional[np.ndarray]
     latency_ms: float
+    build_ms: float = 0.0
+    infer_ms: float = 0.0
+    cache_hit: bool = False
+    batch_size: int = 1
 
 
 class RTPService:
-    """Wraps a trained model behind the online request shape."""
+    """Wraps a trained model behind the online request shape.
 
-    def __init__(self, model: M2G4RTP, builder: Optional[GraphBuilder] = None):
+    Parameters
+    ----------
+    cache_size:
+        When positive, built graphs are memoised in an LRU cache keyed
+        by the request's content fingerprint, skipping feature
+        extraction for repeated queries.  ``0`` disables caching; the
+        predictions are identical either way.
+    """
+
+    def __init__(self, model: M2G4RTP, builder: Optional[GraphBuilder] = None,
+                 cache_size: int = 0):
         self.model = model
         self.builder = builder or GraphBuilder(
             num_aoi_ids=model.config.num_aoi_ids)
+        self.engine = BatchedM2G4RTP(model)
+        self.cache = GraphCache(cache_size) if cache_size > 0 else None
         self._queries_served = 0
 
-    def handle(self, request: RTPRequest) -> RTPResponse:
-        start = time.perf_counter()
+    # ------------------------------------------------------------------
+    def _build_graph(self, request: RTPRequest) -> Tuple[MultiLevelGraph, bool]:
+        """Build (or fetch) the graph; returns (graph, cache_hit)."""
+        if self.cache is None:
+            return self.builder.build(request), False
+        key = request_fingerprint(request)
+        graph = self.cache.get(key)
+        if graph is not None:
+            return graph, True
         graph = self.builder.build(request)
-        output = self.model.predict(graph)
-        latency = (time.perf_counter() - start) * 1000.0
-        self._queries_served += 1
+        self.cache.put(key, graph)
+        return graph, False
+
+    @staticmethod
+    def _response(output: M2G4RTPOutput, build_ms: float, infer_ms: float,
+                  cache_hit: bool, batch_size: int) -> RTPResponse:
         return RTPResponse(
             route=output.route,
             eta_minutes=output.arrival_times,
             aoi_route=output.aoi_route,
             aoi_eta_minutes=output.aoi_arrival_times,
-            latency_ms=latency,
+            latency_ms=build_ms + infer_ms,
+            build_ms=build_ms,
+            infer_ms=infer_ms,
+            cache_hit=cache_hit,
+            batch_size=batch_size,
         )
 
+    # ------------------------------------------------------------------
+    def handle(self, request: RTPRequest) -> RTPResponse:
+        start = time.perf_counter()
+        graph, cache_hit = self._build_graph(request)
+        built = time.perf_counter()
+        output = self.model.predict(graph)
+        done = time.perf_counter()
+        self._queries_served += 1
+        return self._response(
+            output,
+            build_ms=(built - start) * 1000.0,
+            infer_ms=(done - built) * 1000.0,
+            cache_hit=cache_hit,
+            batch_size=1,
+        )
+
+    def handle_batch(self, requests: Sequence[RTPRequest]) -> List[RTPResponse]:
+        """Answer many requests with one padded batched forward pass.
+
+        Per-request ``infer_ms`` is the batch inference time divided by
+        the batch size (the throughput-relevant amortised cost);
+        ``build_ms`` is each request's own graph-building time.
+        """
+        if not requests:
+            return []
+        build_times: List[float] = []
+        cache_hits: List[bool] = []
+        graphs: List[MultiLevelGraph] = []
+        for request in requests:
+            start = time.perf_counter()
+            graph, cache_hit = self._build_graph(request)
+            build_times.append((time.perf_counter() - start) * 1000.0)
+            cache_hits.append(cache_hit)
+            graphs.append(graph)
+
+        infer_start = time.perf_counter()
+        outputs = self.engine.predict(graphs)
+        amortised_infer = ((time.perf_counter() - infer_start) * 1000.0
+                           / len(requests))
+        self._queries_served += len(requests)
+        return [
+            self._response(output, build_ms=build_ms,
+                           infer_ms=amortised_infer, cache_hit=cache_hit,
+                           batch_size=len(requests))
+            for output, build_ms, cache_hit
+            in zip(outputs, build_times, cache_hits)
+        ]
+
+    # ------------------------------------------------------------------
     @property
     def queries_served(self) -> int:
         return self._queries_served
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits if self.cache is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses if self.cache is not None else 0
 
 
 @dataclasses.dataclass

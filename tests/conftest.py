@@ -1,10 +1,35 @@
-"""Shared fixtures: a small synthetic world and dataset reused across tests."""
+"""Shared fixtures: a small synthetic world and dataset reused across tests.
+
+Also wires the ``slow`` marker: tests marked ``@pytest.mark.slow``
+(extended fuzz sweeps, large parity sweeps) are skipped unless pytest
+runs with ``--runslow``.
+"""
 
 import numpy as np
 import pytest
 
 from repro.data import GeneratorConfig, RTPDataset, SyntheticWorld
 from repro.graphs import GraphBuilder
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="also run tests marked slow (extended sweeps)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test, needs --runslow to execute")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow option to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture(scope="session")

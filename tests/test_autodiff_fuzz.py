@@ -10,7 +10,16 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.autodiff import Tensor, check_gradients, concat, softmax, stack, where
+from repro.autodiff import (
+    Tensor,
+    check_gradients,
+    concat,
+    masked_softmax,
+    padded_gather,
+    softmax,
+    stack,
+    where,
+)
 
 # Unary ops safe on strictly positive inputs.
 _UNARY = [
@@ -96,6 +105,94 @@ class TestFuzzGradients:
             return (stack([mixed, a + b], axis=0) ** 2).sum()
 
         check_gradients(fn, [a, b])
+
+    @given(seed=st.integers(0, 10_000), rows=st.integers(1, 4),
+           cols=st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_masked_softmax_gradcheck(self, seed, rows, cols):
+        """Analytic gradient matches finite differences; masked positions
+        get exactly zero probability and exactly zero gradient."""
+        rng = np.random.default_rng(seed)
+        logits = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+        # Random mask; some rows may be entirely masked (padding rows).
+        mask = rng.random((rows, cols)) > 0.4
+        weights = rng.normal(size=(rows, cols))
+
+        def fn():
+            return (masked_softmax(logits, mask, axis=-1)
+                    * Tensor(weights)).sum()
+
+        check_gradients(fn, [logits])
+
+        probs = masked_softmax(logits, mask, axis=-1)
+        assert np.isfinite(probs.data).all()
+        assert (probs.data[~mask] == 0.0).all()
+        full_rows = mask.any(axis=-1)
+        np.testing.assert_allclose(probs.data.sum(axis=-1)[full_rows], 1.0)
+        assert (probs.data[~full_rows] == 0.0).all()
+
+        logits.grad = None
+        fn().backward()
+        assert (logits.grad[~mask] == 0.0).all()
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_masked_softmax_overflow_safe(self, seed):
+        """Huge garbage in masked positions must not poison real rows."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(2, 4))
+        mask = np.array([[True, True, False, False],
+                         [False, False, False, False]])
+        garbage = 1e30 * np.sign(rng.normal(size=int((~mask).sum())))
+        data[~mask] = garbage  # huge finite garbage in padding
+        probs = masked_softmax(Tensor(data), mask, axis=-1)
+        assert np.isfinite(probs.data).all()
+        np.testing.assert_allclose(probs.data[0].sum(), 1.0)
+        assert (probs.data[1] == 0.0).all()
+
+    @given(seed=st.integers(0, 10_000), batch=st.integers(1, 4),
+           n=st.integers(2, 5), k=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_padded_gather_gradcheck(self, seed, batch, n, k):
+        """Gather gradient matches finite differences; invalid slots give
+        exactly zero output and route exactly zero gradient back."""
+        rng = np.random.default_rng(seed)
+        values = Tensor(rng.normal(size=(batch, n, 3)), requires_grad=True)
+        indices = rng.integers(0, n, size=(batch, k))
+        valid = rng.random((batch, k)) > 0.3
+        weights = rng.normal(size=(batch, k, 3))
+
+        def fn():
+            return (padded_gather(values, indices, valid=valid)
+                    * Tensor(weights)).sum()
+
+        check_gradients(fn, [values])
+
+        gathered = padded_gather(values, indices, valid=valid)
+        assert (gathered.data[~valid] == 0.0).all()
+
+        # A row referenced only by invalid gathers gets exactly 0 grad.
+        values.grad = None
+        fn().backward()
+        for b in range(batch):
+            touched = set(indices[b, valid[b]].tolist())
+            for row in set(range(n)) - touched:
+                assert (values.grad[b, row] == 0.0).all()
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_padded_gather_unmasked_is_plain_index(self, seed):
+        rng = np.random.default_rng(seed)
+        values = Tensor(rng.normal(size=(3, 5, 2)), requires_grad=True)
+        indices = rng.integers(0, 5, size=(3, 4))
+
+        def fn():
+            return (padded_gather(values, indices) ** 2).sum()
+
+        check_gradients(fn, [values])
+        expected = values.data[np.arange(3)[:, None], indices]
+        np.testing.assert_array_equal(
+            padded_gather(values, indices).data, expected)
 
     @given(seed=st.integers(0, 10_000))
     @settings(max_examples=20, deadline=None)

@@ -1,0 +1,233 @@
+"""Batched-vs-sequential parity suite for the batched inference engine.
+
+The contract under test (see ``repro.core.batching``): for any list of
+graphs and any model variant, ``BatchedM2G4RTP.predict(graphs)`` must
+equal ``[model.predict(g) for g in graphs]`` — routes exactly, arrival
+times within 1e-6 — and padding positions must receive exactly zero
+attention probability.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor, no_grad
+from repro.core import (
+    BatchedM2G4RTP,
+    GraphBatch,
+    LevelBatch,
+    M2G4RTP,
+    M2G4RTPConfig,
+    make_variant,
+)
+
+VARIANTS = ["full", "two-step", "w/o aoi", "w/o graph", "w/o uncertainty"]
+
+
+def small_config(**overrides) -> M2G4RTPConfig:
+    base = dict(hidden_dim=16, num_heads=2, num_encoder_layers=1,
+                continuous_embed_dim=8, discrete_embed_dim=4,
+                position_dim=4, courier_embed_dim=4, seed=5)
+    base.update(overrides)
+    return M2G4RTPConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def graph_pool(dataset, builder):
+    """Graphs of heterogeneous size (locations and AOIs) to batch from."""
+    graphs = [builder.build(instance) for instance in list(dataset)[:24]]
+    sizes = {(g.num_locations, g.num_aois) for g in graphs}
+    assert len(sizes) > 1, "pool must mix instance sizes"
+    return graphs
+
+
+@pytest.fixture(scope="module")
+def models():
+    """One small model per (variant, cell_type) combination, built lazily."""
+    cache = {}
+
+    def get(variant: str, cell_type: str = "lstm",
+            restrict_to_neighbors: bool = False) -> M2G4RTP:
+        key = (variant, cell_type, restrict_to_neighbors)
+        if key not in cache:
+            config = make_variant(variant, small_config(
+                cell_type=cell_type,
+                restrict_to_neighbors=restrict_to_neighbors))
+            cache[key] = M2G4RTP(config)
+        return cache[key]
+
+    return get
+
+
+def assert_parity(model: M2G4RTP, graphs) -> None:
+    batched = BatchedM2G4RTP(model).predict(graphs)
+    assert len(batched) == len(graphs)
+    for graph, out in zip(graphs, batched):
+        reference = model.predict(graph)
+        np.testing.assert_array_equal(out.route, reference.route)
+        np.testing.assert_allclose(out.arrival_times,
+                                   reference.arrival_times, atol=1e-6)
+        if reference.aoi_route is None:
+            assert out.aoi_route is None
+            assert out.aoi_arrival_times is None
+        else:
+            np.testing.assert_array_equal(out.aoi_route, reference.aoi_route)
+            np.testing.assert_allclose(out.aoi_arrival_times,
+                                       reference.aoi_arrival_times, atol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Padding / batch-assembly invariants
+# ----------------------------------------------------------------------
+class TestBatchAssembly:
+    def test_level_batch_padding(self, graph_pool):
+        levels = [g.location for g in graph_pool[:5]]
+        batch = LevelBatch.from_levels(levels)
+        n = batch.max_nodes
+        assert n == max(level.num_nodes for level in levels)
+        for b, level in enumerate(levels):
+            k = level.num_nodes
+            assert batch.lengths[b] == k
+            assert batch.mask[b, :k].all() and not batch.mask[b, k:].any()
+            np.testing.assert_array_equal(batch.continuous[b, :k],
+                                          level.continuous)
+            # Padding is exactly zero everywhere.
+            assert not batch.continuous[b, k:].any()
+            assert not batch.discrete[b, k:].any()
+            # Adjacency never points into or out of padding.
+            assert not batch.adjacency[b, k:, :].any()
+            assert not batch.adjacency[b, :, k:].any()
+
+    def test_graph_batch_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GraphBatch.from_graphs([])
+
+    def test_engine_empty_list(self, models):
+        assert BatchedM2G4RTP(models("full")).predict([]) == []
+
+    def test_engine_restores_training_mode(self, models, graph_pool):
+        model = models("full")
+        model.train()
+        try:
+            BatchedM2G4RTP(model).predict(graph_pool[:2])
+            assert model.training
+        finally:
+            model.eval()
+
+    def test_padding_gets_zero_attention(self, models, graph_pool):
+        """GAT-e attention over a padded batch puts exactly 0 on padding."""
+        model = models("full")
+        batch = GraphBatch.from_graphs(graph_pool[:6])
+        level = batch.location
+        head = model.encoder.location_encoder.gat.layers[0].heads[0]
+        rng = np.random.default_rng(9)
+        shape = level.adjacency.shape  # (B, n, n)
+        # Garbage (non-zero) values in padding positions on purpose: the
+        # mask alone must prevent them from getting probability.
+        nodes = Tensor(rng.normal(size=(shape[0], shape[1], 16)))
+        edges = Tensor(rng.normal(size=shape + (16,)))
+        with no_grad():
+            alpha = head.attention_batch(nodes, edges, level.adjacency)
+        for b in range(len(batch)):
+            k = int(level.lengths[b])
+            # Padding columns: probability exactly zero for every row.
+            assert not alpha.data[b, :, k:].any()
+            # Padding rows are entirely zero (masked_softmax, not NaN).
+            assert not alpha.data[b, k:, :].any()
+            assert np.isfinite(alpha.data[b]).all()
+            # Real rows with neighbours still normalise to 1.
+            has_neighbors = level.adjacency[b, :k].any(axis=1)
+            np.testing.assert_allclose(
+                alpha.data[b, :k][has_neighbors].sum(axis=1), 1.0)
+
+
+# ----------------------------------------------------------------------
+# Parity: every variant, both cells, deterministic mixed batch
+# ----------------------------------------------------------------------
+class TestVariantParity:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("cell_type", ["lstm", "gru"])
+    def test_variant_parity(self, models, graph_pool, variant, cell_type):
+        assert_parity(models(variant, cell_type), graph_pool[:6])
+
+    def test_restrict_to_neighbors_parity(self, models, graph_pool):
+        assert_parity(models("full", restrict_to_neighbors=True),
+                      graph_pool[:6])
+
+    def test_single_graph_batch(self, models, graph_pool):
+        assert_parity(models("full"), graph_pool[:1])
+
+    def test_duplicate_graphs_agree(self, models, graph_pool):
+        """The same graph twice in one batch decodes identically."""
+        model = models("full")
+        graph = graph_pool[0]
+        first, second = BatchedM2G4RTP(model).predict([graph, graph])
+        np.testing.assert_array_equal(first.route, second.route)
+        np.testing.assert_array_equal(first.arrival_times,
+                                      second.arrival_times)
+
+
+# ----------------------------------------------------------------------
+# Fast path (grad disabled) vs Tensor path (grad enabled)
+# ----------------------------------------------------------------------
+class TestFastPathParity:
+    @pytest.mark.parametrize("cell_type", ["lstm", "gru"])
+    def test_decoder_fast_path_matches_tensor_path(self, models, graph_pool,
+                                                   cell_type):
+        """forward_batch must give bit-identical results whether it runs
+        the raw-numpy inference fast path (grad off) or Tensor ops."""
+        from repro.autodiff import concat, no_grad
+
+        model = models("full", cell_type)
+        model.eval()
+        batch = GraphBatch.from_graphs(graph_pool[:5])
+        courier = concat(
+            [model.courier_embedding(
+                batch.courier_ids % model.config.num_couriers),
+             Tensor(batch.courier_profiles)], axis=-1)
+        _, aoi_reps = model.encoder.forward_batch(batch)
+        routes_tensor = model.aoi_route_decoder.forward_batch(
+            aoi_reps, courier, batch.aoi.lengths,
+            adjacency=batch.aoi.adjacency)
+        times_tensor = model.aoi_time_decoder.forward_batch(
+            aoi_reps, routes_tensor, batch.aoi.lengths)
+        with no_grad():
+            routes_fast = model.aoi_route_decoder.forward_batch(
+                aoi_reps, courier, batch.aoi.lengths,
+                adjacency=batch.aoi.adjacency)
+            times_fast = model.aoi_time_decoder.forward_batch(
+                aoi_reps, routes_fast, batch.aoi.lengths)
+        np.testing.assert_array_equal(routes_tensor, routes_fast)
+        np.testing.assert_array_equal(times_tensor.data, times_fast.data)
+
+
+# ----------------------------------------------------------------------
+# Parity: property-based over random heterogeneous batches
+# ----------------------------------------------------------------------
+class TestRandomBatchParity:
+    @given(indices=st.lists(st.integers(0, 23), min_size=1, max_size=8),
+           variant=st.sampled_from(VARIANTS))
+    @settings(max_examples=20, deadline=None)
+    def test_random_batches(self, models, graph_pool, indices, variant):
+        graphs = [graph_pool[i] for i in indices]
+        assert_parity(models(variant), graphs)
+
+    @given(indices=st.lists(st.integers(0, 23), min_size=1, max_size=8),
+           cell_type=st.sampled_from(["lstm", "gru"]),
+           restrict=st.booleans())
+    @settings(max_examples=10, deadline=None)
+    def test_random_batches_decoder_options(self, models, graph_pool,
+                                            indices, cell_type, restrict):
+        graphs = [graph_pool[i] for i in indices]
+        assert_parity(models("full", cell_type, restrict), graphs)
+
+    @pytest.mark.slow
+    @given(indices=st.lists(st.integers(0, 23), min_size=1, max_size=8),
+           variant=st.sampled_from(VARIANTS),
+           cell_type=st.sampled_from(["lstm", "gru"]),
+           restrict=st.booleans())
+    @settings(max_examples=120, deadline=None)
+    def test_extended_sweep(self, models, graph_pool, indices, variant,
+                            cell_type, restrict):
+        graphs = [graph_pool[i] for i in indices]
+        assert_parity(models(variant, cell_type, restrict), graphs)

@@ -1,0 +1,240 @@
+"""Service-layer batching: micro-batch queue, graph cache, latency split.
+
+Covers the serving additions around the batched engine:
+
+* ``RTPService.handle_batch`` answers exactly like N sequential
+  ``handle`` calls;
+* ``MicroBatcher`` flushes on ``max_batch_size`` and on ``max_wait_ms``
+  (driven by an injected fake clock), and is a no-op on an empty queue;
+* ``GraphCache`` LRU semantics with hit/miss accounting, and the cache
+  never changes predictions;
+* ``RTPResponse.latency_ms`` always equals ``build_ms + infer_ms``;
+* ``ServiceMonitor`` exposes the build/infer split and cache counters.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import M2G4RTP, M2G4RTPConfig
+from repro.service import (
+    GraphCache,
+    MicroBatcher,
+    RTPRequest,
+    RTPService,
+    ServiceMonitor,
+    request_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return M2G4RTP(M2G4RTPConfig(
+        hidden_dim=16, num_heads=2, num_encoder_layers=1,
+        continuous_embed_dim=8, discrete_embed_dim=4, position_dim=4,
+        courier_embed_dim=4, seed=17))
+
+
+@pytest.fixture(scope="module")
+def requests(dataset):
+    return [RTPRequest.from_instance(instance)
+            for instance in list(dataset)[:10]]
+
+
+@pytest.fixture
+def service(model):
+    return RTPService(model)
+
+
+class FakeClock:
+    """Deterministic injectable clock (seconds)."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance_ms(self, ms: float) -> None:
+        self.now += ms / 1000.0
+
+
+# ----------------------------------------------------------------------
+# handle_batch parity and latency accounting
+# ----------------------------------------------------------------------
+class TestHandleBatch:
+    def test_batch_matches_sequential(self, service, requests):
+        sequential = [service.handle(r) for r in requests[:6]]
+        batched = service.handle_batch(requests[:6])
+        for seq, bat in zip(sequential, batched):
+            np.testing.assert_array_equal(seq.route, bat.route)
+            np.testing.assert_allclose(seq.eta_minutes, bat.eta_minutes,
+                                       atol=1e-6)
+            np.testing.assert_array_equal(seq.aoi_route, bat.aoi_route)
+            assert bat.batch_size == 6 and seq.batch_size == 1
+
+    def test_empty_batch(self, service):
+        assert service.handle_batch([]) == []
+
+    def test_latency_is_build_plus_infer(self, service, requests):
+        """Regression: the stage breakdown must sum to the total."""
+        responses = [service.handle(requests[0])]
+        responses += service.handle_batch(requests[:5])
+        for response in responses:
+            assert response.build_ms >= 0.0
+            assert response.infer_ms > 0.0
+            assert response.latency_ms == pytest.approx(
+                response.build_ms + response.infer_ms, abs=1e-9)
+
+    def test_queries_served_counts_batch_members(self, service, requests):
+        service.handle(requests[0])
+        service.handle_batch(requests[:4])
+        assert service.queries_served == 5
+
+
+# ----------------------------------------------------------------------
+# Micro-batching queue
+# ----------------------------------------------------------------------
+class TestMicroBatcher:
+    def test_flushes_on_max_batch_size(self, service, requests):
+        batcher = MicroBatcher(service, max_batch_size=3, max_wait_ms=1e9,
+                               clock=FakeClock())
+        tickets = [batcher.submit(r) for r in requests[:2]]
+        assert all(not t.done for t in tickets)
+        assert batcher.pending == 2
+        tickets.append(batcher.submit(requests[2]))
+        assert all(t.done for t in tickets)
+        assert batcher.pending == 0
+        assert batcher.batches_flushed == 1
+        assert batcher.requests_flushed == 3
+        for ticket, request in zip(tickets, requests[:3]):
+            reference = service.handle(request)
+            np.testing.assert_array_equal(ticket.result().route,
+                                          reference.route)
+
+    def test_flushes_on_max_wait(self, service, requests):
+        clock = FakeClock()
+        batcher = MicroBatcher(service, max_batch_size=100, max_wait_ms=10.0,
+                               clock=clock)
+        ticket = batcher.submit(requests[0])
+        clock.advance_ms(9.0)
+        assert batcher.poll() == 0          # not old enough yet
+        assert not ticket.done
+        clock.advance_ms(2.0)
+        assert batcher.poll() == 1          # oldest aged out -> flush
+        assert ticket.done
+        assert batcher.pending == 0
+
+    def test_empty_queue_is_noop(self, service):
+        batcher = MicroBatcher(service, clock=FakeClock())
+        assert batcher.poll() == 0
+        assert batcher.flush() == 0
+        assert batcher.batches_flushed == 0
+
+    def test_unflushed_ticket_raises(self, service, requests):
+        batcher = MicroBatcher(service, max_batch_size=5, clock=FakeClock())
+        ticket = batcher.submit(requests[0])
+        with pytest.raises(RuntimeError):
+            ticket.result()
+
+    def test_invalid_parameters(self, service):
+        with pytest.raises(ValueError):
+            MicroBatcher(service, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(service, max_wait_ms=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Graph cache
+# ----------------------------------------------------------------------
+class TestGraphCache:
+    def test_hit_and_miss_accounting(self, model, requests):
+        service = RTPService(model, cache_size=8)
+        service.handle(requests[0])
+        assert (service.cache_hits, service.cache_misses) == (0, 1)
+        repeat = service.handle(requests[0])
+        assert (service.cache_hits, service.cache_misses) == (1, 1)
+        assert repeat.cache_hit
+        service.handle_batch([requests[0], requests[1]])
+        assert (service.cache_hits, service.cache_misses) == (2, 2)
+
+    def test_lru_eviction_order(self):
+        cache = GraphCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1          # refresh "a": now b is LRU
+        cache.put("c", 3)                   # evicts "b"
+        assert cache.keys() == ["a", "c"]
+        assert cache.get("b") is None
+        assert len(cache) == 2
+
+    def test_cache_disabled_identical_outputs(self, model, requests):
+        plain = RTPService(model)
+        cached = RTPService(model, cache_size=4)
+        for request in (requests[0], requests[1], requests[0]):
+            a = plain.handle(request)
+            b = cached.handle(request)
+            np.testing.assert_array_equal(a.route, b.route)
+            np.testing.assert_array_equal(a.eta_minutes, b.eta_minutes)
+        assert plain.cache_hits == 0 and cached.cache_hits == 1
+
+    def test_fingerprint_sensitivity(self, requests):
+        base = requests[0]
+        assert request_fingerprint(base) == request_fingerprint(base)
+        moved = dataclasses.replace(
+            base, request_time=base.request_time + 1.0)
+        assert request_fingerprint(moved) != request_fingerprint(base)
+        reweathered = dataclasses.replace(base, weather=base.weather + 1)
+        assert request_fingerprint(reweathered) != request_fingerprint(base)
+
+    def test_invalid_cache_size(self):
+        with pytest.raises(ValueError):
+            GraphCache(max_size=0)
+
+
+# ----------------------------------------------------------------------
+# Monitoring split counters
+# ----------------------------------------------------------------------
+class TestMonitoringSplit:
+    def test_stats_expose_split_and_cache(self, model, requests):
+        monitor = ServiceMonitor(RTPService(model, cache_size=4))
+        monitor.handle(requests[0])
+        monitor.handle(requests[0])
+        monitor.handle_batch(requests[:3])
+        stats = monitor.stats()
+        assert stats.queries == 5
+        assert stats.mean_build_ms >= 0.0
+        assert stats.mean_infer_ms > 0.0
+        assert stats.cache_hits == 2        # repeat handle + batch member
+        assert stats.cache_misses == 3
+        metrics = monitor.render_metrics()
+        assert "rtp_build_ms_sum" in metrics
+        assert "rtp_infer_ms_sum" in metrics
+        assert "rtp_cache_hits_total 2" in metrics
+        assert "rtp_cache_misses_total 3" in metrics
+
+    def test_reset_clears_split(self, model, requests):
+        monitor = ServiceMonitor(RTPService(model))
+        monitor.handle(requests[0])
+        monitor.reset()
+        stats = monitor.stats()
+        assert stats.queries == 0
+        assert stats.mean_build_ms == 0.0 and stats.mean_infer_ms == 0.0
+
+
+# ----------------------------------------------------------------------
+# Benchmark smoke mode (CI-sized)
+# ----------------------------------------------------------------------
+def test_bench_smoke_mode(tmp_path, monkeypatch):
+    """The benchmark's --smoke mode runs quickly and reports parity OK."""
+    import pathlib
+    monkeypatch.syspath_prepend(
+        str(pathlib.Path(__file__).resolve().parents[1] / "benchmarks"))
+    import bench_batched_inference as bench
+
+    monkeypatch.setattr(bench, "RESULTS_DIR", tmp_path)
+    report = bench.run(num_requests=8, batch_size=4, smoke=True)
+    assert "mode=smoke" in report
+    assert "parity" in report and "FAILED" not in report
+    assert (tmp_path / "batched_inference_smoke.txt").exists()
