@@ -20,7 +20,7 @@ Quickstart::
 __version__ = "1.0.0"
 
 from . import autodiff, baselines, core, data, eval, experiments, graphs
-from . import metrics, nn, service, training
+from . import metrics, nn, obs, service, training
 
 # Convenience re-exports of the most-used names.
 from .data import (
@@ -41,7 +41,7 @@ from .service import ETAService, OrderSortingService, RTPRequest, RTPService
 
 __all__ = [
     "autodiff", "baselines", "core", "data", "eval", "experiments",
-    "graphs", "metrics", "nn", "service", "training",
+    "graphs", "metrics", "nn", "obs", "service", "training",
     "AOI", "Courier", "Location", "RTPInstance", "RTPDataset",
     "GeneratorConfig", "SyntheticWorld", "generate_dataset",
     "GraphBuilder", "MultiLevelGraph",

@@ -1,15 +1,19 @@
-"""Command-line interface: generate / train / evaluate / serve.
+"""Command-line interface: generate / train / evaluate / serve / obs.
 
 Installed as ``repro-rtp``::
 
     repro-rtp generate --out data.csv --aois 60 --couriers 6 --days 10
-    repro-rtp train --data data.csv --out model.npz --epochs 12
+    repro-rtp train --data data.csv --out model.npz --epochs 12 \\
+        --events events.jsonl --trace train_trace.jsonl
     repro-rtp evaluate --data data.csv --model model.npz
-    repro-rtp serve --data data.csv --model model.npz --queries 5
+    repro-rtp serve --data data.csv --model model.npz --queries 5 \\
+        --trace trace.jsonl --metrics-out metrics.prom --profile-ops
+    repro-rtp obs --file trace.jsonl
 
 ``train`` writes the model config next to the checkpoint
 (``model.npz`` + ``model.json``) so ``evaluate``/``serve`` can rebuild
-the exact architecture.
+the exact architecture.  ``obs`` summarises a JSONL file produced by
+``--trace`` (span trees) or ``--events`` (training telemetry).
 """
 
 from __future__ import annotations
@@ -25,7 +29,11 @@ import numpy as np
 from .core import M2G4RTP, M2G4RTPConfig
 from .data import GeneratorConfig, RTPDataset, SyntheticWorld, read_csv, write_csv
 from .eval import evaluate_method, format_table, model_predictor
-from .service import ETAService, OrderSortingService, RTPRequest, RTPService
+from .obs import (EventLog, MetricsRegistry, disable_tracing, enable_tracing,
+                  format_span_record, profile_ops, read_jsonl,
+                  summarize_events, summarize_spans)
+from .service import (ETAService, OrderSortingService, RTPRequest, RTPService,
+                      ServiceMonitor)
 from .training import Trainer, TrainerConfig, load_checkpoint, save_checkpoint
 
 
@@ -74,9 +82,27 @@ def cmd_train(args: argparse.Namespace) -> int:
           f"(validating on {len(validation)})")
     model = M2G4RTP(M2G4RTPConfig(seed=args.seed,
                                   hidden_dim=args.hidden_dim))
+    event_log = EventLog(args.events) if args.events else None
+    registry = MetricsRegistry() if args.metrics_out else None
+    collector = enable_tracing() if args.trace else None
     trainer = Trainer(model, TrainerConfig(
-        epochs=args.epochs, learning_rate=args.lr, verbose=not args.quiet))
-    history = trainer.fit(train, validation)
+        epochs=args.epochs, learning_rate=args.lr, verbose=not args.quiet),
+        event_log=event_log, registry=registry)
+    try:
+        history = trainer.fit(train, validation)
+    finally:
+        if event_log is not None:
+            event_log.close()
+        if collector is not None:
+            disable_tracing()
+    if collector is not None:
+        count = collector.write_jsonl(args.trace)
+        print(f"wrote {count} trace roots to {args.trace}")
+    if registry is not None:
+        Path(args.metrics_out).write_text(registry.render() + "\n")
+        print(f"wrote metrics exposition to {args.metrics_out}")
+    if event_log is not None:
+        print(f"wrote training events to {args.events}")
     _save_model(model, Path(args.out))
     best = (f" (best epoch {history.best_epoch})"
             if history.best_epoch >= 0 else "")
@@ -101,21 +127,62 @@ def cmd_serve(args: argparse.Namespace) -> int:
     _, _, test = dataset.split_by_day()
     model = _load_model(Path(args.model))
     service = RTPService(model)
-    sorting = OrderSortingService(service)
-    eta = ETAService(service)
-    for instance in list(test)[: args.queries]:
-        request = RTPRequest.from_instance(instance)
-        orders = sorting.sort_orders(request)
-        entries = {entry.location_id: entry for entry in eta.etas(request)}
-        print(f"\ncourier {request.courier.courier_id} "
-              f"({request.num_locations} orders):")
-        for order in orders:
-            entry = entries[order.location_id]
-            flag = " !" if entry.overdue_risk else ""
-            print(f"  {order.position:2d}. order {order.location_id} "
-                  f"(AOI {order.aoi_id}) ETA {order.eta_minutes:5.1f} min"
-                  f"{flag}")
+    registry = MetricsRegistry()
+    monitor = ServiceMonitor(service, registry=registry)
+    sorting = OrderSortingService(monitor)
+    eta = ETAService(monitor)
+    collector = enable_tracing() if args.trace else None
+    profiler = None
+    try:
+        if args.profile_ops:
+            from .obs import OpProfiler
+            profiler = OpProfiler().start()
+        for instance in list(test)[: args.queries]:
+            request = RTPRequest.from_instance(instance)
+            orders = sorting.sort_orders(request)
+            entries = {entry.location_id: entry for entry in eta.etas(request)}
+            print(f"\ncourier {request.courier.courier_id} "
+                  f"({request.num_locations} orders):")
+            for order in orders:
+                entry = entries[order.location_id]
+                flag = " !" if entry.overdue_risk else ""
+                print(f"  {order.position:2d}. order {order.location_id} "
+                      f"(AOI {order.aoi_id}) ETA {order.eta_minutes:5.1f} min"
+                      f"{flag}")
+    finally:
+        if profiler is not None:
+            profiler.stop()
+        if collector is not None:
+            disable_tracing()
+    if profiler is not None:
+        profiler.publish(registry)
+        print("\ntop autodiff ops by self time:")
+        print(profiler.report(top_k=args.top_ops))
+    if collector is not None:
+        count = collector.write_jsonl(args.trace)
+        print(f"\nwrote {count} trace roots to {args.trace}")
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(monitor.render_metrics() + "\n")
+        print(f"wrote metrics exposition to {args.metrics_out}")
     print(f"\nserved {service.queries_served} queries")
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    records = read_jsonl(args.file)
+    if not records:
+        print(f"{args.file}: empty")
+        return 1
+    if "duration_ms" in records[0]:
+        print(f"trace: {len(records)} root spans\n")
+        print(summarize_spans(records))
+        show = min(args.show_trees, len(records))
+        for record in records[:show]:
+            print()
+            print(format_span_record(record))
+    else:
+        print(f"events: {len(records)} records\n")
+        print(summarize_events(records))
     return 0
 
 
@@ -150,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--hidden-dim", type=int, default=32)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--quiet", action="store_true")
+    train.add_argument("--events", default=None, metavar="PATH",
+                       help="write per-epoch telemetry JSONL here")
+    train.add_argument("--trace", default=None, metavar="PATH",
+                       help="enable tracing; write span JSONL here")
+    train.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write Prometheus exposition here after training")
     train.set_defaults(func=cmd_train)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a trained model")
@@ -161,7 +234,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--data", required=True)
     serve.add_argument("--model", required=True)
     serve.add_argument("--queries", type=int, default=3)
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="enable tracing; write span JSONL here")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write Prometheus exposition here after serving")
+    serve.add_argument("--profile-ops", action="store_true",
+                       help="profile autodiff ops and print the top-k table")
+    serve.add_argument("--top-ops", type=int, default=10,
+                       help="rows in the op-profile table")
     serve.set_defaults(func=cmd_serve)
+
+    obs = sub.add_parser(
+        "obs", help="summarise a trace/event JSONL from train or serve")
+    obs.add_argument("--file", required=True,
+                     help="JSONL written by --trace or --events")
+    obs.add_argument("--show-trees", type=int, default=1,
+                     help="number of span trees to print for traces")
+    obs.set_defaults(func=cmd_obs)
 
     info = sub.add_parser("info", help="summarise a CSV dataset")
     info.add_argument("--data", required=True)

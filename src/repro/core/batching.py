@@ -32,6 +32,7 @@ import numpy as np
 
 from ..autodiff import Tensor, concat, no_grad, padded_gather
 from ..graphs import LevelGraph, MultiLevelGraph
+from ..obs.tracing import span
 from .decoder import positional_guidance
 from .model import M2G4RTP, M2G4RTPOutput
 
@@ -147,7 +148,8 @@ class BatchedM2G4RTP:
         size = len(batch)
         n = batch.location.max_nodes
 
-        location_reps, aoi_reps = model.encoder.forward_batch(batch)
+        with span("encoder", batch_size=size):
+            location_reps, aoi_reps = model.encoder.forward_batch(batch)
         courier_embed = model.courier_embedding(
             batch.courier_ids % cfg.num_couriers)
         courier = concat([courier_embed, Tensor(batch.courier_profiles)], axis=-1)
@@ -155,11 +157,13 @@ class BatchedM2G4RTP:
         aoi_routes = None
         aoi_times = None
         if cfg.use_aoi:
-            aoi_routes = model.aoi_route_decoder.forward_batch(
-                aoi_reps, courier, batch.aoi.lengths,
-                adjacency=batch.aoi.adjacency)
-            aoi_times = model.aoi_time_decoder.forward_batch(
-                aoi_reps, aoi_routes, batch.aoi.lengths)
+            with span("route_decode", level="aoi"):
+                aoi_routes = model.aoi_route_decoder.forward_batch(
+                    aoi_reps, courier, batch.aoi.lengths,
+                    adjacency=batch.aoi.adjacency)
+            with span("time_decode", level="aoi"):
+                aoi_times = model.aoi_time_decoder.forward_batch(
+                    aoi_reps, aoi_routes, batch.aoi.lengths)
 
             # Guidance (Eq. 34), per instance over real AOIs only.
             positions = np.zeros((size, batch.aoi.max_nodes, cfg.position_dim))
@@ -178,11 +182,13 @@ class BatchedM2G4RTP:
         else:
             location_inputs = location_reps
 
-        routes = model.location_route_decoder.forward_batch(
-            location_inputs, courier, batch.location.lengths,
-            adjacency=batch.location.adjacency)
-        times = model.location_time_decoder.forward_batch(
-            location_inputs, routes, batch.location.lengths)
+        with span("route_decode", level="location"):
+            routes = model.location_route_decoder.forward_batch(
+                location_inputs, courier, batch.location.lengths,
+                adjacency=batch.location.adjacency)
+        with span("time_decode", level="location"):
+            times = model.location_time_decoder.forward_batch(
+                location_inputs, routes, batch.location.lengths)
 
         outputs: List[M2G4RTPOutput] = []
         for b in range(size):

@@ -22,6 +22,7 @@ import numpy as np
 from ..autodiff import Tensor, concat, no_grad, stack
 from ..data.entities import RTPInstance
 from ..graphs import MultiLevelGraph
+from ..obs.tracing import span
 from ..nn import Embedding, Linear, Module
 from .decoder import RouteDecoder, SortLSTM, positional_guidance
 from .encoder import EncoderConfig, MultiLevelEncoder
@@ -170,7 +171,8 @@ class M2G4RTP(Module):
         :meth:`RouteDecoder.forward`).
         """
         cfg = self.config
-        location_reps, aoi_reps = self.encoder(graph)
+        with span("encoder"):
+            location_reps, aoi_reps = self.encoder(graph)
         courier = self._courier_vector(graph)
         losses: Dict[str, Tensor] = {}
 
@@ -178,14 +180,17 @@ class M2G4RTP(Module):
         aoi_times_tensor: Optional[Tensor] = None
         if cfg.use_aoi:
             assert self.aoi_route_decoder is not None
-            aoi_decode = self.aoi_route_decoder(
-                aoi_reps, courier, adjacency=graph.aoi.adjacency,
-                teacher_route=targets.aoi_route if targets is not None else None,
-                sample_prob=sample_prob, rng=rng)
+            with span("route_decode", level="aoi"):
+                aoi_decode = self.aoi_route_decoder(
+                    aoi_reps, courier, adjacency=graph.aoi.adjacency,
+                    teacher_route=(targets.aoi_route
+                                   if targets is not None else None),
+                    sample_prob=sample_prob, rng=rng)
             aoi_route = aoi_decode.route
             sort_route = targets.aoi_route if targets is not None else aoi_route
             time_inputs = aoi_reps.detach() if cfg.detach_time_inputs else aoi_reps
-            aoi_times_tensor = self.aoi_time_decoder(time_inputs, sort_route)
+            with span("time_decode", level="aoi"):
+                aoi_times_tensor = self.aoi_time_decoder(time_inputs, sort_route)
             if targets is not None:
                 losses["aoi_route"] = self._route_loss(
                     aoi_decode.step_log_probs, aoi_decode.step_targets)
@@ -206,16 +211,18 @@ class M2G4RTP(Module):
         else:
             location_inputs = location_reps
 
-        location_decode = self.location_route_decoder(
-            location_inputs, courier, adjacency=graph.location.adjacency,
-            teacher_route=targets.route if targets is not None else None,
-            sample_prob=sample_prob, rng=rng)
+        with span("route_decode", level="location"):
+            location_decode = self.location_route_decoder(
+                location_inputs, courier, adjacency=graph.location.adjacency,
+                teacher_route=targets.route if targets is not None else None,
+                sample_prob=sample_prob, rng=rng)
         route = location_decode.route
         location_sort = targets.route if targets is not None else route
         time_inputs = (location_inputs.detach()
                        if cfg.detach_time_inputs else location_inputs)
-        location_times_tensor = self.location_time_decoder(
-            time_inputs, location_sort)
+        with span("time_decode", level="location"):
+            location_times_tensor = self.location_time_decoder(
+                time_inputs, location_sort)
 
         if targets is not None:
             losses["location_route"] = self._route_loss(

@@ -1,18 +1,21 @@
 """Inference-latency profiling (paper Table V).
 
 Measures per-query wall-clock inference time for each method and pairs
-it with the paper's asymptotic complexity expressions.
+it with the paper's asymptotic complexity expressions.  Each query is
+timed through a :class:`~repro.obs.tracing.Span`, so Table V numbers
+and the service's request traces share one timing methodology
+(monotonic clock, per-query span).
 """
 
 from __future__ import annotations
 
 import dataclasses
-import time
 from typing import Callable, Dict, Sequence
 
 import numpy as np
 
 from ..data.entities import RTPInstance
+from ..obs.tracing import TraceCollector
 
 #: The complexity column of Table V, keyed by method name.
 COMPLEXITY: Dict[str, str] = {
@@ -35,6 +38,7 @@ class LatencyReport:
     mean_ms: float
     p50_ms: float
     p95_ms: float
+    p99_ms: float
     num_queries: int
 
     @property
@@ -43,7 +47,8 @@ class LatencyReport:
 
     def row(self) -> str:
         return (f"{self.name:16s} {self.complexity:40s} "
-                f"{self.mean_ms:8.3f} {self.p50_ms:8.3f} {self.p95_ms:8.3f}")
+                f"{self.mean_ms:8.3f} {self.p50_ms:8.3f} {self.p95_ms:8.3f} "
+                f"{self.p99_ms:8.3f}")
 
 
 def profile_method(name: str, predict: Callable[[RTPInstance], object],
@@ -54,18 +59,20 @@ def profile_method(name: str, predict: Callable[[RTPInstance], object],
         raise ValueError("no instances to profile")
     for instance in instances[:warmup]:
         predict(instance)
-    samples = []
+    # A local collector, independent of the process-wide tracing
+    # switch: every query gets its own span.
+    collector = TraceCollector()
     for _ in range(repeats):
         for instance in instances:
-            start = time.perf_counter()
-            predict(instance)
-            samples.append((time.perf_counter() - start) * 1000.0)
-    samples_arr = np.asarray(samples)
+            with collector.span("profile.predict", method=name):
+                predict(instance)
+    samples_arr = np.asarray([s.duration_ms for s in collector.roots])
     return LatencyReport(
         name=name,
         mean_ms=float(samples_arr.mean()),
         p50_ms=float(np.percentile(samples_arr, 50)),
         p95_ms=float(np.percentile(samples_arr, 95)),
+        p99_ms=float(np.percentile(samples_arr, 99)),
         num_queries=samples_arr.size,
     )
 
@@ -73,5 +80,5 @@ def profile_method(name: str, predict: Callable[[RTPInstance], object],
 def format_latency_table(reports: Sequence[LatencyReport]) -> str:
     """Render Table V."""
     header = (f"{'Method':16s} {'Inference Time Complexity':40s} "
-              f"{'mean ms':>8s} {'p50 ms':>8s} {'p95 ms':>8s}")
+              f"{'mean ms':>8s} {'p50 ms':>8s} {'p95 ms':>8s} {'p99 ms':>8s}")
     return "\n".join([header] + [report.row() for report in reports])

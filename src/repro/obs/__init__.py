@@ -1,0 +1,51 @@
+"""Unified observability layer: tracing, metrics, op profiling, events.
+
+Zero-dependency (stdlib-only) subsystem threaded through every layer of
+the stack:
+
+* :mod:`~repro.obs.tracing` — hierarchical :class:`Span` trees on the
+  monotonic clock, with a process-wide on/off switch and JSONL export;
+* :mod:`~repro.obs.metrics` — named Counter/Gauge/Histogram/Summary
+  instruments in a :class:`MetricsRegistry` with Prometheus-exposition
+  rendering;
+* :mod:`~repro.obs.opprofile` — opt-in per-op-type profiling of the
+  autodiff engine (call counts, self wall time, array bytes);
+* :mod:`~repro.obs.events` — append-only JSONL :class:`EventLog` used
+  for per-epoch training telemetry.
+
+Everything is off by default and adds near-zero overhead when disabled,
+so the instrumentation lives permanently in the hot paths.
+"""
+
+from .tracing import (
+    Span,
+    TraceCollector,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    format_span_record,
+    get_collector,
+    span,
+    summarize_spans,
+    tracing_enabled,
+)
+from .metrics import (
+    DEFAULT_HISTOGRAM_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Summary,
+)
+from .opprofile import OpProfiler, OpStat, profile_ops
+from .events import EventLog, read_jsonl, summarize_events
+
+__all__ = [
+    "Span", "TraceCollector", "span", "current_span",
+    "enable_tracing", "disable_tracing", "tracing_enabled", "get_collector",
+    "summarize_spans", "format_span_record",
+    "Counter", "Gauge", "Histogram", "Summary", "MetricsRegistry",
+    "DEFAULT_HISTOGRAM_BUCKETS",
+    "OpProfiler", "OpStat", "profile_ops",
+    "EventLog", "read_jsonl", "summarize_events",
+]

@@ -1,0 +1,107 @@
+"""Append-only JSONL event sink for training telemetry.
+
+The :class:`~repro.training.trainer.Trainer` writes one record per
+epoch (loss, validation loss, per-task sigma weights, gradient norm,
+learning rate, epoch seconds) through an :class:`EventLog`.  Records
+are flushed line-by-line, so a long run can be inspected mid-flight
+with ``tail -f`` or ``repro-rtp obs --file events.jsonl`` and plotted
+afterwards without the process that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["EventLog", "read_jsonl", "summarize_events"]
+
+
+class EventLog:
+    """Append-only JSONL sink; one JSON object per :meth:`log` call."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._handle = None
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def log(self, event_type: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event record; returns the written dict."""
+        record: Dict[str, Any] = {
+            "type": event_type,
+            "seq": self._seq,
+            "ts": round(time.time(), 6),
+        }
+        record.update(fields)
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        json.dump(record, self._handle)
+        self._handle.write("\n")
+        self._handle.flush()
+        self._seq += 1
+        return record
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def read_jsonl(path) -> List[Dict[str, Any]]:
+    """Parse a JSONL file (trace export or event log) into dicts."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _fmt(value: Optional[float], width: int = 10, digits: int = 4) -> str:
+    if value is None:
+        return " " * (width - 2) + "--"
+    return f"{value:{width}.{digits}f}"
+
+
+def summarize_events(records: Sequence[Dict[str, Any]]) -> str:
+    """Text summary of a training event log (per-epoch table)."""
+    epochs = [r for r in records if r.get("type") == "epoch"]
+    lines = []
+    if epochs:
+        header = (f"{'epoch':>5s} {'train':>10s} {'val':>10s} "
+                  f"{'grad norm':>10s} {'lr':>10s} {'seconds':>8s}")
+        lines.append(header)
+        for record in epochs:
+            lines.append(
+                f"{record.get('epoch', -1):5d} "
+                f"{_fmt(record.get('train_loss'))} "
+                f"{_fmt(record.get('val_loss'))} "
+                f"{_fmt(record.get('grad_norm'))} "
+                f"{_fmt(record.get('lr'), digits=6)} "
+                f"{record.get('seconds', 0.0):8.2f}")
+    fits = [r for r in records if r.get("type") == "fit"]
+    if fits:
+        final = fits[-1]
+        lines.append(
+            f"fit: {final.get('epochs', len(epochs))} epochs, "
+            f"best epoch {final.get('best_epoch', -1)}, "
+            f"total {final.get('total_seconds', 0.0):.2f} s")
+    sigma_records = [r.get("sigmas") for r in epochs if r.get("sigmas")]
+    if sigma_records:
+        last = sigma_records[-1]
+        sigma_text = ", ".join(f"{k}={v:.4f}" for k, v in sorted(last.items()))
+        lines.append(f"final sigmas: {sigma_text}")
+    if not lines:
+        lines.append("no epoch/fit events found")
+    return "\n".join(lines)

@@ -1,0 +1,372 @@
+"""Named metric instruments with a Prometheus-exposition renderer.
+
+One :class:`MetricsRegistry` holds every instrument of a process —
+service counters, training gauges, autodiff-op profiles — so a single
+``registry.render()`` produces the full exposition text.  Instruments
+are get-or-create by name: asking twice for ``rtp_queries_total``
+returns the same :class:`Counter`, which is how the service monitor,
+the trainer and the op profiler share a registry without coordination.
+
+Label support follows the Prometheus client idiom::
+
+    errors = registry.counter("rtp_errors_total", "Failed requests",
+                              labels=("path",))
+    errors.labels(path="batch").inc(4)
+
+Instruments declared without labels are used directly
+(``counter.inc()``, ``gauge.set(3.0)``, ``histogram.observe(12.5)``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Summary", "MetricsRegistry",
+    "DEFAULT_HISTOGRAM_BUCKETS",
+]
+
+#: Generic latency-shaped default buckets (milliseconds).
+DEFAULT_HISTOGRAM_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+                             float("inf"))
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6f}".rstrip("0").rstrip(".")
+
+
+def _format_labels(names: Sequence[str], values: Sequence[str],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [f'{name}="{value}"' for name, value in zip(names, values)]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{extra[1]}"')
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class _Instrument:
+    """Base class: name, help text, label names, per-labelset state."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "",
+                 labels: Sequence[str] = ()):
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(labels)
+        self._values: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def labels(self, **kwargs: object) -> "_Bound":
+        """Bind a concrete label set, e.g. ``c.labels(path="batch")``."""
+        if set(kwargs) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(kwargs)}")
+        key = tuple(str(kwargs[name]) for name in self.label_names)
+        return _Bound(self, key)
+
+    def _unlabeled(self) -> Tuple[str, ...]:
+        if self.label_names:
+            raise ValueError(
+                f"{self.name} has labels {self.label_names}; "
+                "use .labels(...) to select a child")
+        return ()
+
+    def _cell(self, key: Tuple[str, ...]):
+        with self._lock:
+            cell = self._values.get(key)
+            if cell is None:
+                cell = self._new_cell()
+                self._values[key] = cell
+            return cell
+
+    def _new_cell(self):
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop all recorded values (all label children)."""
+        with self._lock:
+            self._values.clear()
+
+    # ------------------------------------------------------------------
+    def render(self) -> List[str]:
+        """Exposition lines for this instrument (TYPE line included)."""
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.label_names:
+            items = [((), self._new_cell())]
+        for key, cell in items:
+            lines.extend(self._render_cell(key, cell))
+        return lines
+
+    def _render_cell(self, key, cell) -> List[str]:
+        raise NotImplementedError
+
+
+class _Bound:
+    """One label child of an instrument; forwards the write methods."""
+
+    __slots__ = ("_instrument", "_key")
+
+    def __init__(self, instrument: _Instrument, key: Tuple[str, ...]):
+        self._instrument = instrument
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._instrument._inc(self._key, amount)
+
+    def set(self, value: float) -> None:
+        self._instrument._set(self._key, value)
+
+    def observe(self, value: float) -> None:
+        self._instrument._observe(self._key, value)
+
+    @property
+    def value(self) -> float:
+        return self._instrument._get(self._key)
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (``*_total`` convention)."""
+
+    kind = "counter"
+
+    def _new_cell(self):
+        return [0.0]
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (label-less form)."""
+        self._inc(self._unlabeled(), amount)
+
+    def _inc(self, key, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters cannot decrease")
+        self._cell(key)[0] += amount
+
+    def _get(self, key) -> float:
+        return self._cell(key)[0]
+
+    @property
+    def value(self) -> float:
+        """Current count (label-less form)."""
+        return self._get(self._unlabeled())
+
+    def _render_cell(self, key, cell) -> List[str]:
+        labels = _format_labels(self.label_names, key)
+        return [f"{self.name}{labels} {_format_value(cell[0])}"]
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (last-write-wins)."""
+
+    kind = "gauge"
+
+    def _new_cell(self):
+        return [0.0]
+
+    def set(self, value: float) -> None:
+        """Set the current value (label-less form)."""
+        self._set(self._unlabeled(), value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the current value (label-less form)."""
+        self._inc(self._unlabeled(), amount)
+
+    def _set(self, key, value: float) -> None:
+        self._cell(key)[0] = float(value)
+
+    def _inc(self, key, amount: float) -> None:
+        self._cell(key)[0] += amount
+
+    def _get(self, key) -> float:
+        return self._cell(key)[0]
+
+    @property
+    def value(self) -> float:
+        """Current value (label-less form)."""
+        return self._get(self._unlabeled())
+
+    def _render_cell(self, key, cell) -> List[str]:
+        labels = _format_labels(self.label_names, key)
+        return [f"{self.name}{labels} {_format_value(cell[0])}"]
+
+
+class Summary(_Instrument):
+    """Streaming sum/count pair (``_sum`` and ``_count`` series)."""
+
+    kind = "summary"
+
+    def _new_cell(self):
+        return [0.0, 0]  # sum, count
+
+    def observe(self, value: float) -> None:
+        """Record one observation (label-less form)."""
+        self._observe(self._unlabeled(), value)
+
+    def _observe(self, key, value: float) -> None:
+        cell = self._cell(key)
+        cell[0] += float(value)
+        cell[1] += 1
+
+    def _get(self, key) -> float:
+        return self._cell(key)[0]
+
+    @property
+    def sum(self) -> float:
+        """Total of all observations (label-less form)."""
+        return self._cell(self._unlabeled())[0]
+
+    @property
+    def count(self) -> int:
+        """Number of observations (label-less form)."""
+        return self._cell(self._unlabeled())[1]
+
+    def _render_cell(self, key, cell) -> List[str]:
+        labels = _format_labels(self.label_names, key)
+        return [
+            f"{self.name}_sum{labels} {cell[0]:.3f}",
+            f"{self.name}_count{labels} {cell[1]}",
+        ]
+
+
+class Histogram(_Instrument):
+    """Bucketed distribution with cumulative Prometheus rendering."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 labels: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_HISTOGRAM_BUCKETS):
+        super().__init__(name, help_text, labels)
+        buckets = tuple(float(b) for b in buckets)
+        if list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted")
+        if not buckets or buckets[-1] != float("inf"):
+            buckets = buckets + (float("inf"),)
+        self.buckets = buckets
+
+    def _new_cell(self):
+        return {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+
+    def observe(self, value: float) -> None:
+        """Record one observation (label-less form)."""
+        self._observe(self._unlabeled(), value)
+
+    def _observe(self, key, value: float) -> None:
+        cell = self._cell(key)
+        cell["sum"] += float(value)
+        cell["count"] += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                cell["counts"][index] += 1
+                break
+
+    @property
+    def count(self) -> int:
+        """Number of observations (label-less form)."""
+        return self._cell(self._unlabeled())["count"]
+
+    @property
+    def sum(self) -> float:
+        """Total of all observations (label-less form)."""
+        return self._cell(self._unlabeled())["sum"]
+
+    def _render_cell(self, key, cell) -> List[str]:
+        lines = []
+        cumulative = 0
+        for bound, count in zip(self.buckets, cell["counts"]):
+            cumulative += count
+            le = "+Inf" if bound == float("inf") else f"{bound:g}"
+            labels = _format_labels(self.label_names, key, extra=("le", le))
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+        labels = _format_labels(self.label_names, key)
+        lines.append(f"{self.name}_sum{labels} {cell['sum']:.3f}")
+        lines.append(f"{self.name}_count{labels} {cell['count']}")
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create home for instruments; renders one exposition."""
+
+    def __init__(self):
+        self._instruments: Dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help_text: str,
+                       labels: Sequence[str], **kwargs) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"{name} already registered as {existing.kind}, "
+                        f"cannot re-register as {cls.kind}")
+                if tuple(labels) != existing.label_names:
+                    raise ValueError(
+                        f"{name} already registered with labels "
+                        f"{existing.label_names}, got {tuple(labels)}")
+                return existing
+            instrument = cls(name, help_text, labels, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help_text, labels)
+
+    def summary(self, name: str, help_text: str = "",
+                labels: Sequence[str] = ()) -> Summary:
+        """Get or create a :class:`Summary`."""
+        return self._get_or_create(Summary, name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_HISTOGRAM_BUCKETS,
+                  ) -> Histogram:
+        """Get or create a :class:`Histogram` with ``buckets``."""
+        return self._get_or_create(Histogram, name, help_text, labels,
+                                   buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[_Instrument]:
+        """Look up an instrument by name, or ``None``."""
+        with self._lock:
+            return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        """Registered instrument names, in registration order."""
+        with self._lock:
+            return list(self._instruments)
+
+    def reset(self) -> None:
+        """Zero every instrument (keeps registrations)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument.reset()
+
+    def render(self) -> str:
+        """Full Prometheus-exposition text of every instrument."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        lines: List[str] = []
+        for instrument in instruments:
+            lines.extend(instrument.render())
+        return "\n".join(lines)

@@ -1,0 +1,224 @@
+"""Op-level profiling of the autodiff engine.
+
+``profile_ops()`` is an opt-in instrumentation mode that wraps the
+:class:`~repro.autodiff.tensor.Tensor` op dispatch — the arithmetic /
+reduction / shape methods on the class plus the functional ops in
+``repro.autodiff.ops`` and ``extra_ops`` — with timing shims::
+
+    with profile_ops() as prof:
+        model.predict(graph)
+    print(prof.report(top_k=10))
+
+Per op type it accumulates call counts, **self** wall time (time inside
+the op minus time inside nested profiled ops, so composite ops like
+``mean`` → ``sum`` + ``mul`` do not double-count), total result bytes
+and the peak single-result allocation.  With profiling off nothing is
+wrapped and the engine runs at full speed.
+
+Patching strategy: ``Tensor`` methods are replaced on the class (dunder
+dispatch always goes through the class, so every call site is covered);
+module-level functional ops are additionally rebound in every loaded
+``repro.*`` module that imported them by name.  Everything is restored
+on exit by identity.
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from ..autodiff import extra_ops as _extra_ops
+from ..autodiff import ops as _ops
+from ..autodiff.tensor import Tensor
+
+from .metrics import MetricsRegistry
+
+__all__ = ["OpProfiler", "OpStat", "profile_ops"]
+
+#: Tensor methods wrapped by the profiler (op dispatch surface).
+TENSOR_METHODS = (
+    "__add__", "__radd__", "__neg__", "__sub__", "__rsub__",
+    "__mul__", "__rmul__", "__truediv__", "__rtruediv__", "__pow__",
+    "__matmul__", "__getitem__",
+    "sum", "mean", "max", "exp", "log", "sqrt", "abs", "tanh",
+    "sigmoid", "relu", "leaky_relu", "reshape", "flatten", "transpose",
+)
+
+#: Functional ops wrapped by the profiler, per defining module.
+FUNCTIONAL_OPS = {
+    _ops: ("concat", "stack", "where", "maximum", "softmax",
+           "log_softmax", "masked_softmax", "padded_gather",
+           "cross_entropy", "mae_loss", "mse_loss", "huber_loss",
+           "dropout"),
+    _extra_ops: ("clip", "l2_norm", "logsumexp", "min_reduce", "minimum",
+                 "softplus", "tensor_pow"),
+}
+
+
+class OpStat:
+    """Accumulated statistics for one op type."""
+
+    __slots__ = ("calls", "self_ms", "total_bytes", "peak_bytes")
+
+    def __init__(self):
+        self.calls = 0
+        self.self_ms = 0.0
+        self.total_bytes = 0
+        self.peak_bytes = 0
+
+    def record(self, self_ms: float, nbytes: int) -> None:
+        """Fold one call into the running totals."""
+        self.calls += 1
+        self.self_ms += self_ms
+        self.total_bytes += nbytes
+        if nbytes > self.peak_bytes:
+            self.peak_bytes = nbytes
+
+
+def _display_name(name: str) -> str:
+    return name.strip("_") if name.startswith("__") else name
+
+
+class OpProfiler:
+    """Accumulates per-op-type counts, self time and array bytes."""
+
+    def __init__(self):
+        self._stats: Dict[str, OpStat] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._patches: List[Tuple[object, str, object]] = []
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def _record(self, name: str, self_ms: float, nbytes: int) -> None:
+        with self._lock:
+            stat = self._stats.get(name)
+            if stat is None:
+                stat = OpStat()
+                self._stats[name] = stat
+            stat.record(self_ms, nbytes)
+
+    def _wrap(self, name: str, fn):
+        display = _display_name(name)
+        local = self._local
+        record = self._record
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            stack = getattr(local, "stack", None)
+            if stack is None:
+                stack = []
+                local.stack = stack
+            stack.append(0.0)  # nested-op time accumulator for this frame
+            start = time.perf_counter()
+            try:
+                out = fn(*args, **kwargs)
+            finally:
+                elapsed = (time.perf_counter() - start) * 1000.0
+                child_ms = stack.pop()
+                if stack:
+                    stack[-1] += elapsed
+                nbytes = out.data.nbytes if isinstance(out, Tensor) else 0
+                record(display, elapsed - child_ms, nbytes)
+            return out
+
+        wrapper.__wrapped_by_opprofiler__ = fn
+        return wrapper
+
+    # ------------------------------------------------------------------
+    def start(self) -> "OpProfiler":
+        """Install the dispatch shims (idempotent)."""
+        if self._active:
+            return self
+        self._active = True
+        for name in TENSOR_METHODS:
+            original = getattr(Tensor, name)
+            setattr(Tensor, name, self._wrap(name, original))
+            self._patches.append((Tensor, name, original))
+        for module, names in FUNCTIONAL_OPS.items():
+            for name in names:
+                original = getattr(module, name)
+                wrapped = self._wrap(name, original)
+                setattr(module, name, wrapped)
+                self._patches.append((module, name, original))
+                # Rebind by identity in every loaded repro.* module that
+                # imported the function by name.
+                for other in list(sys.modules.values()):
+                    if other is None or other is module:
+                        continue
+                    if not getattr(other, "__name__", "").startswith("repro"):
+                        continue
+                    for attr, value in list(vars(other).items()):
+                        if value is original:
+                            setattr(other, attr, wrapped)
+                            self._patches.append((other, attr, original))
+        return self
+
+    def stop(self) -> "OpProfiler":
+        """Remove the shims, restoring every original by identity."""
+        while self._patches:
+            owner, name, original = self._patches.pop()
+            setattr(owner, name, original)
+        self._active = False
+        return self
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, OpStat]:
+        """Snapshot of the per-op statistics (name → :class:`OpStat`)."""
+        with self._lock:
+            return dict(self._stats)
+
+    def total_ms(self) -> float:
+        """Total profiled self time across every op type."""
+        with self._lock:
+            return sum(stat.self_ms for stat in self._stats.values())
+
+    def report(self, top_k: int = 10) -> str:
+        """Text table of the ``top_k`` op types by self wall time."""
+        stats = self.stats()
+        header = (f"{'op':<16s} {'calls':>8s} {'self ms':>10s} "
+                  f"{'ms/call':>9s} {'total MB':>9s} {'peak KB':>9s}")
+        lines = [header]
+        ranked = sorted(stats.items(), key=lambda item: -item[1].self_ms)
+        for name, stat in ranked[:top_k]:
+            lines.append(
+                f"{name:<16s} {stat.calls:8d} {stat.self_ms:10.3f} "
+                f"{stat.self_ms / max(stat.calls, 1):9.4f} "
+                f"{stat.total_bytes / 1e6:9.3f} "
+                f"{stat.peak_bytes / 1e3:9.2f}")
+        if len(ranked) > top_k:
+            rest = ranked[top_k:]
+            rest_ms = sum(stat.self_ms for _, stat in rest)
+            lines.append(f"{'(other)':<16s} "
+                         f"{sum(s.calls for _, s in rest):8d} {rest_ms:10.3f}")
+        return "\n".join(lines)
+
+    def publish(self, registry: MetricsRegistry) -> None:
+        """Emit the accumulated stats into a shared metrics registry."""
+        calls = registry.counter("autodiff_op_calls_total",
+                                 "Autodiff op invocations", labels=("op",))
+        self_ms = registry.counter("autodiff_op_self_ms_total",
+                                   "Self wall time per op type (ms)",
+                                   labels=("op",))
+        peak = registry.gauge("autodiff_op_peak_bytes",
+                              "Largest single result array (bytes)",
+                              labels=("op",))
+        for name, stat in self.stats().items():
+            calls.labels(op=name).inc(stat.calls)
+            self_ms.labels(op=name).inc(stat.self_ms)
+            peak.labels(op=name).set(stat.peak_bytes)
+
+
+@contextmanager
+def profile_ops(profiler: Optional[OpProfiler] = None):
+    """Context manager enabling op-level profiling for its body."""
+    profiler = profiler or OpProfiler()
+    profiler.start()
+    try:
+        yield profiler
+    finally:
+        profiler.stop()

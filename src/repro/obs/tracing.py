@@ -1,0 +1,333 @@
+"""Hierarchical tracing spans with a context-manager API.
+
+A :class:`Span` measures one named section of work on the monotonic
+clock (``time.perf_counter``).  Spans nest: entering a span while
+another is active on the same thread makes it a child, so one traced
+request yields a tree (graph build → encoder → route decode → …) that
+:class:`TraceCollector` can render as a flame-style text tree or export
+as JSONL for offline analysis (``repro-rtp obs``).
+
+Tracing is **off by default** and costs one global read per
+:func:`span` call when disabled — cheap enough to leave the
+instrumentation permanently in hot paths.  Enable it process-wide with
+:func:`enable_tracing`::
+
+    collector = enable_tracing()
+    service.handle(request)
+    print(collector.render())
+    disable_tracing()
+
+Thread-locality: each thread has its own active-span stack inside the
+collector, so concurrent requests produce separate root trees instead
+of interleaving.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "Span", "TraceCollector", "enable_tracing", "disable_tracing",
+    "tracing_enabled", "get_collector", "span", "current_span",
+    "summarize_spans", "format_span_record",
+]
+
+
+class Span:
+    """One timed, named section of work; may own child spans."""
+
+    __slots__ = ("name", "attrs", "children", "_start", "_end")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.children: List["Span"] = []
+        self._start: Optional[float] = None
+        self._end: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Span":
+        """Record the start time (monotonic clock)."""
+        self._start = time.perf_counter()
+        return self
+
+    def finish(self) -> "Span":
+        """Record the end time (monotonic clock)."""
+        self._end = time.perf_counter()
+        return self
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall time between :meth:`start` and :meth:`finish`, in ms."""
+        if self._start is None or self._end is None:
+            return 0.0
+        return (self._end - self._start) * 1000.0
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach an attribute (must be JSON-serialisable for export)."""
+        self.attrs[key] = value
+
+    # ------------------------------------------------------------------
+    def to_dict(self, epoch: Optional[float] = None) -> Dict[str, Any]:
+        """Nested-dict form of this span (JSONL export unit)."""
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 6),
+        }
+        if epoch is not None and self._start is not None:
+            record["start_ms"] = round((self._start - epoch) * 1000.0, 6)
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.children:
+            record["children"] = [c.to_dict(epoch) for c in self.children]
+        return record
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration_ms:.3f} ms)"
+
+
+class _ActiveSpan:
+    """Context manager binding a span to a collector's thread stack."""
+
+    __slots__ = ("_collector", "_span")
+
+    def __init__(self, collector: "TraceCollector", span_obj: Span):
+        self._collector = collector
+        self._span = span_obj
+
+    def __enter__(self) -> Span:
+        self._collector._push(self._span)
+        self._span.start()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.finish()
+        self._collector._pop(self._span)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned by :func:`span` when disabled."""
+
+    __slots__ = ()
+
+    duration_ms = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class TraceCollector:
+    """Collects span trees; one active-span stack per thread."""
+
+    def __init__(self):
+        self._epoch = time.perf_counter()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.roots: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span_obj: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span_obj)
+        else:
+            span_obj.attrs.setdefault("thread", threading.current_thread().name)
+            with self._lock:
+                self.roots.append(span_obj)
+        stack.append(span_obj)
+
+    def _pop(self, span_obj: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span_obj:
+            stack.pop()
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        """Open a span under this collector (instance-level API)."""
+        return _ActiveSpan(self, Span(name, attrs))
+
+    def current(self) -> Optional[Span]:
+        """The innermost active span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def clear(self) -> None:
+        """Drop all collected root spans."""
+        with self._lock:
+            self.roots.clear()
+
+    # ------------------------------------------------------------------
+    def render(self, max_roots: Optional[int] = None) -> str:
+        """Flame-style text tree of the collected spans."""
+        with self._lock:
+            roots = list(self.roots)
+        if max_roots is not None:
+            roots = roots[:max_roots]
+        lines: List[str] = []
+        for root in roots:
+            _render_span(root, "", True, lines, is_root=True)
+        return "\n".join(lines)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per root span (nested children), one per line."""
+        with self._lock:
+            roots = list(self.roots)
+        return "\n".join(
+            json.dumps(root.to_dict(self._epoch)) for root in roots)
+
+    def write_jsonl(self, path) -> int:
+        """Write :meth:`to_jsonl` to ``path``; returns the root count."""
+        text = self.to_jsonl()
+        with open(path, "w") as handle:
+            if text:
+                handle.write(text + "\n")
+        with self._lock:
+            return len(self.roots)
+
+
+def _render_span(span_obj: Span, prefix: str, last: bool,
+                 lines: List[str], is_root: bool = False) -> None:
+    if is_root:
+        label, child_prefix = "", ""
+    else:
+        label = "└─ " if last else "├─ "
+        child_prefix = prefix + ("   " if last else "│  ")
+        label = prefix + label
+    attrs = {k: v for k, v in span_obj.attrs.items() if k != "thread"}
+    attr_text = ("  " + ", ".join(f"{k}={v}" for k, v in attrs.items())
+                 if attrs else "")
+    name_field = f"{label}{span_obj.name}"
+    lines.append(f"{name_field:<44s}{span_obj.duration_ms:10.3f} ms{attr_text}")
+    for index, child in enumerate(span_obj.children):
+        _render_span(child, child_prefix, index == len(span_obj.children) - 1,
+                     lines)
+
+
+# ----------------------------------------------------------------------
+# Global (process-wide) tracing switch
+# ----------------------------------------------------------------------
+_ACTIVE_COLLECTOR: Optional[TraceCollector] = None
+
+
+def enable_tracing(collector: Optional[TraceCollector] = None) -> TraceCollector:
+    """Install ``collector`` (or a fresh one) as the process collector."""
+    global _ACTIVE_COLLECTOR
+    _ACTIVE_COLLECTOR = collector or TraceCollector()
+    return _ACTIVE_COLLECTOR
+
+
+def disable_tracing() -> Optional[TraceCollector]:
+    """Turn tracing off; returns the collector that was active."""
+    global _ACTIVE_COLLECTOR
+    previous = _ACTIVE_COLLECTOR
+    _ACTIVE_COLLECTOR = None
+    return previous
+
+
+def tracing_enabled() -> bool:
+    """Whether a process-wide collector is installed."""
+    return _ACTIVE_COLLECTOR is not None
+
+
+def get_collector() -> Optional[TraceCollector]:
+    """The process-wide collector, or ``None`` when tracing is off."""
+    return _ACTIVE_COLLECTOR
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the process collector; no-op when tracing is off.
+
+    Designed for permanent instrumentation of hot paths: when tracing
+    is disabled this returns a shared null context manager without
+    allocating a :class:`Span`.
+    """
+    collector = _ACTIVE_COLLECTOR
+    if collector is None:
+        return _NULL_SPAN
+    return collector.span(name, **attrs)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost active span on this thread, or ``None``."""
+    collector = _ACTIVE_COLLECTOR
+    return collector.current() if collector is not None else None
+
+
+# ----------------------------------------------------------------------
+# Offline summaries (shared by the ``repro-rtp obs`` subcommand)
+# ----------------------------------------------------------------------
+def _walk_records(record: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    yield record
+    for child in record.get("children", ()):
+        yield from _walk_records(child)
+
+
+def summarize_spans(records: Sequence[Dict[str, Any]]) -> str:
+    """Aggregate exported span records by name (count / total / mean)."""
+    totals: Dict[str, List[float]] = {}
+    for root in records:
+        for node in _walk_records(root):
+            entry = totals.setdefault(node["name"], [0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += node.get("duration_ms", 0.0)
+            entry[2] = max(entry[2], node.get("duration_ms", 0.0))
+    header = (f"{'span':<28s} {'calls':>7s} {'total ms':>10s} "
+              f"{'mean ms':>9s} {'max ms':>9s}")
+    lines = [header]
+    for name, (calls, total, peak) in sorted(
+            totals.items(), key=lambda item: -item[1][1]):
+        lines.append(f"{name:<28s} {calls:7d} {total:10.3f} "
+                     f"{total / calls:9.3f} {peak:9.3f}")
+    return "\n".join(lines)
+
+
+def format_span_record(record: Dict[str, Any]) -> str:
+    """Render one exported (nested-dict) span record as a text tree."""
+    lines: List[str] = []
+
+    def walk(node: Dict[str, Any], prefix: str, last: bool,
+             is_root: bool) -> None:
+        if is_root:
+            label, child_prefix = "", ""
+        else:
+            label = prefix + ("└─ " if last else "├─ ")
+            child_prefix = prefix + ("   " if last else "│  ")
+        attrs = {k: v for k, v in node.get("attrs", {}).items()
+                 if k != "thread"}
+        attr_text = ("  " + ", ".join(f"{k}={v}" for k, v in attrs.items())
+                     if attrs else "")
+        name_field = f"{label}{node['name']}"
+        lines.append(f"{name_field:<44s}"
+                     f"{node.get('duration_ms', 0.0):10.3f} ms{attr_text}")
+        children = node.get("children", [])
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1, False)
+
+    walk(record, "", True, True)
+    return "\n".join(lines)

@@ -2,24 +2,34 @@
 
 A production RTP service (paper Section VI: "hundreds of thousands of
 queries per day") needs observability.  :class:`ServiceMonitor` wraps
-an :class:`~repro.service.rtp_service.RTPService` and maintains
-latency histograms, throughput counters and error accounting, rendered
-in a Prometheus-exposition-like text format.
+an :class:`~repro.service.rtp_service.RTPService` and emits every
+counter through a shared :class:`~repro.obs.metrics.MetricsRegistry` —
+the same registry family used by the trainer's telemetry and the
+autodiff op profiler — rendered in Prometheus exposition format by
+:meth:`ServiceMonitor.render_metrics`.
+
+Exposed series: request/error totals, a latency histogram, build/infer
+summaries, a per-flush batch-size histogram, a route-length summary and
+the service's graph-cache counters.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
 from .request import RTPRequest
 from .rtp_service import RTPResponse, RTPService
 
 #: Latency histogram bucket upper bounds (milliseconds).
 DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, float("inf"))
+
+#: Batch-size histogram bucket upper bounds (requests per flush).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, float("inf"))
 
 
 @dataclasses.dataclass
@@ -42,20 +52,51 @@ class ServiceStats:
 
 
 class ServiceMonitor:
-    """Wraps a service; every ``handle`` is timed and counted."""
+    """Wraps a service; every ``handle`` is timed and counted.
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry to emit through.  Pass a shared registry to
+        combine service metrics with trainer telemetry and op-profiler
+        output in one exposition; by default the monitor owns a fresh
+        one (exposed as :attr:`registry`).
+    """
 
     def __init__(self, service: RTPService,
-                 buckets=DEFAULT_BUCKETS):
+                 buckets=DEFAULT_BUCKETS,
+                 registry: Optional[MetricsRegistry] = None):
         if list(buckets) != sorted(buckets):
             raise ValueError("histogram buckets must be sorted")
         self.service = service
         self.buckets = tuple(buckets)
-        self._bucket_counts = [0] * len(self.buckets)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._queries = self.registry.counter(
+            "rtp_queries_total", "Requests handled")
+        self._errors = self.registry.counter(
+            "rtp_errors_total", "Requests that raised (per enqueued request)")
+        self._latency = self.registry.histogram(
+            "rtp_latency_ms", "End-to-end request latency",
+            buckets=self.buckets)
+        self._build = self.registry.summary(
+            "rtp_build_ms", "Graph-building (feature extraction) time")
+        self._infer = self.registry.summary(
+            "rtp_infer_ms", "Model forward time (amortised for batches)")
+        self._route_length = self.registry.summary(
+            "rtp_route_length", "Locations per predicted route")
+        self._batch_size = self.registry.histogram(
+            "rtp_batch_size", "Requests per handle_batch flush",
+            buckets=BATCH_SIZE_BUCKETS)
+        self._cache_hits = self.registry.gauge(
+            "rtp_cache_hits_total", "Graph-cache hits")
+        self._cache_misses = self.registry.gauge(
+            "rtp_cache_misses_total", "Graph-cache misses")
+        # Raw latency samples kept for the percentile fields of
+        # stats(); the registry holds only bucketed/summed forms.
         self._latencies: List[float] = []
         self._build_times: List[float] = []
         self._infer_times: List[float] = []
         self._route_lengths: List[int] = []
-        self._errors = 0
 
     # ------------------------------------------------------------------
     def handle(self, request: RTPRequest) -> RTPResponse:
@@ -63,22 +104,27 @@ class ServiceMonitor:
         try:
             response = self.service.handle(request)
         except Exception:
-            self._errors += 1
+            self._errors.inc()
             raise
         latency = (time.perf_counter() - start) * 1000.0
         self._observe(latency, len(response.route), response)
         return response
 
     def handle_batch(self, requests) -> List[RTPResponse]:
-        """Timed batched handling; every member is counted individually."""
+        """Timed batched handling; every member is counted individually.
+
+        A failed batch fails every request in it, so the error counter
+        advances by the number of enqueued requests, not by one.
+        """
         start = time.perf_counter()
         try:
             responses = self.service.handle_batch(requests)
         except Exception:
-            self._errors += 1
+            self._errors.inc(len(requests))
             raise
         elapsed = (time.perf_counter() - start) * 1000.0
         per_request = elapsed / len(responses) if responses else 0.0
+        self._batch_size.observe(len(requests))
         for response in responses:
             self._observe(per_request, len(response.route), response)
         return responses
@@ -87,20 +133,26 @@ class ServiceMonitor:
                  response: Optional[RTPResponse] = None) -> None:
         self._latencies.append(latency_ms)
         self._route_lengths.append(route_length)
+        self._queries.inc()
+        self._latency.observe(latency_ms)
+        self._route_length.observe(route_length)
         if response is not None:
             self._build_times.append(response.build_ms)
             self._infer_times.append(response.infer_ms)
-        for index, bound in enumerate(self.buckets):
-            if latency_ms <= bound:
-                self._bucket_counts[index] += 1
-                break
+            self._build.observe(response.build_ms)
+            self._infer.observe(response.infer_ms)
+
+    def _sync_cache_counters(self) -> None:
+        self._cache_hits.set(getattr(self.service, "cache_hits", 0))
+        self._cache_misses.set(getattr(self.service, "cache_misses", 0))
 
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
         cache_hits = getattr(self.service, "cache_hits", 0)
         cache_misses = getattr(self.service, "cache_misses", 0)
+        errors = int(self._errors.value)
         if not self._latencies:
-            return ServiceStats(queries=0, errors=self._errors,
+            return ServiceStats(queries=0, errors=errors,
                                 mean_latency_ms=0.0, p50_latency_ms=0.0,
                                 p95_latency_ms=0.0, max_latency_ms=0.0,
                                 mean_route_length=0.0,
@@ -109,7 +161,7 @@ class ServiceMonitor:
         latencies = np.asarray(self._latencies)
         return ServiceStats(
             queries=latencies.size,
-            errors=self._errors,
+            errors=errors,
             mean_latency_ms=float(latencies.mean()),
             p50_latency_ms=float(np.percentile(latencies, 50)),
             p95_latency_ms=float(np.percentile(latencies, 95)),
@@ -124,40 +176,13 @@ class ServiceMonitor:
         )
 
     def render_metrics(self) -> str:
-        """Prometheus-exposition-style text of the counters."""
-        stats = self.stats()
-        lines = [
-            "# TYPE rtp_queries_total counter",
-            f"rtp_queries_total {stats.queries}",
-            "# TYPE rtp_errors_total counter",
-            f"rtp_errors_total {stats.errors}",
-            "# TYPE rtp_latency_ms histogram",
-        ]
-        cumulative = 0
-        for bound, count in zip(self.buckets, self._bucket_counts):
-            cumulative += count
-            label = "+Inf" if bound == float("inf") else f"{bound:g}"
-            lines.append(f'rtp_latency_ms_bucket{{le="{label}"}} {cumulative}')
-        lines.append(f"rtp_latency_ms_sum {sum(self._latencies):.3f}")
-        lines.append(f"rtp_latency_ms_count {stats.queries}")
-        lines.extend([
-            "# TYPE rtp_build_ms summary",
-            f"rtp_build_ms_sum {sum(self._build_times):.3f}",
-            f"rtp_build_ms_count {len(self._build_times)}",
-            "# TYPE rtp_infer_ms summary",
-            f"rtp_infer_ms_sum {sum(self._infer_times):.3f}",
-            f"rtp_infer_ms_count {len(self._infer_times)}",
-            "# TYPE rtp_cache_hits_total counter",
-            f"rtp_cache_hits_total {stats.cache_hits}",
-            "# TYPE rtp_cache_misses_total counter",
-            f"rtp_cache_misses_total {stats.cache_misses}",
-        ])
-        return "\n".join(lines)
+        """Prometheus-exposition text of the shared registry."""
+        self._sync_cache_counters()
+        return self.registry.render()
 
     def reset(self) -> None:
-        self._bucket_counts = [0] * len(self.buckets)
         self._latencies.clear()
         self._build_times.clear()
         self._infer_times.clear()
         self._route_lengths.clear()
-        self._errors = 0
+        self.registry.reset()

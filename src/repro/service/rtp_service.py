@@ -21,6 +21,7 @@ import numpy as np
 from ..core.batching import BatchedM2G4RTP
 from ..core.model import M2G4RTP, M2G4RTPOutput
 from ..graphs import GraphBuilder, MultiLevelGraph
+from ..obs.tracing import span
 from .batching import GraphCache, request_fingerprint
 from .request import RTPRequest
 
@@ -98,11 +99,16 @@ class RTPService:
 
     # ------------------------------------------------------------------
     def handle(self, request: RTPRequest) -> RTPResponse:
-        start = time.perf_counter()
-        graph, cache_hit = self._build_graph(request)
-        built = time.perf_counter()
-        output = self.model.predict(graph)
-        done = time.perf_counter()
+        with span("rtp.request") as request_span:
+            start = time.perf_counter()
+            with span("graph_build"):
+                graph, cache_hit = self._build_graph(request)
+            built = time.perf_counter()
+            with span("infer"):
+                output = self.model.predict(graph)
+            done = time.perf_counter()
+            request_span.set_attr("num_locations", request.num_locations)
+            request_span.set_attr("cache_hit", cache_hit)
         self._queries_served += 1
         return self._response(
             output,
@@ -124,17 +130,20 @@ class RTPService:
         build_times: List[float] = []
         cache_hits: List[bool] = []
         graphs: List[MultiLevelGraph] = []
-        for request in requests:
-            start = time.perf_counter()
-            graph, cache_hit = self._build_graph(request)
-            build_times.append((time.perf_counter() - start) * 1000.0)
-            cache_hits.append(cache_hit)
-            graphs.append(graph)
+        with span("rtp.batch", batch_size=len(requests)):
+            for request in requests:
+                start = time.perf_counter()
+                with span("graph_build"):
+                    graph, cache_hit = self._build_graph(request)
+                build_times.append((time.perf_counter() - start) * 1000.0)
+                cache_hits.append(cache_hit)
+                graphs.append(graph)
 
-        infer_start = time.perf_counter()
-        outputs = self.engine.predict(graphs)
-        amortised_infer = ((time.perf_counter() - infer_start) * 1000.0
-                           / len(requests))
+            infer_start = time.perf_counter()
+            with span("infer"):
+                outputs = self.engine.predict(graphs)
+            amortised_infer = ((time.perf_counter() - infer_start) * 1000.0
+                               / len(requests))
         self._queries_served += len(requests)
         return [
             self._response(output, build_ms=build_ms,

@@ -23,6 +23,9 @@ from ..autodiff import (Adam, CosineAnnealingLR, StepLR, Tensor,
 from ..core.model import M2G4RTP, RTPTargets
 from ..data.dataset import RTPDataset
 from ..graphs import GraphBuilder, MultiLevelGraph
+from ..obs.events import EventLog
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import span
 
 _ROUTE_TASKS = ("aoi_route", "location_route")
 _TIME_TASKS = ("aoi_time", "location_time")
@@ -71,29 +74,47 @@ def _sum_losses(losses: Dict[str, Tensor], tasks) -> Optional[Tensor]:
 
 
 class Trainer:
-    """Fits an :class:`M2G4RTP` model on an :class:`RTPDataset`."""
+    """Fits an :class:`M2G4RTP` model on an :class:`RTPDataset`.
+
+    Telemetry (both optional, off by default):
+
+    * ``event_log`` — an :class:`~repro.obs.events.EventLog`; one
+      ``epoch`` record (loss, val loss, sigmas, grad norm, LR, epoch
+      seconds) is appended per epoch, plus a final ``fit`` record, so
+      a run is inspectable mid-flight and plottable afterwards.
+    * ``registry`` — a :class:`~repro.obs.metrics.MetricsRegistry`;
+      ``rtp_train_*`` gauges/counters are updated per epoch, sharing
+      the exposition with the service monitor and op profiler.
+    """
 
     def __init__(self, model: M2G4RTP,
                  config: Optional[TrainerConfig] = None,
-                 builder: Optional[GraphBuilder] = None):
+                 builder: Optional[GraphBuilder] = None,
+                 event_log: Optional[EventLog] = None,
+                 registry: Optional[MetricsRegistry] = None):
         self.model = model
         self.config = config or TrainerConfig()
         self.builder = builder or GraphBuilder(
             num_aoi_ids=model.config.num_aoi_ids)
         self._two_step = model.config.detach_time_inputs
+        self.event_log = event_log
+        self.registry = registry
+        self._epoch_grad_norms: List[float] = []
 
     # ------------------------------------------------------------------
     def fit(self, train: RTPDataset,
             validation: Optional[RTPDataset] = None) -> TrainingHistory:
         cfg = self.config
         model = self.model
+        fit_start = time.perf_counter()
         rng = np.random.default_rng(cfg.shuffle_seed)
-        graphs = [self.builder.build(instance) for instance in train]
-        targets = [RTPTargets.from_instance(instance) for instance in train]
-        val_graphs = val_targets = None
-        if validation is not None and len(validation):
-            val_graphs = [self.builder.build(i) for i in validation]
-            val_targets = [RTPTargets.from_instance(i) for i in validation]
+        with span("train.build_graphs", instances=len(train)):
+            graphs = [self.builder.build(instance) for instance in train]
+            targets = [RTPTargets.from_instance(instance) for instance in train]
+            val_graphs = val_targets = None
+            if validation is not None and len(validation):
+                val_graphs = [self.builder.build(i) for i in validation]
+                val_targets = [RTPTargets.from_instance(i) for i in validation]
 
         def make_schedule(optimizer):
             if cfg.lr_schedule == "step":
@@ -123,38 +144,50 @@ class Trainer:
             model.train()
             order = rng.permutation(len(graphs))
             epoch_loss = 0.0
+            self._epoch_grad_norms = []
+            epoch_lr = (route_optimizer if self._two_step else optimizer).lr
             # Scheduled sampling ramps linearly from 0 to its target
             # probability across the epochs (curriculum).
             if cfg.scheduled_sampling > 0.0 and cfg.epochs > 1:
                 sample_prob = cfg.scheduled_sampling * epoch / (cfg.epochs - 1)
             else:
                 sample_prob = 0.0
-            if self._two_step:
-                # The two-step ablation optimises per instance (the
-                # paper's separate-optimizer setup); batch_size ignored.
-                for index in order:
-                    epoch_loss += self._two_step_update(
-                        graphs[index], targets[index], route_optimizer,
-                        time_optimizer, sample_prob, sampling_rng)
-            else:
-                batch = max(1, cfg.batch_size)
-                for start_index in range(0, len(order), batch):
-                    chunk = order[start_index:start_index + batch]
-                    epoch_loss += self._joint_update_batch(
-                        [graphs[i] for i in chunk],
-                        [targets[i] for i in chunk],
-                        optimizer, sample_prob, sampling_rng)
+            with span("train.epoch", epoch=epoch):
+                if self._two_step:
+                    # The two-step ablation optimises per instance (the
+                    # paper's separate-optimizer setup); batch_size ignored.
+                    for index in order:
+                        epoch_loss += self._two_step_update(
+                            graphs[index], targets[index], route_optimizer,
+                            time_optimizer, sample_prob, sampling_rng)
+                else:
+                    batch = max(1, cfg.batch_size)
+                    for start_index in range(0, len(order), batch):
+                        chunk = order[start_index:start_index + batch]
+                        epoch_loss += self._joint_update_batch(
+                            [graphs[i] for i in chunk],
+                            [targets[i] for i in chunk],
+                            optimizer, sample_prob, sampling_rng)
             for schedule in schedules:
                 schedule.step()
             epoch_loss /= max(len(graphs), 1)
             history.train_loss.append(epoch_loss)
-            if hasattr(model.loss_weighting, "sigmas"):
-                history.sigmas.append(model.loss_weighting.sigmas())
-            history.seconds.append(time.perf_counter() - start)
+            sigmas = (model.loss_weighting.sigmas()
+                      if hasattr(model.loss_weighting, "sigmas") else None)
+            if sigmas is not None:
+                history.sigmas.append(sigmas)
+            seconds = time.perf_counter() - start
+            history.seconds.append(seconds)
 
+            val_loss = None
             if val_graphs is not None:
-                val_loss = self.evaluate_loss(val_graphs, val_targets)
+                with span("train.validate", epoch=epoch,
+                          instances=len(val_graphs)):
+                    val_loss = self.evaluate_loss(val_graphs, val_targets)
                 history.val_loss.append(val_loss)
+            self._emit_epoch_telemetry(epoch, epoch_loss, val_loss, sigmas,
+                                       epoch_lr, seconds)
+            if val_loss is not None:
                 if cfg.verbose:
                     print(f"epoch {epoch}: train {epoch_loss:.4f} val {val_loss:.4f}")
                 if val_loss < best_val - 1e-6:
@@ -172,7 +205,59 @@ class Trainer:
         if best_state is not None:
             model.load_state_dict(best_state)
         model.eval()
+        if self.event_log is not None:
+            self.event_log.log(
+                "fit",
+                epochs=history.num_epochs,
+                best_epoch=history.best_epoch,
+                best_val=(None if best_val == np.inf else float(best_val)),
+                total_seconds=round(time.perf_counter() - fit_start, 6),
+            )
         return history
+
+    # ------------------------------------------------------------------
+    def _emit_epoch_telemetry(self, epoch: int, train_loss: float,
+                              val_loss: Optional[float],
+                              sigmas: Optional[Dict[str, float]],
+                              lr: float, seconds: float) -> None:
+        """Write the epoch record to the event log and the registry."""
+        grad_norm = (float(np.mean(self._epoch_grad_norms))
+                     if self._epoch_grad_norms else None)
+        if self.event_log is not None:
+            self.event_log.log(
+                "epoch",
+                epoch=epoch,
+                train_loss=round(float(train_loss), 6),
+                val_loss=(round(float(val_loss), 6)
+                          if val_loss is not None else None),
+                sigmas=sigmas,
+                grad_norm=(round(grad_norm, 6)
+                           if grad_norm is not None else None),
+                lr=lr,
+                seconds=round(seconds, 6),
+            )
+        if self.registry is not None:
+            registry = self.registry
+            registry.counter("rtp_train_epochs_total",
+                             "Completed training epochs").inc()
+            registry.gauge("rtp_train_loss",
+                           "Mean training loss, latest epoch").set(train_loss)
+            if val_loss is not None:
+                registry.gauge("rtp_train_val_loss",
+                               "Validation loss, latest epoch").set(val_loss)
+            if grad_norm is not None:
+                registry.gauge(
+                    "rtp_train_grad_norm",
+                    "Mean pre-clip gradient norm, latest epoch").set(grad_norm)
+            registry.gauge("rtp_train_lr", "Learning rate in effect").set(lr)
+            registry.summary("rtp_train_epoch_seconds",
+                             "Wall time per epoch").observe(seconds)
+            if sigmas:
+                sigma_gauge = registry.gauge(
+                    "rtp_train_sigma", "Per-task uncertainty weights",
+                    labels=("task",))
+                for task, value in sigmas.items():
+                    sigma_gauge.labels(task=task).set(value)
 
     # ------------------------------------------------------------------
     def _joint_update_batch(self, graphs, targets, optimizer: Adam,
@@ -191,7 +276,8 @@ class Trainer:
                                 rng=rng)
             (output.total_loss * scale).backward()
             total += float(output.total_loss.data)
-        clip_grad_norm(optimizer.parameters, self.config.grad_clip)
+        self._epoch_grad_norms.append(
+            clip_grad_norm(optimizer.parameters, self.config.grad_clip))
         optimizer.step()
         return total
 
@@ -205,13 +291,15 @@ class Trainer:
         if route_loss is not None:
             route_optimizer.zero_grad()
             route_loss.backward()
-            clip_grad_norm(route_optimizer.parameters, self.config.grad_clip)
+            self._epoch_grad_norms.append(clip_grad_norm(
+                route_optimizer.parameters, self.config.grad_clip))
             route_optimizer.step()
             total += float(route_loss.data)
         if time_loss is not None:
             time_optimizer.zero_grad()
             time_loss.backward()
-            clip_grad_norm(time_optimizer.parameters, self.config.grad_clip)
+            self._epoch_grad_norms.append(clip_grad_norm(
+                time_optimizer.parameters, self.config.grad_clip))
             time_optimizer.step()
             total += float(time_loss.data)
         return total

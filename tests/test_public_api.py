@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.metrics",
+    "repro.obs",
     "repro.training",
     "repro.eval",
     "repro.service",
