@@ -1,0 +1,197 @@
+"""Canary rollout under injected faults: availability / degraded / p99.
+
+Replays a synthetic traffic trace through the deployment controller in
+three phases:
+
+1. **baseline** — the registered ``v1`` serves alone (p99 "before");
+2. **faulty canary** — a fault-injected ``v2`` takes a canary split
+   (transient errors + latency spikes on the candidate path only); the
+   controller must auto-roll-back while every request still gets an
+   answer (degraded responses allowed, failures not);
+3. **clean canary** — the same ``v2`` without faults; the controller
+   must auto-promote it (p99 "after" measured on the promoted model).
+
+Reports availability (answered/total), degraded-rate and p99 latency
+per phase, and writes the table to
+``benchmarks/results/deployment_rollout.txt`` (``_smoke`` suffix in
+smoke mode).  Run with ``--smoke`` for a CI-sized run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+from typing import List
+
+import numpy as np
+
+from repro.core import FallbackPredictor, M2G4RTP, M2G4RTPConfig
+from repro.data import GeneratorConfig, RTPDataset, SyntheticWorld
+from repro.deploy import (
+    DeploymentController,
+    FaultInjector,
+    FaultPlan,
+    ModelRegistry,
+    ResilienceConfig,
+    RolloutPolicy,
+)
+from repro.service import RTPRequest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def build_trace(num_requests: int, seed: int = 2023) -> List[RTPRequest]:
+    config = GeneratorConfig(num_aois=60, num_couriers=6, num_days=10,
+                             instances_per_courier_day=3, seed=seed)
+    dataset = RTPDataset(SyntheticWorld(config).generate())
+    instances = list(dataset)
+    return [RTPRequest.from_instance(instances[i % len(instances)])
+            for i in range(num_requests)]
+
+
+def small_model(seed: int, hidden_dim: int) -> M2G4RTP:
+    model = M2G4RTP(M2G4RTPConfig(
+        hidden_dim=hidden_dim, num_heads=2, num_encoder_layers=1,
+        continuous_embed_dim=8, discrete_embed_dim=4, position_dim=4,
+        courier_embed_dim=4, seed=seed))
+    model.eval()
+    return model
+
+
+def replay(controller: DeploymentController,
+           trace: List[RTPRequest]) -> dict:
+    """Run the trace; every request must produce a valid answer."""
+    answered = 0
+    degraded = 0
+    latencies: List[float] = []
+    for request in trace:
+        response = controller.handle(request)
+        valid = (sorted(int(i) for i in response.route)
+                 == list(range(request.num_locations))
+                 and len(response.eta_minutes) == request.num_locations)
+        answered += int(valid)
+        degraded += int(response.degraded)
+        latencies.append(response.latency_ms)
+    total = len(trace)
+    return {
+        "availability": 100.0 * answered / total,
+        "degraded_rate": 100.0 * degraded / total,
+        "p50_ms": float(np.percentile(latencies, 50)),
+        "p99_ms": float(np.percentile(latencies, 99)),
+    }
+
+
+def run(num_requests: int = 240, hidden_dim: int = 32,
+        smoke: bool = False) -> str:
+    """Execute the rollout benchmark; returns the rendered report."""
+    if smoke:
+        num_requests = min(num_requests, 60)
+        hidden_dim = 16
+
+    trace = build_trace(num_requests)
+    registry_dir = RESULTS_DIR / ("rollout_registry_smoke" if smoke
+                                  else "rollout_registry")
+    if registry_dir.exists():
+        import shutil
+        shutil.rmtree(registry_dir)
+    registry = ModelRegistry(registry_dir)
+    registry.register(small_model(seed=11, hidden_dim=hidden_dim),
+                      created_at="bench-v1", data_seed=2023)
+    registry.register(small_model(seed=29, hidden_dim=hidden_dim),
+                      created_at="bench-v2", data_seed=2023)
+
+    resilience = ResilienceConfig(deadline_ms=5_000.0,
+                                  breaker_recovery_seconds=0.05)
+    policy = RolloutPolicy(canary_fraction=0.3,
+                           min_requests=max(8, num_requests // 12),
+                           max_degraded_rate=0.2)
+
+    def fresh_controller() -> DeploymentController:
+        return DeploymentController(
+            registry, resilience=resilience, policy=policy,
+            fallback=FallbackPredictor(), initial="v001", seed=7)
+
+    # Phase 1: baseline, v1 alone.
+    controller = fresh_controller()
+    baseline = replay(controller, trace)
+
+    # Phase 2: canary of v2 with injected faults on the candidate only.
+    controller = fresh_controller()
+    injector = FaultInjector(FaultPlan(
+        error_rate=0.7, spike_rate=0.2, latency_spike_ms=2.0), seed=13)
+    controller.start_canary("v002", fault_injector=injector)
+    faulty = replay(controller, trace)
+    faulty_decisions = list(controller.decisions)
+    rolled_back = any(d.action == "rollback" for d in faulty_decisions)
+    after_faulty_active = controller.active_version
+
+    # Phase 3: clean canary of v2 — should promote.
+    controller = fresh_controller()
+    controller.start_canary("v002")
+    clean = replay(controller, trace)
+    clean_decisions = list(controller.decisions)
+    promoted = any(d.action == "promote" for d in clean_decisions)
+    after_clean_active = controller.active_version
+
+    def row(name: str, stats: dict) -> str:
+        return (f"  {name:16s} availability {stats['availability']:6.2f}%  "
+                f"degraded {stats['degraded_rate']:6.2f}%  "
+                f"p50 {stats['p50_ms']:7.2f} ms  "
+                f"p99 {stats['p99_ms']:7.2f} ms")
+
+    decisions_text = "\n".join(
+        f"  {d.action:9s} {d.version} — {d.reason}"
+        for d in faulty_decisions + clean_decisions) or "  (none)"
+    lines = [
+        "Deployment rollout benchmark"
+        + (" (smoke)" if smoke else ""),
+        f"  requests/phase : {num_requests}  "
+        f"canary fraction {policy.canary_fraction:.0%}  "
+        f"verdict after {policy.min_requests} candidate requests",
+        f"  injected faults: error_rate 0.70, spike_rate 0.20 "
+        f"(candidate path only)",
+        "",
+        row("baseline v1", baseline),
+        row("faulty canary", faulty),
+        row("clean canary", clean),
+        "",
+        "decisions:",
+        decisions_text,
+        "",
+        f"  faulty v2 rolled back : {rolled_back} "
+        f"(active stayed {after_faulty_active})",
+        f"  clean  v2 promoted    : {promoted} "
+        f"(active now {after_clean_active})",
+    ]
+    report = "\n".join(lines)
+
+    assert baseline["availability"] == 100.0
+    assert faulty["availability"] == 100.0, "degradation must not drop requests"
+    assert rolled_back and after_faulty_active == "v001"
+    assert promoted and after_clean_active == "v002"
+
+    import shutil
+    shutil.rmtree(registry_dir, ignore_errors=True)
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (<10s)")
+    parser.add_argument("--requests", type=int, default=240)
+    parser.add_argument("--hidden-dim", type=int, default=32)
+    args = parser.parse_args()
+    report = run(num_requests=args.requests, hidden_dim=args.hidden_dim,
+                 smoke=args.smoke)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    suffix = "_smoke" if args.smoke else ""
+    out = RESULTS_DIR / f"deployment_rollout{suffix}.txt"
+    out.write_text(report + "\n")
+    print(report)
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import autodiff, baselines, core, data, eval, experiments, graphs
+from . import autodiff, baselines, core, data, deploy, eval, experiments, graphs
 from . import metrics, nn, obs, service, training
 
 # Convenience re-exports of the most-used names.
@@ -40,7 +40,7 @@ from .eval import evaluate_method, format_table, model_predictor, baseline_predi
 from .service import ETAService, OrderSortingService, RTPRequest, RTPService
 
 __all__ = [
-    "autodiff", "baselines", "core", "data", "eval", "experiments",
+    "autodiff", "baselines", "core", "data", "deploy", "eval", "experiments",
     "graphs", "metrics", "nn", "obs", "service", "training",
     "AOI", "Courier", "Location", "RTPInstance", "RTPDataset",
     "GeneratorConfig", "SyntheticWorld", "generate_dataset",

@@ -1,4 +1,4 @@
-"""Command-line interface: generate / train / evaluate / serve / obs.
+"""Command-line interface: generate / train / evaluate / serve / deploy / obs.
 
 Installed as ``repro-rtp``::
 
@@ -8,6 +8,9 @@ Installed as ``repro-rtp``::
     repro-rtp evaluate --data data.csv --model model.npz
     repro-rtp serve --data data.csv --model model.npz --queries 5 \\
         --trace trace.jsonl --metrics-out metrics.prom --profile-ops
+    repro-rtp deploy register --registry reg/ --model model.npz
+    repro-rtp deploy serve --registry reg/ --data data.csv \\
+        --candidate latest --canary-frac 0.2
     repro-rtp obs --file trace.jsonl
 
 ``train`` writes the model config next to the checkpoint
@@ -26,8 +29,10 @@ from pathlib import Path
 
 import numpy as np
 
-from .core import M2G4RTP, M2G4RTPConfig
+from .core import FallbackPredictor, M2G4RTP, M2G4RTPConfig
 from .data import GeneratorConfig, RTPDataset, SyntheticWorld, read_csv, write_csv
+from .deploy import (DeploymentController, FaultInjector, FaultPlan,
+                     ModelRegistry, ResilienceConfig, RolloutPolicy)
 from .eval import evaluate_method, format_table, model_predictor
 from .obs import (EventLog, MetricsRegistry, disable_tracing, enable_tracing,
                   format_span_record, profile_ops, read_jsonl,
@@ -186,6 +191,117 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_deploy(args: argparse.Namespace) -> int:
+    registry = ModelRegistry(args.registry)
+    action = args.deploy_command
+
+    if action == "list":
+        active = registry.active()
+        pinned = registry.pinned()
+        if not registry.versions():
+            print(f"registry {args.registry}: empty")
+            return 0
+        for version in registry.versions():
+            manifest = registry.manifest(version)
+            flags = "".join([
+                " [active]" if version == active else "",
+                " [pinned]" if version == pinned else "",
+            ])
+            metrics = ", ".join(f"{k}={v:.3g}"
+                                for k, v in sorted(manifest.metrics.items()))
+            print(f"{version:12s} seq={manifest.sequence:<3d} "
+                  f"created={manifest.created_at or '-':20s} "
+                  f"sha256={manifest.checkpoint_sha256[:12]} "
+                  f"{metrics}{flags}")
+        return 0
+
+    if action == "register":
+        model = _load_model(Path(args.model))
+        metrics = json.loads(args.metrics) if args.metrics else {}
+        manifest = registry.register(
+            model, version=args.version, metrics=metrics,
+            data_seed=args.data_seed, created_at=args.created_at,
+            notes=args.notes)
+        print(f"registered {manifest.version} "
+              f"(sha256 {manifest.checkpoint_sha256[:12]})")
+        return 0
+
+    if action == "promote":
+        registry.activate(args.version)
+        print(f"active -> {registry.active()}")
+        return 0
+
+    if action == "rollback":
+        previous = registry.rollback_active()
+        print(f"rolled back; active -> {previous}")
+        return 0
+
+    if action == "serve":
+        dataset = read_csv(args.data)
+        _, _, test = dataset.split_by_day()
+        resilience = ResilienceConfig(
+            deadline_ms=args.deadline_ms,
+            max_queue_depth=args.max_queue_depth)
+        policy = RolloutPolicy(
+            canary_fraction=args.canary_frac,
+            min_requests=args.min_requests)
+        initial = None
+        if args.candidate and registry.active() is None:
+            # No ACTIVE pointer yet: serve the newest non-candidate
+            # version so the rollout compares two distinct versions.
+            candidate_version = registry.resolve(args.candidate)
+            others = [v for v in registry.versions()
+                      if v != candidate_version]
+            if not others:
+                print(f"error: {candidate_version} is the only registered "
+                      "version; nothing to roll out over", file=sys.stderr)
+                return 1
+            initial = others[-1]
+        controller = DeploymentController(
+            registry, resilience=resilience, policy=policy,
+            fallback=FallbackPredictor.from_dataset(dataset),
+            initial=initial, seed=args.seed)
+        fault_injector = None
+        if args.fault_error_rate > 0 or args.fault_spike_rate > 0:
+            fault_injector = FaultInjector(FaultPlan(
+                error_rate=args.fault_error_rate,
+                spike_rate=args.fault_spike_rate,
+                latency_spike_ms=args.fault_spike_ms), seed=args.seed)
+        if args.candidate:
+            if args.shadow:
+                controller.start_shadow(args.candidate, fault_injector)
+            else:
+                controller.start_canary(args.candidate,
+                                        fault_injector=fault_injector)
+            print(f"{'shadow' if args.shadow else 'canary'} rollout of "
+                  f"{args.candidate} over primary {controller.active_version}")
+        instances = list(test)
+        degraded = 0
+        for index in range(args.queries):
+            instance = instances[index % len(instances)]
+            response = controller.handle(RTPRequest.from_instance(instance))
+            degraded += int(response.degraded)
+        print(f"served {args.queries} queries, active {controller.active_version}, "
+              f"degraded {degraded} "
+              f"({100.0 * degraded / max(args.queries, 1):.1f}%)")
+        for decision in controller.decisions:
+            print(f"decision: {decision.action} {decision.version} "
+                  f"({decision.reason})")
+        if args.shadow and controller.shadow_stats.requests:
+            stats = controller.shadow_stats
+            print(f"shadow divergence: route mismatch "
+                  f"{100.0 * stats.route_mismatch_rate:.1f}%, "
+                  f"ETA MAE {stats.eta_mae:.2f} min "
+                  f"over {stats.requests} requests")
+        if args.metrics_out:
+            Path(args.metrics_out).write_text(
+                controller.render_metrics() + "\n")
+            print(f"wrote metrics exposition to {args.metrics_out}")
+        return 0
+
+    raise ValueError(f"unknown deploy action {action!r}")
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     dataset = read_csv(args.data)
     for key, value in dataset.summary().items():
@@ -251,6 +367,59 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--show-trees", type=int, default=1,
                      help="number of span trees to print for traces")
     obs.set_defaults(func=cmd_obs)
+
+    deploy = sub.add_parser(
+        "deploy", help="model registry and canary/shadow rollout")
+    deploy_sub = deploy.add_subparsers(dest="deploy_command", required=True)
+
+    deploy_list = deploy_sub.add_parser("list", help="list registry versions")
+    deploy_list.add_argument("--registry", required=True)
+    deploy_list.set_defaults(func=cmd_deploy)
+
+    deploy_register = deploy_sub.add_parser(
+        "register", help="register a trained checkpoint as a new version")
+    deploy_register.add_argument("--registry", required=True)
+    deploy_register.add_argument("--model", required=True,
+                                 help="checkpoint written by `train`")
+    deploy_register.add_argument("--version", default=None)
+    deploy_register.add_argument("--metrics", default=None,
+                                 help='JSON dict, e.g. \'{"mae": 22.4}\'')
+    deploy_register.add_argument("--data-seed", type=int, default=None)
+    deploy_register.add_argument("--created-at", default="",
+                                 help="timestamp string stored verbatim")
+    deploy_register.add_argument("--notes", default="")
+    deploy_register.set_defaults(func=cmd_deploy)
+
+    deploy_promote = deploy_sub.add_parser(
+        "promote", help="point ACTIVE at a version")
+    deploy_promote.add_argument("--registry", required=True)
+    deploy_promote.add_argument("--version", required=True)
+    deploy_promote.set_defaults(func=cmd_deploy)
+
+    deploy_rollback = deploy_sub.add_parser(
+        "rollback", help="re-activate the previously active version")
+    deploy_rollback.add_argument("--registry", required=True)
+    deploy_rollback.set_defaults(func=cmd_deploy)
+
+    deploy_serve = deploy_sub.add_parser(
+        "serve", help="replay queries through the deployment controller")
+    deploy_serve.add_argument("--registry", required=True)
+    deploy_serve.add_argument("--data", required=True)
+    deploy_serve.add_argument("--queries", type=int, default=50)
+    deploy_serve.add_argument("--candidate", default=None,
+                              help="version ref to canary/shadow")
+    deploy_serve.add_argument("--canary-frac", type=float, default=0.2)
+    deploy_serve.add_argument("--shadow", action="store_true",
+                              help="duplicate traffic instead of splitting")
+    deploy_serve.add_argument("--min-requests", type=int, default=20)
+    deploy_serve.add_argument("--deadline-ms", type=float, default=250.0)
+    deploy_serve.add_argument("--max-queue-depth", type=int, default=64)
+    deploy_serve.add_argument("--fault-error-rate", type=float, default=0.0)
+    deploy_serve.add_argument("--fault-spike-rate", type=float, default=0.0)
+    deploy_serve.add_argument("--fault-spike-ms", type=float, default=0.0)
+    deploy_serve.add_argument("--seed", type=int, default=0)
+    deploy_serve.add_argument("--metrics-out", default=None, metavar="PATH")
+    deploy_serve.set_defaults(func=cmd_deploy)
 
     info = sub.add_parser("info", help="summarise a CSV dataset")
     info.add_argument("--data", required=True)

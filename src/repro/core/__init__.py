@@ -19,6 +19,7 @@ from .model import (
     make_variant,
 )
 from .batching import BatchedM2G4RTP, GraphBatch, LevelBatch
+from .fallback import DEFAULT_SPEED, FallbackPredictor, FallbackPrediction
 from .beam import beam_search_route, beam_search_predict
 from .ensemble import EnsemblePredictor, borda_aggregate
 from .postprocess import (
@@ -37,6 +38,7 @@ __all__ = [
     "M2G4RTP", "M2G4RTPConfig", "M2G4RTPOutput", "RTPTargets",
     "VARIANT_NAMES", "make_variant",
     "BatchedM2G4RTP", "GraphBatch", "LevelBatch",
+    "FallbackPredictor", "FallbackPrediction", "DEFAULT_SPEED",
     "beam_search_route", "beam_search_predict",
     "UncertaintyPrediction", "enforce_aoi_contiguity",
     "predict_with_uncertainty", "sample_route",

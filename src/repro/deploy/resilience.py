@@ -1,0 +1,281 @@
+"""Resilience layer: deadline budget, retry, breaker, shedding, fallback.
+
+Industrial ETA stacks pair the heavy learned model with a cheap backup
+path (cf. DeepETA-style systems); this module is that pairing for
+:class:`~repro.service.RTPService`.  :class:`ResilientRTPService`
+wraps any service-like object and guarantees **every** request gets a
+valid route + ETA vector:
+
+* **deadline budget** — each request carries a wall-clock budget; if
+  the model path blows it, the cheap fallback answer is served instead
+  (flagged ``degraded=true``, reason ``deadline``);
+* **retry-once** — one transient model failure inside the budget is
+  retried before degrading (reason ``error`` when the retry also
+  fails);
+* **circuit breaker** — consecutive model failures open the breaker;
+  while open, requests skip the model entirely (reason
+  ``breaker_open``) until a recovery window lets one trial through;
+* **admission control** — when the attached
+  :class:`~repro.service.MicroBatcher` queue exceeds a bound, new
+  requests are shed straight to the fallback (reason ``shed``) instead
+  of growing the queue without bound.
+
+The degraded answer comes from
+:class:`~repro.core.FallbackPredictor` — a distance-greedy route with
+historical-average ETAs — so availability stays at 100% even with the
+model hard-down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.fallback import FallbackPredictor
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import span
+from ..service.request import RTPRequest
+from ..service.rtp_service import RTPResponse
+
+#: Gauge encoding of breaker states.
+BREAKER_STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a timed half-open recovery.
+
+    ``closed`` → (``failure_threshold`` consecutive failures) →
+    ``open`` → (``recovery_seconds`` elapsed) → ``half_open`` → one
+    trial: success closes, failure re-opens.  The clock is injectable
+    so tests control time.
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 recovery_seconds: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_seconds < 0:
+            raise ValueError("recovery_seconds must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self.clock = clock
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.opens = 0   # times the breaker tripped open
+
+    @property
+    def state(self) -> str:
+        """``closed``, ``open`` or ``half_open`` (time-aware)."""
+        if (self._state == "open"
+                and self.clock() - self._opened_at >= self.recovery_seconds):
+            self._state = "half_open"
+        return self._state
+
+    def allow(self) -> bool:
+        """May a model call proceed right now?"""
+        return self.state != "open"
+
+    def record_success(self) -> None:
+        """Model call succeeded: close and reset the failure streak."""
+        self._consecutive_failures = 0
+        self._state = "closed"
+
+    def record_failure(self) -> None:
+        """Model call failed: count it; trip open at the threshold."""
+        self._consecutive_failures += 1
+        if self._state == "half_open":
+            self._trip()
+        elif self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = "open"
+        self._opened_at = self.clock()
+        self._consecutive_failures = 0
+        self.opens += 1
+
+
+@dataclasses.dataclass
+class ResilienceConfig:
+    """Knobs of :class:`ResilientRTPService`."""
+
+    deadline_ms: float = 250.0          # per-request wall-clock budget
+    retry_transient: bool = True        # retry once on a model failure
+    breaker_failure_threshold: int = 3
+    breaker_recovery_seconds: float = 5.0
+    max_queue_depth: int = 64           # admission bound on the batcher
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+
+
+class ResilientRTPService:
+    """Never-fail façade over a model service.
+
+    Parameters
+    ----------
+    service:
+        Anything with ``handle(request) -> RTPResponse`` (an
+        :class:`~repro.service.RTPService`, a monitor, or a
+        fault-injected wrapper).
+    fallback:
+        The cheap predictor used for degraded answers.
+    batcher:
+        Optional :class:`~repro.service.MicroBatcher` whose queue depth
+        gates admission (``pending`` attribute is all that is read).
+    registry:
+        Optional shared metrics registry; exports per-version
+        ``rtp_model_*`` series, ``rtp_degraded_total`` by reason and
+        the ``rtp_breaker_state`` gauge.
+    version:
+        Registry version label stamped on responses and metrics.
+    """
+
+    def __init__(self, service, fallback: Optional[FallbackPredictor] = None,
+                 config: Optional[ResilienceConfig] = None,
+                 batcher=None,
+                 registry: Optional[MetricsRegistry] = None,
+                 version: str = "",
+                 clock: Callable[[], float] = time.perf_counter):
+        self.service = service
+        self.fallback = fallback or FallbackPredictor()
+        self.config = config or ResilienceConfig()
+        self.batcher = batcher
+        self.version = version
+        self.clock = clock
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            recovery_seconds=self.config.breaker_recovery_seconds,
+            clock=clock)
+        # Local tallies (always on) + optional registry instruments.
+        self.counts: Dict[str, int] = {
+            "requests": 0, "model": 0, "degraded": 0, "errors": 0,
+            "retries": 0, "breaker_open": 0, "deadline": 0, "shed": 0,
+            "error": 0,
+        }
+        self._latency_sum_ms = 0.0
+        self._latency_count = 0
+        self._registry = registry
+        if registry is not None:
+            self._m_requests = registry.counter(
+                "rtp_model_requests_total", "Requests per model version",
+                labels=("version",))
+            self._m_errors = registry.counter(
+                "rtp_model_errors_total", "Model failures per version",
+                labels=("version",))
+            self._m_latency = registry.summary(
+                "rtp_model_latency_ms", "Model-path latency per version",
+                labels=("version",))
+            self._m_degraded = registry.counter(
+                "rtp_degraded_total", "Degraded responses by reason",
+                labels=("version", "reason"))
+            self._m_breaker = registry.gauge(
+                "rtp_breaker_state",
+                "Circuit breaker state (0 closed, 1 half-open, 2 open)",
+                labels=("version",))
+
+    # ------------------------------------------------------------------
+    def _publish_breaker(self) -> None:
+        if self._registry is not None:
+            self._m_breaker.labels(version=self.version).set(
+                BREAKER_STATE_VALUES[self.breaker.state])
+
+    def _degraded_response(self, request: RTPRequest, reason: str,
+                           started: float) -> RTPResponse:
+        prediction = self.fallback.predict(request)
+        latency_ms = (self.clock() - started) * 1000.0
+        self.counts["degraded"] += 1
+        self.counts[reason] += 1
+        if self._registry is not None:
+            self._m_degraded.labels(version=self.version, reason=reason).inc()
+        self._publish_breaker()
+        return RTPResponse(
+            route=prediction.route,
+            eta_minutes=prediction.eta_minutes,
+            aoi_route=None,
+            aoi_eta_minutes=None,
+            latency_ms=latency_ms,
+            build_ms=0.0,
+            infer_ms=latency_ms,
+            degraded=True,
+            degraded_reason=reason,
+            model_version=self.version,
+        )
+
+    def _stamp(self, response: RTPResponse) -> RTPResponse:
+        response.model_version = self.version
+        return response
+
+    # ------------------------------------------------------------------
+    def handle(self, request: RTPRequest) -> RTPResponse:
+        """Answer one request, degrading instead of ever failing."""
+        started = self.clock()
+        self.counts["requests"] += 1
+        if self._registry is not None:
+            self._m_requests.labels(version=self.version).inc()
+        with span("rtp.resilient", version=self.version):
+            # Admission control: shed before queueing more work.
+            if (self.batcher is not None
+                    and self.batcher.pending >= self.config.max_queue_depth):
+                return self._degraded_response(request, "shed", started)
+            if not self.breaker.allow():
+                return self._degraded_response(
+                    request, "breaker_open", started)
+
+            attempts = 2 if self.config.retry_transient else 1
+            for attempt in range(attempts):
+                try:
+                    response = self.service.handle(request)
+                except Exception:
+                    self.counts["errors"] += 1
+                    self.breaker.record_failure()
+                    if self._registry is not None:
+                        self._m_errors.labels(version=self.version).inc()
+                    budget_left = (self.config.deadline_ms
+                                   - (self.clock() - started) * 1000.0)
+                    if (attempt + 1 < attempts and budget_left > 0
+                            and self.breaker.allow()):
+                        self.counts["retries"] += 1
+                        continue
+                    return self._degraded_response(request, "error", started)
+                elapsed_ms = (self.clock() - started) * 1000.0
+                if elapsed_ms > self.config.deadline_ms:
+                    # The model answered too late to be useful; serve
+                    # the cheap answer and count the slowness against
+                    # the breaker (slow is a failure mode).
+                    self.breaker.record_failure()
+                    return self._degraded_response(
+                        request, "deadline", started)
+                self.breaker.record_success()
+                self.counts["model"] += 1
+                self._latency_sum_ms += elapsed_ms
+                self._latency_count += 1
+                if self._registry is not None:
+                    self._m_latency.labels(
+                        version=self.version).observe(elapsed_ms)
+                self._publish_breaker()
+                return self._stamp(response)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def handle_batch(self, requests: Sequence[RTPRequest]) -> List[RTPResponse]:
+        """Batched variant: one failed batch degrades its members."""
+        return [self.handle(request) for request in requests]
+
+    # ------------------------------------------------------------------
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of requests answered by the fallback path."""
+        total = self.counts["requests"]
+        return self.counts["degraded"] / total if total else 0.0
+
+    def model_latency_mean_ms(self) -> float:
+        """Mean latency of successful model-path answers (or 0)."""
+        if not self._latency_count:
+            return 0.0
+        return self._latency_sum_ms / self._latency_count

@@ -101,6 +101,9 @@ class Module:
                 f"state dict mismatch: missing={sorted(missing)}, "
                 f"unexpected={sorted(unexpected)}"
             )
+        # Validate every shape before applying anything, so a mismatch
+        # cannot leave the model half-loaded.
+        values: Dict[str, np.ndarray] = {}
         for name, parameter in own.items():
             value = np.asarray(state[name], dtype=np.float64)
             if value.shape != parameter.data.shape:
@@ -108,7 +111,9 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"checkpoint {value.shape} vs model {parameter.data.shape}"
                 )
-            parameter.data[...] = value
+            values[name] = value
+        for name, parameter in own.items():
+            parameter.data[...] = values[name]
 
     # ------------------------------------------------------------------
     # Call protocol

@@ -56,7 +56,13 @@ def request_fingerprint(request: RTPRequest) -> str:
 
 
 class GraphCache:
-    """LRU cache for built graphs with hit/miss accounting."""
+    """LRU cache for built graphs with hit/miss/eviction accounting.
+
+    The counts live on the instance (``hits``/``misses``/``evictions``)
+    and, once :meth:`bind_registry` is called, are also exported through
+    a shared :class:`~repro.obs.metrics.MetricsRegistry` as the
+    ``rtp_graph_cache_*`` counters of the Prometheus exposition.
+    """
 
     def __init__(self, max_size: int):
         if max_size < 1:
@@ -66,6 +72,30 @@ class GraphCache:
             collections.OrderedDict())
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._metric_hits = None
+        self._metric_misses = None
+        self._metric_evictions = None
+        self._metric_size = None
+
+    def bind_registry(self, registry) -> None:
+        """Export the counters as ``rtp_graph_cache_*`` instruments.
+
+        Counts accumulated before binding are carried over, so the
+        exposition agrees with the instance attributes at all times.
+        """
+        self._metric_hits = registry.counter(
+            "rtp_graph_cache_hits_total", "Graph-cache lookups served")
+        self._metric_misses = registry.counter(
+            "rtp_graph_cache_misses_total", "Graph-cache lookups missed")
+        self._metric_evictions = registry.counter(
+            "rtp_graph_cache_evictions_total", "Graph-cache LRU evictions")
+        self._metric_size = registry.gauge(
+            "rtp_graph_cache_size", "Graphs currently cached")
+        self._metric_hits.inc(self.hits)
+        self._metric_misses.inc(self.misses)
+        self._metric_evictions.inc(self.evictions)
+        self._metric_size.set(len(self._entries))
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -75,8 +105,12 @@ class GraphCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.hits += 1
+            if self._metric_hits is not None:
+                self._metric_hits.inc()
             return self._entries[key]
         self.misses += 1
+        if self._metric_misses is not None:
+            self._metric_misses.inc()
         return None
 
     def put(self, key: str, value) -> None:
@@ -85,6 +119,11 @@ class GraphCache:
         self._entries[key] = value
         while len(self._entries) > self.max_size:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            if self._metric_evictions is not None:
+                self._metric_evictions.inc()
+        if self._metric_size is not None:
+            self._metric_size.set(len(self._entries))
 
     def keys(self) -> List[str]:
         """Keys in eviction order (least recently used first)."""
@@ -94,6 +133,9 @@ class GraphCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        if self._metric_size is not None:
+            self._metric_size.set(0)
 
 
 class BatchTicket:

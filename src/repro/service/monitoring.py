@@ -91,6 +91,14 @@ class ServiceMonitor:
             "rtp_cache_hits_total", "Graph-cache hits")
         self._cache_misses = self.registry.gauge(
             "rtp_cache_misses_total", "Graph-cache misses")
+        self._degraded = self.registry.counter(
+            "rtp_degraded_responses_total",
+            "Responses served by the degraded fallback path")
+        # Export the service's GraphCache counters (hits/misses/
+        # evictions/size) as rtp_graph_cache_* through this registry.
+        cache = getattr(service, "cache", None)
+        if cache is not None and hasattr(cache, "bind_registry"):
+            cache.bind_registry(self.registry)
         # Raw latency samples kept for the percentile fields of
         # stats(); the registry holds only bucketed/summed forms.
         self._latencies: List[float] = []
@@ -141,6 +149,8 @@ class ServiceMonitor:
             self._infer_times.append(response.infer_ms)
             self._build.observe(response.build_ms)
             self._infer.observe(response.infer_ms)
+            if getattr(response, "degraded", False):
+                self._degraded.inc()
 
     def _sync_cache_counters(self) -> None:
         self._cache_hits.set(getattr(self.service, "cache_hits", 0))

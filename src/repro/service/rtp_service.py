@@ -35,6 +35,14 @@ class RTPResponse:
     hit) and ``infer_ms`` (model forward; for batched handling, the
     batch's inference time amortised over its members).  The stages sum
     to ``latency_ms`` exactly.
+
+    ``degraded`` marks a response produced by the cheap fallback path
+    of the resilience layer (:mod:`repro.deploy`) instead of the model
+    — still a valid route and ETA vector, flagged so clients and
+    monitoring can tell; ``degraded_reason`` names the trigger
+    (``breaker_open``/``deadline``/``shed``/``error``).
+    ``model_version`` carries the registry version that served the
+    request when the service runs under the deployment controller.
     """
 
     route: np.ndarray
@@ -46,6 +54,9 @@ class RTPResponse:
     infer_ms: float = 0.0
     cache_hit: bool = False
     batch_size: int = 1
+    degraded: bool = False
+    degraded_reason: str = ""
+    model_version: str = ""
 
 
 class RTPService:

@@ -1,9 +1,9 @@
 """Training substrate: multi-task trainer, schedules, checkpoints."""
 
 from .trainer import Trainer, TrainerConfig, TrainingHistory, train_m2g4rtp
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 
 __all__ = [
     "Trainer", "TrainerConfig", "TrainingHistory", "train_m2g4rtp",
-    "save_checkpoint", "load_checkpoint",
+    "save_checkpoint", "load_checkpoint", "CheckpointError",
 ]

@@ -1,26 +1,102 @@
-"""Checkpointing: persist model weights as ``.npz`` archives."""
+"""Checkpointing: persist model weights as ``.npz`` archives.
+
+Two durability guarantees matter for the deployment layer built on top
+(:mod:`repro.deploy`):
+
+* :func:`save_checkpoint` is **atomic** — the archive is written to a
+  temporary file in the destination directory and renamed into place,
+  so a crash mid-write can never leave a truncated file at ``path``.
+* :func:`load_checkpoint` **validates before it applies** — parameter
+  names and shapes are checked against the model first, so a mismatch
+  raises :class:`CheckpointError` with the model left untouched rather
+  than half-applied.
+"""
 
 from __future__ import annotations
 
+import os
+import tempfile
+import zipfile
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
 from ..nn import Module
 
 
-def save_checkpoint(model: Module, path: Union[str, Path]) -> None:
-    """Write the model's parameters to ``path`` (``.npz``)."""
+class CheckpointError(ValueError):
+    """A checkpoint file is unreadable or disagrees with the model."""
+
+
+def _normalized(path: Union[str, Path]) -> Path:
+    """Mirror ``np.savez``'s habit of appending ``.npz`` to bare names."""
     path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def save_checkpoint(model: Module, path: Union[str, Path]) -> Path:
+    """Atomically write the model's parameters to ``path`` (``.npz``).
+
+    The archive lands under a temporary name in the same directory and
+    is renamed over ``path`` only once fully written.  Returns the final
+    path (with the ``.npz`` suffix ``np.savez`` would have added).
+    """
+    path = _normalized(path)
     state = model.state_dict()
-    # Parameter names contain dots; np.savez handles arbitrary keys.
-    np.savez(path, **state)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            # Parameter names contain dots; np.savez handles arbitrary keys.
+            np.savez(handle, **state)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def _read_archive(path: Path) -> Dict[str, np.ndarray]:
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    try:
+        with np.load(path) as archive:
+            return {name: archive[name] for name in archive.files}
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError, KeyError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is corrupt or truncated: {exc}") from exc
 
 
 def load_checkpoint(model: Module, path: Union[str, Path]) -> None:
-    """Load parameters saved by :func:`save_checkpoint` into ``model``."""
-    path = Path(path)
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    Raises :class:`CheckpointError` if the file is unreadable, if the
+    parameter names disagree with the model, or if any shape differs —
+    in every case **before** touching any model parameter.
+    """
+    path = _normalized(path)
+    state = _read_archive(path)
+    own = dict(model.named_parameters())
+    missing = sorted(set(own) - set(state))
+    unexpected = sorted(set(state) - set(own))
+    if missing or unexpected:
+        raise CheckpointError(
+            f"checkpoint {path} does not match the model: "
+            f"missing={missing}, unexpected={unexpected}")
+    bad_shapes = [
+        f"{name}: checkpoint {np.asarray(state[name]).shape} "
+        f"vs model {parameter.data.shape}"
+        for name, parameter in own.items()
+        if np.asarray(state[name]).shape != parameter.data.shape
+    ]
+    if bad_shapes:
+        raise CheckpointError(
+            f"checkpoint {path} has mismatched shapes: "
+            + "; ".join(bad_shapes))
     model.load_state_dict(state)

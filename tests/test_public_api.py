@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.eval",
     "repro.service",
     "repro.experiments",
+    "repro.deploy",
 ]
 
 

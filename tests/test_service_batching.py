@@ -238,3 +238,91 @@ def test_bench_smoke_mode(tmp_path, monkeypatch):
     assert "mode=smoke" in report
     assert "parity" in report and "FAILED" not in report
     assert (tmp_path / "batched_inference_smoke.txt").exists()
+
+
+# ----------------------------------------------------------------------
+# MicroBatcher edge cases: semantics the resilience layer builds on
+# ----------------------------------------------------------------------
+class TestMicroBatcherEdgeCases:
+    def test_flush_on_empty_queue_is_noop(self, service):
+        batcher = MicroBatcher(service)
+        assert batcher.flush() == 0
+        assert batcher.batches_flushed == 0
+        assert batcher.requests_flushed == 0
+
+    def test_ticket_result_read_twice_returns_same_response(self, service,
+                                                            requests):
+        batcher = MicroBatcher(service, max_batch_size=1)
+        ticket = batcher.submit(requests[0])
+        assert ticket.done
+        first = ticket.result()
+        second = ticket.result()
+        assert first is second
+        np.testing.assert_array_equal(first.route, second.route)
+
+    def test_submit_after_poll_drained_queue(self, service, requests):
+        clock = FakeClock()
+        batcher = MicroBatcher(service, max_batch_size=8, max_wait_ms=5.0,
+                               clock=clock)
+        first = batcher.submit(requests[0])
+        clock.advance_ms(6.0)
+        assert batcher.poll() == 1
+        assert first.done and batcher.pending == 0
+        # A poll right after the drain is a no-op, and a fresh submit
+        # starts a new batch with a fresh wait window.
+        assert batcher.poll() == 0
+        second = batcher.submit(requests[1])
+        assert not second.done and batcher.pending == 1
+        assert batcher.poll() == 0          # window not yet aged out
+        clock.advance_ms(6.0)
+        assert batcher.poll() == 1
+        assert second.done
+        assert batcher.batches_flushed == 2
+        assert batcher.requests_flushed == 2
+
+
+# ----------------------------------------------------------------------
+# GraphCache counters in the shared metrics exposition
+# ----------------------------------------------------------------------
+class TestGraphCacheMetricsExport:
+    def test_eviction_counting(self):
+        cache = GraphCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.evictions == 1
+        assert cache.keys() == ["b", "c"]
+        cache.clear()
+        assert cache.evictions == 0
+
+    def test_counters_rendered_through_monitor_registry(self, model,
+                                                        requests):
+        monitor = ServiceMonitor(RTPService(model, cache_size=2))
+        monitor.handle(requests[0])      # miss
+        monitor.handle(requests[0])      # hit
+        monitor.handle(requests[1])      # miss
+        monitor.handle(requests[2])      # miss -> evicts requests[0]
+        text = monitor.render_metrics()
+        assert "rtp_graph_cache_hits_total 1" in text
+        assert "rtp_graph_cache_misses_total 3" in text
+        assert "rtp_graph_cache_evictions_total 1" in text
+        assert "rtp_graph_cache_size 2" in text
+
+    def test_bind_backfills_preexisting_counts(self, model, requests):
+        from repro.obs import MetricsRegistry
+        service = RTPService(model, cache_size=4)
+        service.handle(requests[0])
+        service.handle(requests[0])
+        registry = MetricsRegistry()
+        service.cache.bind_registry(registry)
+        text = registry.render()
+        assert "rtp_graph_cache_hits_total 1" in text
+        assert "rtp_graph_cache_misses_total 1" in text
+
+    def test_unbound_cache_keeps_local_counts_only(self, model, requests):
+        service = RTPService(model, cache_size=4)
+        service.handle(requests[0])
+        service.handle(requests[0])
+        assert service.cache.hits == 1
+        assert service.cache.misses == 1
+        assert service.cache.evictions == 0
