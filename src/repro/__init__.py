@@ -20,7 +20,7 @@ Quickstart::
 __version__ = "1.0.0"
 
 from . import autodiff, baselines, core, data, deploy, eval, experiments, graphs
-from . import metrics, nn, obs, service, training
+from . import metrics, nn, obs, parallel, service, training
 
 # Convenience re-exports of the most-used names.
 from .data import (
@@ -38,10 +38,12 @@ from .core import M2G4RTP, M2G4RTPConfig, RTPTargets, make_variant
 from .training import Trainer, TrainerConfig, train_m2g4rtp
 from .eval import evaluate_method, format_table, model_predictor, baseline_predictor
 from .service import ETAService, OrderSortingService, RTPRequest, RTPService
+from .parallel import DataParallelTrainer, ParallelConfig, ParallelDataLoader
 
 __all__ = [
     "autodiff", "baselines", "core", "data", "deploy", "eval", "experiments",
-    "graphs", "metrics", "nn", "obs", "service", "training",
+    "graphs", "metrics", "nn", "obs", "parallel", "service", "training",
+    "DataParallelTrainer", "ParallelConfig", "ParallelDataLoader",
     "AOI", "Courier", "Location", "RTPInstance", "RTPDataset",
     "GeneratorConfig", "SyntheticWorld", "generate_dataset",
     "GraphBuilder", "MultiLevelGraph",

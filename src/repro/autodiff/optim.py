@@ -8,7 +8,7 @@ training substrate.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -16,7 +16,20 @@ from .tensor import Tensor
 
 
 class Optimizer:
-    """Base class holding a parameter list and the ``zero_grad`` loop."""
+    """Base class holding a parameter list and the ``zero_grad`` loop.
+
+    Every optimiser can round-trip its internal state (step counter,
+    momentum / moment buffers) through :meth:`state_dict` /
+    :meth:`load_state_dict`, so a resumed or data-parallel run continues
+    *identically* to an uninterrupted one.  The state format is a plain
+    dict of scalars and numpy arrays — the checkpoint layer
+    (:mod:`repro.training.checkpoint`) persists it alongside the model
+    weights.
+    """
+
+    #: Names of per-parameter numpy buffers (one list per name, aligned
+    #: with ``self.parameters``); subclasses override.
+    _slot_names: tuple = ()
 
     def __init__(self, parameters: Iterable[Tensor], lr: float):
         self.parameters: List[Tensor] = [p for p in parameters]
@@ -31,9 +44,70 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # State round-trip
+    # ------------------------------------------------------------------
+    def _scalar_state(self) -> Dict[str, float]:
+        """Scalar entries of the state; subclasses extend."""
+        return {"lr": self.lr}
+
+    def _load_scalar_state(self, state: Dict[str, float]) -> None:
+        self.lr = float(state["lr"])
+
+    def state_dict(self) -> Dict[str, object]:
+        """Full optimiser state: scalars plus per-parameter buffers.
+
+        Returns ``{"kind": <class name>, "scalars": {...},
+        "slots": {name: [array, ...]}}`` with the arrays copied, so the
+        caller can serialise or stash the dict without aliasing live
+        buffers.
+        """
+        return {
+            "kind": type(self).__name__,
+            "scalars": dict(self._scalar_state()),
+            "slots": {
+                name: [buffer.copy() for buffer in getattr(self, name)]
+                for name in self._slot_names
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state saved by :meth:`state_dict`.
+
+        Validates the optimiser kind and every buffer shape against the
+        current parameter list *before* mutating anything, so a mismatch
+        leaves the optimiser untouched.
+        """
+        kind = state.get("kind")
+        if kind != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for {kind!r}, not {type(self).__name__!r}")
+        slots = state.get("slots", {})
+        missing = sorted(set(self._slot_names) - set(slots))
+        if missing:
+            raise ValueError(f"optimizer state missing buffers: {missing}")
+        for name in self._slot_names:
+            buffers = slots[name]
+            if len(buffers) != len(self.parameters):
+                raise ValueError(
+                    f"optimizer state has {len(buffers)} {name!r} buffers "
+                    f"for {len(self.parameters)} parameters")
+            for buffer, parameter in zip(buffers, self.parameters):
+                if np.asarray(buffer).shape != parameter.data.shape:
+                    raise ValueError(
+                        f"optimizer buffer {name} shape "
+                        f"{np.asarray(buffer).shape} does not match "
+                        f"parameter shape {parameter.data.shape}")
+        self._load_scalar_state(state["scalars"])
+        for name in self._slot_names:
+            setattr(self, name, [np.asarray(buffer, dtype=np.float64).copy()
+                                 for buffer in slots[name]])
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
+
+    _slot_names = ("_velocity",)
 
     def __init__(self, parameters: Iterable[Tensor], lr: float = 0.01,
                  momentum: float = 0.0, weight_decay: float = 0.0):
@@ -59,6 +133,8 @@ class SGD(Optimizer):
 class Adam(Optimizer):
     """Adam (Kingma & Ba, 2015) — the optimiser used for every deep model here."""
 
+    _slot_names = ("_m", "_v")
+
     def __init__(self, parameters: Iterable[Tensor], lr: float = 1e-3,
                  betas: tuple = (0.9, 0.999), eps: float = 1e-8,
                  weight_decay: float = 0.0):
@@ -69,6 +145,15 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
         self._t = 0
+
+    def _scalar_state(self) -> Dict[str, float]:
+        state = super()._scalar_state()
+        state["t"] = self._t
+        return state
+
+    def _load_scalar_state(self, state: Dict[str, float]) -> None:
+        super()._load_scalar_state(state)
+        self._t = int(state["t"])
 
     def step(self) -> None:
         self._t += 1
@@ -106,6 +191,8 @@ class AdamW(Adam):
 
 class RMSprop(Optimizer):
     """RMSprop (Tieleman & Hinton) — adaptive per-parameter step sizes."""
+
+    _slot_names = ("_square_avg",)
 
     def __init__(self, parameters: Iterable[Tensor], lr: float = 1e-3,
                  alpha: float = 0.99, eps: float = 1e-8,

@@ -37,6 +37,7 @@ from .eval import evaluate_method, format_table, model_predictor
 from .obs import (EventLog, MetricsRegistry, disable_tracing, enable_tracing,
                   format_span_record, profile_ops, read_jsonl,
                   summarize_events, summarize_spans)
+from .parallel import DataParallelTrainer, ParallelConfig
 from .service import (ETAService, OrderSortingService, RTPRequest, RTPService,
                       ServiceMonitor)
 from .training import Trainer, TrainerConfig, load_checkpoint, save_checkpoint
@@ -90,9 +91,25 @@ def cmd_train(args: argparse.Namespace) -> int:
     event_log = EventLog(args.events) if args.events else None
     registry = MetricsRegistry() if args.metrics_out else None
     collector = enable_tracing() if args.trace else None
-    trainer = Trainer(model, TrainerConfig(
-        epochs=args.epochs, learning_rate=args.lr, verbose=not args.quiet),
-        event_log=event_log, registry=registry)
+    trainer_config = TrainerConfig(
+        epochs=args.epochs, learning_rate=args.lr,
+        batch_size=args.batch_size, verbose=not args.quiet)
+    if args.workers > 0:
+        parallel = ParallelConfig(
+            num_workers=args.workers,
+            loader_workers=args.loader_workers,
+            prefetch=args.prefetch,
+            deadline_s=(args.step_deadline_ms / 1000.0
+                        if args.step_deadline_ms else None),
+            accumulate_steps=args.accumulate)
+        print(f"data-parallel training with {args.workers} workers "
+              f"(prefetch {args.prefetch})")
+        trainer: Trainer = DataParallelTrainer(
+            model, trainer_config, parallel,
+            event_log=event_log, registry=registry)
+    else:
+        trainer = Trainer(model, trainer_config,
+                          event_log=event_log, registry=registry)
     try:
         history = trainer.fit(train, validation)
     finally:
@@ -331,8 +348,20 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=12)
     train.add_argument("--lr", type=float, default=3e-3)
     train.add_argument("--hidden-dim", type=int, default=32)
+    train.add_argument("--batch-size", type=int, default=1)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--quiet", action="store_true")
+    train.add_argument("--workers", type=int, default=0,
+                       help="gradient worker processes (0 = sequential)")
+    train.add_argument("--prefetch", type=int, default=4,
+                       help="max in-flight batches in the data pipeline")
+    train.add_argument("--loader-workers", type=int, default=0,
+                       help="graph-building worker processes (0 = inline)")
+    train.add_argument("--step-deadline-ms", type=float, default=0.0,
+                       help="per-step straggler deadline; late shards are "
+                            "dropped and the gradient rescaled (0 = wait)")
+    train.add_argument("--accumulate", type=int, default=1,
+                       help="gradient-accumulation micro-batches per step")
     train.add_argument("--events", default=None, metavar="PATH",
                        help="write per-epoch telemetry JSONL here")
     train.add_argument("--trace", default=None, metavar="PATH",

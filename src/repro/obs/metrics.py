@@ -15,6 +15,19 @@ Label support follows the Prometheus client idiom::
 
 Instruments declared without labels are used directly
 (``counter.inc()``, ``gauge.set(3.0)``, ``histogram.observe(12.5)``).
+
+Concurrency contract:
+
+* **Threads** — every write (``inc``/``set``/``observe``) and
+  ``render()`` runs under the instrument's lock, so instruments are
+  safe to hammer from many threads (the service monitor and the
+  parallel-training main loop do exactly that); no increments are lost.
+* **Processes** — a registry is **per-process** state and is *not*
+  shared across ``fork``/``spawn``; each process that wants metrics
+  owns its own registry.  The parallel-training worker pool follows a
+  single-writer design: workers ship raw step statistics back over the
+  result queue and only the coordinator process writes them into its
+  registry (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -78,13 +91,25 @@ class _Instrument:
                 "use .labels(...) to select a child")
         return ()
 
+    def _cell_unlocked(self, key: Tuple[str, ...]):
+        cell = self._values.get(key)
+        if cell is None:
+            cell = self._new_cell()
+            self._values[key] = cell
+        return cell
+
     def _cell(self, key: Tuple[str, ...]):
         with self._lock:
-            cell = self._values.get(key)
-            if cell is None:
-                cell = self._new_cell()
-                self._values[key] = cell
-            return cell
+            return self._cell_unlocked(key)
+
+    def _mutate(self, key: Tuple[str, ...], update) -> None:
+        """Run ``update(cell)`` under the lock — the only write path.
+
+        Fetch-then-mutate outside the lock would drop concurrent
+        updates; every ``inc``/``set``/``observe`` funnels through here.
+        """
+        with self._lock:
+            update(self._cell_unlocked(key))
 
     def _new_cell(self):
         raise NotImplementedError
@@ -101,12 +126,14 @@ class _Instrument:
         if self.help:
             lines.append(f"# HELP {self.name} {self.help}")
         lines.append(f"# TYPE {self.name} {self.kind}")
+        # Format under the lock so a concurrent observe cannot yield a
+        # torn cell (e.g. a histogram sum without its count).
         with self._lock:
             items = sorted(self._values.items())
-        if not items and not self.label_names:
-            items = [((), self._new_cell())]
-        for key, cell in items:
-            lines.extend(self._render_cell(key, cell))
+            if not items and not self.label_names:
+                items = [((), self._new_cell())]
+            for key, cell in items:
+                lines.extend(self._render_cell(key, cell))
         return lines
 
     def _render_cell(self, key, cell) -> List[str]:
@@ -151,7 +178,11 @@ class Counter(_Instrument):
     def _inc(self, key, amount: float) -> None:
         if amount < 0:
             raise ValueError(f"{self.name}: counters cannot decrease")
-        self._cell(key)[0] += amount
+
+        def update(cell):
+            cell[0] += amount
+
+        self._mutate(key, update)
 
     def _get(self, key) -> float:
         return self._cell(key)[0]
@@ -183,10 +214,16 @@ class Gauge(_Instrument):
         self._inc(self._unlabeled(), amount)
 
     def _set(self, key, value: float) -> None:
-        self._cell(key)[0] = float(value)
+        def update(cell):
+            cell[0] = float(value)
+
+        self._mutate(key, update)
 
     def _inc(self, key, amount: float) -> None:
-        self._cell(key)[0] += amount
+        def update(cell):
+            cell[0] += amount
+
+        self._mutate(key, update)
 
     def _get(self, key) -> float:
         return self._cell(key)[0]
@@ -214,9 +251,11 @@ class Summary(_Instrument):
         self._observe(self._unlabeled(), value)
 
     def _observe(self, key, value: float) -> None:
-        cell = self._cell(key)
-        cell[0] += float(value)
-        cell[1] += 1
+        def update(cell):
+            cell[0] += float(value)
+            cell[1] += 1
+
+        self._mutate(key, update)
 
     def _get(self, key) -> float:
         return self._cell(key)[0]
@@ -263,13 +302,15 @@ class Histogram(_Instrument):
         self._observe(self._unlabeled(), value)
 
     def _observe(self, key, value: float) -> None:
-        cell = self._cell(key)
-        cell["sum"] += float(value)
-        cell["count"] += 1
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                cell["counts"][index] += 1
-                break
+        def update(cell):
+            cell["sum"] += float(value)
+            cell["count"] += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    cell["counts"][index] += 1
+                    break
+
+        self._mutate(key, update)
 
     @property
     def count(self) -> int:

@@ -1,0 +1,34 @@
+"""Parallel training subsystem: data pipeline and data-parallel workers.
+
+Two cooperating pieces turn the single-process numpy training loop into
+a multi-process one without changing what it computes:
+
+* :class:`ParallelDataLoader` — a multiprocessing data pipeline that
+  transforms and batches samples ahead of the consumer behind a bounded
+  prefetch queue, with deterministic per-item seeding and clean
+  shutdown;
+* :class:`DataParallelTrainer` — a drop-in
+  :class:`~repro.training.trainer.Trainer` that shards every mini-batch
+  across a pool of gradient worker processes and aggregates their
+  gradients with elastic, straggler-tolerant averaging (per-step
+  deadlines with drop-and-rescale, worker heartbeats, automatic
+  respawn of dead workers).
+
+Configuration lives on :class:`ParallelConfig`; the CLI exposes it as
+``repro-rtp train --workers N --prefetch K``.  Fault injection for the
+resilience tests reuses :class:`~repro.deploy.faults.FaultInjector`.
+"""
+
+from .loader import ParallelDataLoader
+from .trainer import DataParallelTrainer, ParallelConfig, train_parallel
+from .worker import GradientWorkerPool, StepResult, default_start_method
+
+__all__ = [
+    "ParallelDataLoader",
+    "DataParallelTrainer",
+    "ParallelConfig",
+    "train_parallel",
+    "GradientWorkerPool",
+    "StepResult",
+    "default_start_method",
+]

@@ -1,0 +1,291 @@
+"""Prefetching, multiprocessing data pipeline.
+
+:class:`ParallelDataLoader` turns ``transform(items[i])`` over a
+sequence into an ordered stream of batches produced by a pool of worker
+processes, with a **bounded prefetch window**: at most ``prefetch``
+batches are in flight at any moment, so a fast producer cannot balloon
+memory ahead of a slow consumer.
+
+Guarantees:
+
+* **Order** — batches are yielded in submission order regardless of
+  which worker finishes first (out-of-order arrivals are parked until
+  their turn).
+* **Determinism** — stochastic transforms receive an RNG seeded by
+  ``(seed, item_index)``; the produced samples are identical for any
+  ``num_workers`` (including 0) and any worker scheduling.
+* **Clean shutdown** — :meth:`close` (or leaving the ``with`` block)
+  sends stop sentinels, joins the workers, and terminates any that
+  ignore the sentinel; abandoned iterations are drained lazily via
+  generation tags rather than blocking.
+* **Elasticity** — a loader worker that dies mid-chunk has its
+  outstanding chunks recomputed in the coordinator process (correct,
+  just slower) and is respawned for subsequent chunks.
+
+``num_workers=0`` degrades to a synchronous in-process loop with the
+same seeding, which is both the fallback for constrained environments
+and the reference behaviour the parallel path must reproduce.
+"""
+
+from __future__ import annotations
+
+import inspect
+import queue
+import multiprocessing
+import time
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..obs.tracing import span
+from .worker import default_start_method, loader_worker_main
+
+__all__ = ["ParallelDataLoader"]
+
+
+def _transform_wants_rng(transform) -> bool:
+    """True when ``transform`` accepts a second (rng) argument."""
+    if transform is None:
+        return False
+    try:
+        signature = inspect.signature(transform)
+    except (TypeError, ValueError):
+        return False
+    positional = [
+        parameter for parameter in signature.parameters.values()
+        if parameter.kind in (parameter.POSITIONAL_ONLY,
+                              parameter.POSITIONAL_OR_KEYWORD)
+    ]
+    if any(parameter.kind == parameter.VAR_POSITIONAL
+           for parameter in signature.parameters.values()):
+        return True
+    return len(positional) >= 2
+
+
+class ParallelDataLoader:
+    """Worker-pool loader yielding ordered batches of transformed items.
+
+    Parameters
+    ----------
+    items:
+        The source sequence (dataset instances, indices, …).  Must be
+        picklable under ``spawn``; under ``fork`` it is inherited.
+    transform:
+        ``transform(item)`` or ``transform(item, rng)`` applied in the
+        workers; ``None`` passes items through.
+    batch_size / num_workers / prefetch / seed:
+        Batching, pool size, max in-flight batches, RNG base seed.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; the loader
+        (a single writer — the consumer process) records
+        ``rtp_train_loader_batches_total`` and
+        ``rtp_train_loader_wait_seconds``.
+    """
+
+    def __init__(self, items: Sequence, transform=None, *,
+                 batch_size: int = 1, num_workers: int = 2,
+                 prefetch: int = 4, seed: int = 0,
+                 start_method: Optional[str] = None,
+                 registry=None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if prefetch < 1:
+            raise ValueError("prefetch must be >= 1")
+        self.items = items
+        self.transform = transform
+        self.batch_size = batch_size
+        self.num_workers = num_workers
+        self.prefetch = prefetch
+        self.seed = seed
+        self.registry = registry
+        self._wants_rng = _transform_wants_rng(transform)
+        self._generation = 0
+        self._iterating = False
+        self._closed = False
+        self._processes: List = []
+        self._task_queues: List = []
+        self._result_queue = None
+        if num_workers > 0:
+            self._ctx = multiprocessing.get_context(
+                start_method or default_start_method())
+            self._result_queue = self._ctx.Queue()
+            for worker_id in range(num_workers):
+                self._task_queues.append(self._ctx.Queue())
+                self._processes.append(self._start_worker(worker_id))
+
+    # ------------------------------------------------------------------
+    def _start_worker(self, worker_id: int):
+        process = self._ctx.Process(
+            target=loader_worker_main,
+            args=(worker_id, self.items, self.transform, self._wants_rng,
+                  self.seed, self._task_queues[worker_id],
+                  self._result_queue),
+            daemon=True,
+            name=f"rtp-loader-worker-{worker_id}")
+        process.start()
+        return process
+
+    def __len__(self) -> int:
+        """Number of batches per pass."""
+        return (len(self.items) + self.batch_size - 1) // self.batch_size
+
+    def _transform_one(self, index: int):
+        item = self.items[index]
+        if self.transform is None:
+            return item
+        if self._wants_rng:
+            return self.transform(item, np.random.default_rng(
+                (self.seed, index)))
+        return self.transform(item)
+
+    # ------------------------------------------------------------------
+    def iter_batches(self, order: Optional[Sequence[int]] = None
+                     ) -> Iterator[list]:
+        """Yield ordered batches over ``order`` (default: natural order).
+
+        The loader is reusable — call again (e.g. once per epoch with a
+        fresh shuffle) and the same persistent workers serve the pass.
+        Only one iteration may be active at a time.
+        """
+        if self._closed:
+            raise RuntimeError("loader is closed")
+        if self._iterating:
+            raise RuntimeError("loader already has an active iteration")
+        indices = (list(range(len(self.items))) if order is None
+                   else [int(i) for i in order])
+        chunks = [indices[offset:offset + self.batch_size]
+                  for offset in range(0, len(indices), self.batch_size)]
+        if self.num_workers == 0:
+            for chunk in chunks:
+                self._record_batch(0.0)
+                yield [self._transform_one(index) for index in chunk]
+            return
+        self._iterating = True
+        self._generation += 1
+        try:
+            yield from self._iter_parallel(chunks)
+        finally:
+            self._iterating = False
+
+    __iter__ = iter_batches
+
+    def _iter_parallel(self, chunks: List[List[int]]) -> Iterator[list]:
+        generation = self._generation
+        next_submit = 0
+        next_yield = 0
+        parked: Dict[int, list] = {}
+        outstanding: Dict[int, int] = {}   # chunk seq -> worker id
+
+        def submit(sequence: int) -> None:
+            worker_id = sequence % self.num_workers
+            outstanding[sequence] = worker_id
+            self._task_queues[worker_id].put(
+                ("chunk", (generation, sequence), chunks[sequence]))
+
+        while next_submit < len(chunks) and next_submit < self.prefetch:
+            submit(next_submit)
+            next_submit += 1
+
+        while next_yield < len(chunks):
+            if next_yield in parked:
+                batch = parked.pop(next_yield)
+                if next_submit < len(chunks):
+                    submit(next_submit)
+                    next_submit += 1
+                next_yield += 1
+                yield batch
+                continue
+            waited = time.perf_counter()
+            try:
+                message = self._result_queue.get(timeout=0.25)
+            except queue.Empty:
+                self._recover_dead_workers(chunks, outstanding, parked)
+                continue
+            wait_seconds = time.perf_counter() - waited
+            kind = message[0]
+            chunk_generation, sequence = message[2]
+            if chunk_generation != generation:
+                continue            # abandoned iteration's leftovers
+            outstanding.pop(sequence, None)
+            if kind == "chunk_error":
+                raise RuntimeError(
+                    f"loader worker {message[1]} failed on batch "
+                    f"{sequence}: {message[3]}")
+            self._record_batch(wait_seconds)
+            parked[sequence] = message[3]
+
+    def _recover_dead_workers(self, chunks: List[List[int]],
+                              outstanding: Dict[int, int],
+                              parked: Dict[int, list]) -> None:
+        """Recompute chunks owned by dead workers in-process; respawn."""
+        dead = [worker_id for worker_id, process
+                in enumerate(self._processes) if not process.is_alive()]
+        if not dead:
+            return
+        for worker_id in dead:
+            self._processes[worker_id].join(timeout=1.0)
+            self._task_queues[worker_id] = self._ctx.Queue()
+            self._processes[worker_id] = self._start_worker(worker_id)
+            if self.registry is not None:
+                self.registry.counter(
+                    "rtp_train_loader_respawns_total",
+                    "Loader workers respawned after dying").inc()
+        # Chunks the dead workers will never answer: do them here.  (A
+        # racing late answer is harmless — parked.setdefault ignores it,
+        # and per-index seeding makes both computations identical.)
+        for sequence, worker_id in list(outstanding.items()):
+            if worker_id in dead:
+                del outstanding[sequence]
+                self._record_batch(0.0)
+                parked.setdefault(sequence, [
+                    self._transform_one(index)
+                    for index in chunks[sequence]])
+
+    def _record_batch(self, wait_seconds: float) -> None:
+        if self.registry is None:
+            return
+        self.registry.counter(
+            "rtp_train_loader_batches_total",
+            "Batches produced by the data pipeline").inc()
+        self.registry.summary(
+            "rtp_train_loader_wait_seconds",
+            "Consumer time blocked waiting for the next batch"
+        ).observe(wait_seconds)
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the pool: sentinel, join, terminate stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=timeout)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        if self._result_queue is not None:
+            self._result_queue.close()
+        for task_queue in self._task_queues:
+            task_queue.close()
+
+    def __enter__(self) -> "ParallelDataLoader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def map(self, order: Optional[Sequence[int]] = None) -> list:
+        """Transform everything and return one flat list (all batches)."""
+        with span("parallel.loader.map", items=len(self.items)):
+            samples: list = []
+            for batch in self.iter_batches(order):
+                samples.extend(batch)
+            return samples

@@ -1,4 +1,4 @@
-"""Checkpointing: persist model weights as ``.npz`` archives.
+"""Checkpointing: persist model weights (and optimiser state) as ``.npz``.
 
 Two durability guarantees matter for the deployment layer built on top
 (:mod:`repro.deploy`):
@@ -10,19 +10,35 @@ Two durability guarantees matter for the deployment layer built on top
   names and shapes are checked against the model first, so a mismatch
   raises :class:`CheckpointError` with the model left untouched rather
   than half-applied.
+
+Passing ``optimizer=`` to both functions additionally round-trips the
+optimiser's internal state (Adam moments, momentum velocities, step
+counter, learning rate) inside the same archive under a reserved
+``__optim__/`` key prefix, so a resumed run continues *identically* to
+an uninterrupted one.  Checkpoints written without optimiser state load
+fine without it, and checkpoints written *with* it stay loadable by
+callers that only care about the weights.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
 import zipfile
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
+from ..autodiff.optim import Optimizer
 from ..nn import Module
+
+#: Reserved key prefix separating optimiser entries from parameter names
+#: (model parameter paths are dotted attribute names and never contain
+#: a slash, so the prefix cannot collide).
+_OPTIM_PREFIX = "__optim__/"
+_OPTIM_META = _OPTIM_PREFIX + "meta"
 
 
 class CheckpointError(ValueError):
@@ -37,15 +53,37 @@ def _normalized(path: Union[str, Path]) -> Path:
     return path
 
 
-def save_checkpoint(model: Module, path: Union[str, Path]) -> Path:
+def _optimizer_entries(optimizer: Optimizer) -> Dict[str, np.ndarray]:
+    """Flatten ``optimizer.state_dict()`` into npz-storable arrays."""
+    state = optimizer.state_dict()
+    entries: Dict[str, np.ndarray] = {}
+    meta = {
+        "kind": state["kind"],
+        "scalars": state["scalars"],
+        "slots": {name: len(buffers)
+                  for name, buffers in state["slots"].items()},
+    }
+    entries[_OPTIM_META] = np.array(json.dumps(meta))
+    for name, buffers in state["slots"].items():
+        for index, buffer in enumerate(buffers):
+            entries[f"{_OPTIM_PREFIX}slot/{name}/{index}"] = buffer
+    return entries
+
+
+def save_checkpoint(model: Module, path: Union[str, Path],
+                    optimizer: Optional[Optimizer] = None) -> Path:
     """Atomically write the model's parameters to ``path`` (``.npz``).
 
     The archive lands under a temporary name in the same directory and
-    is renamed over ``path`` only once fully written.  Returns the final
-    path (with the ``.npz`` suffix ``np.savez`` would have added).
+    is renamed over ``path`` only once fully written.  With
+    ``optimizer=``, its :meth:`~repro.autodiff.optim.Optimizer.state_dict`
+    is stored in the same archive.  Returns the final path (with the
+    ``.npz`` suffix ``np.savez`` would have added).
     """
     path = _normalized(path)
     state = model.state_dict()
+    if optimizer is not None:
+        state.update(_optimizer_entries(optimizer))
     fd, tmp_name = tempfile.mkstemp(
         prefix=path.name + ".", suffix=".tmp", dir=path.parent)
     try:
@@ -73,15 +111,55 @@ def _read_archive(path: Path) -> Dict[str, np.ndarray]:
             f"checkpoint {path} is corrupt or truncated: {exc}") from exc
 
 
-def load_checkpoint(model: Module, path: Union[str, Path]) -> None:
+def _restore_optimizer(optimizer: Optimizer,
+                       entries: Dict[str, np.ndarray], path: Path) -> None:
+    if _OPTIM_META not in entries:
+        raise CheckpointError(
+            f"checkpoint {path} has no optimizer state; it was saved "
+            "without optimizer= and cannot resume one")
+    try:
+        meta = json.loads(str(entries[_OPTIM_META]))
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} has corrupt optimizer metadata: {exc}"
+        ) from exc
+    slots = {}
+    for name, count in meta["slots"].items():
+        buffers = []
+        for index in range(count):
+            key = f"{_OPTIM_PREFIX}slot/{name}/{index}"
+            if key not in entries:
+                raise CheckpointError(
+                    f"checkpoint {path} is missing optimizer buffer {key}")
+            buffers.append(entries[key])
+        slots[name] = buffers
+    try:
+        optimizer.load_state_dict({
+            "kind": meta["kind"],
+            "scalars": meta["scalars"],
+            "slots": slots,
+        })
+    except ValueError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} optimizer state does not match: {exc}"
+        ) from exc
+
+
+def load_checkpoint(model: Module, path: Union[str, Path],
+                    optimizer: Optional[Optimizer] = None) -> None:
     """Load parameters saved by :func:`save_checkpoint` into ``model``.
 
     Raises :class:`CheckpointError` if the file is unreadable, if the
     parameter names disagree with the model, or if any shape differs —
-    in every case **before** touching any model parameter.
+    in every case **before** touching any model parameter.  With
+    ``optimizer=``, the archive's optimiser state is restored into it
+    as well (raising :class:`CheckpointError` if the archive was saved
+    without one or it does not fit the optimiser's parameters).
     """
     path = _normalized(path)
-    state = _read_archive(path)
+    archive = _read_archive(path)
+    state = {name: value for name, value in archive.items()
+             if not name.startswith(_OPTIM_PREFIX)}
     own = dict(model.named_parameters())
     missing = sorted(set(own) - set(state))
     unexpected = sorted(set(state) - set(own))
@@ -99,4 +177,8 @@ def load_checkpoint(model: Module, path: Union[str, Path]) -> None:
         raise CheckpointError(
             f"checkpoint {path} has mismatched shapes: "
             + "; ".join(bad_shapes))
+    if optimizer is not None:
+        # Validate the optimizer state before applying model weights so
+        # a mismatch leaves both objects untouched.
+        _restore_optimizer(optimizer, archive, path)
     model.load_state_dict(state)

@@ -254,6 +254,96 @@ class TestRegistry:
         assert registry.counter("x_total") is counter
 
 
+class TestRegistryThreadSafety:
+    """Every write path mutates under the instrument lock, so hammering
+    one instrument from many threads must lose no updates (the contract
+    the parallel-training coordinator and serving threads rely on)."""
+
+    THREADS = 8
+    PER_THREAD = 500
+
+    def _hammer(self, work):
+        barrier = threading.Barrier(self.THREADS)
+
+        def run():
+            barrier.wait()   # maximise interleaving
+            for _ in range(self.PER_THREAD):
+                work()
+
+        threads = [threading.Thread(target=run)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_concurrent_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        self._hammer(lambda: counter.inc())
+        assert counter.value == self.THREADS * self.PER_THREAD
+
+    def test_concurrent_labelled_counter_is_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", labels=("worker",))
+
+        def work():
+            for worker in ("0", "1"):
+                counter.labels(worker=worker).inc()
+
+        self._hammer(work)
+        expected = self.THREADS * self.PER_THREAD
+        assert counter.labels(worker="0").value == expected
+        assert counter.labels(worker="1").value == expected
+
+    def test_concurrent_summary_and_gauge_are_exact(self):
+        registry = MetricsRegistry()
+        summary = registry.summary("s")
+        gauge = registry.gauge("g")
+
+        def work():
+            summary.observe(0.5)
+            gauge.inc(1.0)
+
+        self._hammer(work)
+        total = self.THREADS * self.PER_THREAD
+        assert gauge.value == total
+        text = registry.render()
+        assert f"s_count {total}" in text
+        assert f"s_sum {total * 0.5:.3f}" in text
+
+    def test_render_during_writes_never_tears(self):
+        """A histogram rendered mid-write must stay internally
+        consistent: cumulative buckets monotone and +Inf == count."""
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        stop = threading.Event()
+        torn = []
+
+        def render_loop():
+            bucket_re = re.compile(r'h_bucket\{le="[^"]+"\} (\d+)')
+            while not stop.is_set():
+                lines = registry.render().splitlines()
+                counts = [int(m.group(1)) for m
+                          in map(bucket_re.match, lines) if m]
+                count = next((int(line.split()[-1]) for line in lines
+                              if line.startswith("h_count")), None)
+                if counts != sorted(counts) or counts[-1] != count:
+                    torn.append(lines)
+                    return
+
+        reader = threading.Thread(target=render_loop)
+        reader.start()
+        try:
+            self._hammer(lambda: histogram.observe(1.5))
+        finally:
+            stop.set()
+            reader.join()
+        assert not torn
+        assert f"h_count {self.THREADS * self.PER_THREAD}" \
+            in registry.render()
+
+
 # ----------------------------------------------------------------------
 # Op profiler
 # ----------------------------------------------------------------------

@@ -1,0 +1,303 @@
+"""Parallel training subsystem: loader pipeline, seq-vs-parallel parity,
+and elastic gradient aggregation under injected faults.
+
+The parity suite is the core guarantee: a ``DataParallelTrainer`` with
+``num_workers=2`` must reproduce the sequential ``Trainer``'s loss
+trajectory and final parameters within floating-point-summation
+tolerance on the same seed.  The fault cases drive the elastic paths —
+straggler drop-and-rescale, transient-error shard loss and dead-worker
+respawn — through :class:`repro.deploy.FaultPlan`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import M2G4RTP, M2G4RTPConfig
+from repro.deploy import FaultInjector, FaultPlan
+from repro.graphs import GraphBuilder
+from repro.obs import MetricsRegistry
+from repro.parallel import (DataParallelTrainer, ParallelConfig,
+                            ParallelDataLoader, train_parallel)
+from repro.training import Trainer, TrainerConfig, train_m2g4rtp
+
+TINY = dict(hidden_dim=16, num_heads=2, num_encoder_layers=1, seed=5)
+
+
+def tiny_model():
+    return M2G4RTP(M2G4RTPConfig(**TINY))
+
+
+def metric_value(registry, name, **labels):
+    instrument = registry.get(name)
+    if instrument is None:
+        return 0.0
+    if labels:
+        return instrument.labels(**labels).value
+    return instrument.value
+
+
+# ----------------------------------------------------------------------
+class TestParallelDataLoader:
+    def test_matches_sequential_map(self, splits):
+        train, _, _ = splits
+        builder = GraphBuilder(num_aoi_ids=256)
+        reference = [builder.build(instance) for instance in train]
+        with ParallelDataLoader(list(train), builder.build, batch_size=4,
+                                num_workers=2) as loader:
+            produced = loader.map()
+        assert len(produced) == len(reference)
+        for got, want in zip(produced, reference):
+            assert np.array_equal(got.location.continuous,
+                                  want.location.continuous)
+            assert np.array_equal(got.aoi.adjacency, want.aoi.adjacency)
+
+    def test_respects_order_and_is_reusable(self, splits):
+        train, _, _ = splits
+        items = list(range(20))
+        with ParallelDataLoader(items, lambda x: x * x, batch_size=3,
+                                num_workers=2) as loader:
+            forward = [x for batch in loader.iter_batches() for x in batch]
+            reverse = [x for batch
+                       in loader.iter_batches(order=items[::-1])
+                       for x in batch]
+        assert forward == [x * x for x in items]
+        assert reverse == [x * x for x in items[::-1]]
+
+    def test_stochastic_transform_deterministic_across_pool_sizes(self):
+        def jitter(value, rng):
+            return value + rng.normal()
+
+        results = {}
+        for workers in (0, 1, 3):
+            with ParallelDataLoader(list(range(12)), jitter, batch_size=4,
+                                    num_workers=workers, seed=9) as loader:
+                results[workers] = loader.map()
+        assert np.allclose(results[0], results[1])
+        assert np.allclose(results[0], results[3])
+
+    def test_zero_workers_is_synchronous(self):
+        loader = ParallelDataLoader(list(range(7)), lambda x: x + 1,
+                                    batch_size=2, num_workers=0)
+        assert [batch for batch in loader] == [[1, 2], [3, 4], [5, 6], [7]]
+        assert len(loader) == 4
+
+    def test_clean_shutdown_kills_workers(self):
+        loader = ParallelDataLoader(list(range(8)), lambda x: x,
+                                    batch_size=2, num_workers=2)
+        processes = list(loader._processes)
+        assert all(process.is_alive() for process in processes)
+        loader.close()
+        assert all(not process.is_alive() for process in processes)
+        with pytest.raises(RuntimeError):
+            list(loader.iter_batches())
+
+    def test_transform_error_propagates(self):
+        def boom(value):
+            raise ValueError(f"bad item {value}")
+
+        with ParallelDataLoader(list(range(4)), boom, batch_size=2,
+                                num_workers=1) as loader:
+            with pytest.raises(RuntimeError, match="bad item"):
+                list(loader.iter_batches())
+
+    def test_records_metrics(self):
+        registry = MetricsRegistry()
+        with ParallelDataLoader(list(range(8)), lambda x: x, batch_size=2,
+                                num_workers=2, registry=registry) as loader:
+            loader.map()
+        assert metric_value(registry, "rtp_train_loader_batches_total") == 4
+
+
+# ----------------------------------------------------------------------
+class TestParity:
+    def test_two_workers_match_sequential(self, splits):
+        train, val, _ = splits
+        config = TrainerConfig(epochs=3, batch_size=4, patience=10)
+        sequential = tiny_model()
+        seq_history = Trainer(sequential, config).fit(train, val)
+        parallel = tiny_model()
+        par_history = DataParallelTrainer(
+            parallel, config, ParallelConfig(num_workers=2)).fit(train, val)
+
+        assert np.allclose(seq_history.train_loss, par_history.train_loss,
+                           rtol=1e-8, atol=1e-8)
+        assert np.allclose(seq_history.val_loss, par_history.val_loss,
+                           rtol=1e-8, atol=1e-8)
+        seq_state = sequential.state_dict()
+        par_state = parallel.state_dict()
+        for name in seq_state:
+            assert np.allclose(seq_state[name], par_state[name],
+                               rtol=1e-7, atol=1e-9), name
+
+    def test_gradient_accumulation_matches_sequential(self, splits):
+        train, _, _ = splits
+        config = TrainerConfig(epochs=2, batch_size=4, patience=10)
+        sequential = tiny_model()
+        seq_history = Trainer(sequential, config).fit(train[:8])
+        parallel = tiny_model()
+        par_history = DataParallelTrainer(
+            parallel, config,
+            ParallelConfig(num_workers=2, accumulate_steps=2)).fit(train[:8])
+        assert np.allclose(seq_history.train_loss, par_history.train_loss,
+                           rtol=1e-8, atol=1e-8)
+
+    def test_train_m2g4rtp_opt_in(self, splits):
+        train, _, _ = splits
+        config = TrainerConfig(epochs=1, batch_size=4, patience=10)
+        _, seq_history = train_m2g4rtp(train[:8], model=tiny_model(),
+                                       trainer_config=config)
+        _, par_history = train_m2g4rtp(train[:8], model=tiny_model(),
+                                       trainer_config=config, num_workers=2)
+        assert np.allclose(seq_history.train_loss, par_history.train_loss,
+                           rtol=1e-8, atol=1e-8)
+
+    def test_two_step_ablation_rejected(self):
+        model = M2G4RTP(M2G4RTPConfig(detach_time_inputs=True, **{
+            k: v for k, v in TINY.items()}))
+        with pytest.raises(ValueError, match="two-step"):
+            DataParallelTrainer(model)
+
+    def test_zero_workers_is_sequential_path(self, splits):
+        train, _, _ = splits
+        config = TrainerConfig(epochs=1, batch_size=4, patience=10)
+        trainer = DataParallelTrainer(tiny_model(), config,
+                                      ParallelConfig(num_workers=0))
+        history = trainer.fit(train[:8])
+        assert trainer._pool is None
+        assert len(history.train_loss) == 1
+
+
+# ----------------------------------------------------------------------
+class TestElasticAggregation:
+    def test_straggler_dropped_and_rescaled(self, splits):
+        train, _, _ = splits
+        registry = MetricsRegistry()
+        config = ParallelConfig(
+            num_workers=2, deadline_s=0.35,
+            fault_plans={1: FaultPlan(spike_rate=1.0,
+                                      latency_spike_ms=5000)})
+        trainer = DataParallelTrainer(
+            tiny_model(), TrainerConfig(epochs=1, batch_size=4, patience=10),
+            config, registry=registry)
+        history = trainer.fit(train[:8])
+        assert metric_value(registry, "rtp_train_worker_stragglers_total",
+                            worker="1") >= 1
+        # Training still made progress on worker 0's rescaled shards.
+        assert np.isfinite(history.train_loss[0])
+        assert metric_value(registry, "rtp_train_worker_steps_total",
+                            worker="0") >= 2
+
+    def test_transient_error_loses_shard_not_run(self, splits):
+        train, _, _ = splits
+        registry = MetricsRegistry()
+        config = ParallelConfig(
+            num_workers=2,
+            fault_plans={1: FaultPlan(fail_first=2)})
+        history = DataParallelTrainer(
+            tiny_model(), TrainerConfig(epochs=1, batch_size=4, patience=10),
+            config, registry=registry).fit(train[:8])
+        assert metric_value(registry, "rtp_train_worker_errors_total",
+                            worker="1") == 2
+        assert np.isfinite(history.train_loss[0])
+
+    def test_dead_worker_respawned_and_step_preserved(self, splits):
+        """A crash before any gradient ships must not change the math:
+        the respawned worker gets the task resubmitted, so the loss
+        trajectory still matches the sequential trainer exactly."""
+        train, _, _ = splits
+        config = TrainerConfig(epochs=2, batch_size=4, patience=10)
+        seq_history = Trainer(tiny_model(), config).fit(train[:8])
+        registry = MetricsRegistry()
+        parallel_config = ParallelConfig(
+            num_workers=2,
+            fault_plans={0: FaultPlan(crash_first=1)})
+        par_history = DataParallelTrainer(
+            tiny_model(), config, parallel_config,
+            registry=registry).fit(train[:8])
+        assert metric_value(registry, "rtp_train_worker_respawns_total",
+                            worker="0") == 1
+        assert np.allclose(seq_history.train_loss, par_history.train_loss,
+                           rtol=1e-8, atol=1e-8)
+
+    def test_respawn_budget_enforced(self, splits):
+        train, _, _ = splits
+        config = ParallelConfig(
+            num_workers=2, max_respawns=1,
+            fault_plans={0: FaultPlan(crash_rate=1.0)})
+        trainer = DataParallelTrainer(
+            tiny_model(), TrainerConfig(epochs=2, batch_size=4, patience=10),
+            config)
+        with pytest.raises(RuntimeError, match="respawn budget"):
+            trainer.fit(train[:8])
+
+    def test_fault_injector_crash_stream_replays(self):
+        injector = FaultInjector(FaultPlan(crash_rate=0.5), seed=3)
+        decisions = [injector.should_crash() for _ in range(16)]
+        injector.reset()
+        assert [injector.should_crash() for _ in range(16)] == decisions
+        # fast_forward resumes mid-stream rather than replaying.
+        injector.reset()
+        injector.fast_forward(4)
+        assert [injector.should_crash() for _ in range(12)] == decisions[4:]
+
+    def test_crash_stream_does_not_perturb_error_stream(self):
+        plain = FaultInjector(FaultPlan(error_rate=0.3), seed=11)
+        crashy = FaultInjector(FaultPlan(error_rate=0.3, crash_rate=0.5),
+                               seed=11)
+
+        def errors(injector, draw_crashes):
+            outcomes = []
+            for _ in range(20):
+                if draw_crashes:
+                    injector.should_crash()
+                try:
+                    injector.before_call()
+                    outcomes.append(False)
+                except Exception:
+                    outcomes.append(True)
+            return outcomes
+
+        assert errors(plain, False) == errors(crashy, True)
+
+
+# ----------------------------------------------------------------------
+class TestParallelGraphBuild:
+    def test_loader_workers_build_identical_graphs(self, splits):
+        train, _, _ = splits
+        config = TrainerConfig(epochs=1, batch_size=4, patience=10)
+        inline = DataParallelTrainer(tiny_model(), config,
+                                     ParallelConfig(num_workers=2))
+        loaded = DataParallelTrainer(
+            tiny_model(), config,
+            ParallelConfig(num_workers=2, loader_workers=2, prefetch=2))
+        inline_history = inline.fit(train[:8])
+        loaded_history = loaded.fit(train[:8])
+        assert np.allclose(inline_history.train_loss,
+                           loaded_history.train_loss, rtol=1e-8, atol=1e-8)
+
+
+@pytest.mark.slow
+class TestScaling:
+    def test_four_worker_scaling(self, dataset):
+        """4-worker run over a larger workload: parity with sequential
+        plus every worker contributing.  Wall-clock speedup is recorded
+        by ``benchmarks/bench_parallel_training.py`` (it depends on the
+        machine's core count, so it is not asserted here)."""
+        train = dataset.filter_paper_scope()[:32]
+        config = TrainerConfig(epochs=2, batch_size=8, patience=10)
+        seq_history = Trainer(tiny_model(), config).fit(train)
+        registry = MetricsRegistry()
+        par_history = DataParallelTrainer(
+            tiny_model(), config, ParallelConfig(num_workers=4),
+            registry=registry).fit(train)
+        assert np.allclose(seq_history.train_loss, par_history.train_loss,
+                           rtol=1e-8, atol=1e-8)
+        for worker in range(4):
+            assert metric_value(registry, "rtp_train_worker_steps_total",
+                                worker=str(worker)) >= 1
+        _, convenience_history = train_parallel(
+            train[:8], trainer_config=TrainerConfig(
+                epochs=1, batch_size=8, patience=10),
+            model=tiny_model(),
+            parallel=ParallelConfig(num_workers=4))
+        assert len(convenience_history.train_loss) == 1

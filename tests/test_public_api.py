@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.service",
     "repro.experiments",
     "repro.deploy",
+    "repro.parallel",
 ]
 
 

@@ -3,8 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.autodiff import SGD, Adam
 from repro.core import M2G4RTP, M2G4RTPConfig, RTPTargets, make_variant
 from repro.training import (
+    CheckpointError,
     Trainer,
     TrainerConfig,
     load_checkpoint,
@@ -103,3 +105,82 @@ class TestCheckpoint:
                                       num_encoder_layers=1))
         with pytest.raises((KeyError, ValueError)):
             load_checkpoint(other, path)
+
+
+def _train_steps(model, optimizer, data, steps):
+    """``steps`` deterministic single-instance optimisation steps."""
+    model.train()
+    for step in range(steps):
+        graph, target = data[step % len(data)]
+        optimizer.zero_grad()
+        output = model(graph, target)
+        output.total_loss.backward()
+        optimizer.step()
+
+
+class TestResumeTraining:
+    """save/load with ``optimizer=`` must make a resumed run identical
+    to an uninterrupted one (satellite of the parallel-training PR)."""
+
+    @pytest.fixture()
+    def data(self, splits, builder):
+        train, _, _ = splits
+        return [(builder.build(instance),
+                 RTPTargets.from_instance(instance))
+                for instance in train[:4]]
+
+    def test_resume_mid_training_is_identical(self, data, tmp_path):
+        model = small_model()
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        _train_steps(model, optimizer, data, 3)
+        path = save_checkpoint(model, tmp_path / "mid.npz", optimizer)
+        _train_steps(model, optimizer, data, 3)
+        reference = model.state_dict()
+
+        resumed = small_model(seed=7)   # different init: all from ckpt
+        resumed_optimizer = Adam(resumed.parameters(), lr=0.5)
+        load_checkpoint(resumed, path, optimizer=resumed_optimizer)
+        assert resumed_optimizer.lr == optimizer.lr
+        _train_steps(resumed, resumed_optimizer, data, 3)
+        restored = resumed.state_dict()
+        for name in reference:
+            assert np.array_equal(reference[name], restored[name]), name
+
+    def test_cold_restart_differs_without_optimizer_state(self, data,
+                                                          tmp_path):
+        # Control for the test above: restoring the weights but NOT the
+        # Adam moments does change the trajectory.
+        model = small_model()
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        _train_steps(model, optimizer, data, 3)
+        path = save_checkpoint(model, tmp_path / "mid.npz", optimizer)
+        _train_steps(model, optimizer, data, 3)
+        reference = model.state_dict()
+
+        cold = small_model(seed=7)
+        load_checkpoint(cold, path)     # weights only
+        _train_steps(cold, Adam(cold.parameters(), lr=1e-3), data, 3)
+        restored = cold.state_dict()
+        assert any(not np.array_equal(reference[name], restored[name])
+                   for name in reference)
+
+    def test_weights_only_checkpoint_cannot_resume(self, data, tmp_path):
+        model = small_model()
+        path = save_checkpoint(model, tmp_path / "weights.npz")
+        optimizer = Adam(model.parameters())
+        with pytest.raises(CheckpointError, match="no optimizer state"):
+            load_checkpoint(model, path, optimizer=optimizer)
+
+    def test_optimizer_kind_mismatch_rejected(self, data, tmp_path):
+        model = small_model()
+        adam = Adam(model.parameters())
+        _train_steps(model, adam, data, 1)
+        path = save_checkpoint(model, tmp_path / "adam.npz", adam)
+        before = model.state_dict()
+        sgd = SGD(model.parameters(), lr=0.1)
+        with pytest.raises(CheckpointError, match="does not match"):
+            load_checkpoint(model, path, optimizer=sgd)
+        # Validate-before-apply: the failed load touched nothing.
+        after = model.state_dict()
+        assert all(np.array_equal(before[name], after[name])
+                   for name in before)
