@@ -39,19 +39,33 @@ def check_gradients(fn: Callable[[], Tensor], parameters: Sequence[Tensor],
     ``fn`` must be a deterministic closure returning a scalar Tensor that
     depends on every tensor in ``parameters``.
 
+    The loss and every analytic gradient must be finite — degenerate
+    inputs (fully-masked softmax rows, length-1 sequences, single-node
+    graphs) are expected to produce exact zeros, never NaN or inf, and a
+    non-finite gradient is reported as such instead of surfacing as a
+    cryptic tolerance failure.
+
     Raises
     ------
     AssertionError
-        If any parameter's analytic gradient deviates beyond tolerance.
+        If any parameter's analytic gradient is missing, non-finite, or
+        deviates from finite differences beyond tolerance.
     """
     for parameter in parameters:
         parameter.zero_grad()
     loss = fn()
+    if not np.isfinite(loss.data).all():
+        raise AssertionError(f"loss is non-finite: {loss.data}")
     loss.backward()
     for index, parameter in enumerate(parameters):
         analytic = parameter.grad
         if analytic is None:
             raise AssertionError(f"parameter {index} received no gradient")
+        if not np.isfinite(analytic).all():
+            raise AssertionError(
+                f"parameter {index} has a non-finite analytic gradient "
+                f"(degenerate inputs must produce zeros, not NaN/inf):\n"
+                f"{analytic}")
         numeric = numerical_gradient(fn, parameter, eps=eps)
         if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
             worst = np.max(np.abs(analytic - numeric))

@@ -89,13 +89,19 @@ def softmax(logits: Tensor, axis: int = -1,
     mask:
         Optional boolean array, ``True`` where positions are *valid*.
         Invalid positions get probability exactly zero; gradients do not
-        flow through them.  At least one valid position per slice is
-        required.
+        flow through them.  Slices with no valid position produce an
+        all-zero output (not NaN), matching :func:`masked_softmax`.
     """
     shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
     exp = shifted.exp()
     if mask is not None:
-        exp = exp * Tensor(np.asarray(mask, dtype=np.float64))
+        mask_arr = np.asarray(mask, dtype=bool)
+        exp = exp * Tensor(mask_arr.astype(np.float64))
+        # +1 in the denominator of empty slices only: 0/1 = 0 there,
+        # and adding 0.0 leaves every non-empty slice bit-identical.
+        empty = (~mask_arr).all(axis=axis, keepdims=True)
+        return exp / (exp.sum(axis=axis, keepdims=True)
+                      + Tensor(empty.astype(np.float64)))
     return exp / exp.sum(axis=axis, keepdims=True)
 
 

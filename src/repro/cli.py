@@ -29,6 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
+from . import kernels
 from .core import FallbackPredictor, M2G4RTP, M2G4RTPConfig
 from .data import GeneratorConfig, RTPDataset, SyntheticWorld, read_csv, write_csv
 from .deploy import (DeploymentController, FaultInjector, FaultPlan,
@@ -51,6 +52,12 @@ def _save_model(model: M2G4RTP, path: Path) -> None:
     save_checkpoint(model, path)
     _config_path(path).write_text(
         json.dumps(dataclasses.asdict(model.config), indent=2))
+
+
+def _select_kernels(args: argparse.Namespace) -> None:
+    """Apply ``--kernels`` (overrides ``REPRO_KERNELS`` and the default)."""
+    if getattr(args, "kernels", None):
+        kernels.use(args.kernels)
 
 
 def _load_model(path: Path) -> M2G4RTP:
@@ -134,6 +141,7 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    _select_kernels(args)
     dataset = read_csv(args.data)
     _, _, test = dataset.split_by_day()
     model = _load_model(Path(args.model))
@@ -145,6 +153,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    _select_kernels(args)
     dataset = read_csv(args.data)
     _, _, test = dataset.split_by_day()
     model = _load_model(Path(args.model))
@@ -254,6 +263,7 @@ def cmd_deploy(args: argparse.Namespace) -> int:
         return 0
 
     if action == "serve":
+        _select_kernels(args)
         dataset = read_csv(args.data)
         _, _, test = dataset.split_by_day()
         resilience = ResilienceConfig(
@@ -323,6 +333,13 @@ def cmd_info(args: argparse.Namespace) -> int:
     dataset = read_csv(args.data)
     for key, value in dataset.summary().items():
         print(f"{key:28s} {value}")
+    print(f"{'kernel_backend_active':28s} {kernels.active_name()}")
+    for name, error in sorted(kernels.available_backends().items()):
+        status = "available" if error is None else f"unavailable: {error}"
+        print(f"{'kernel_backend_' + name:28s} {status}")
+    fallback = kernels.fallback_reason()
+    if fallback:
+        print(f"{'kernel_backend_fallback':28s} {fallback}")
     return 0
 
 
@@ -373,6 +390,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = sub.add_parser("evaluate", help="evaluate a trained model")
     evaluate.add_argument("--data", required=True)
     evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--kernels", choices=list(kernels.BACKENDS),
+                          default=None,
+                          help="inference kernel backend (default: fused, "
+                               "or the REPRO_KERNELS env var)")
     evaluate.set_defaults(func=cmd_evaluate)
 
     serve = sub.add_parser("serve", help="replay requests through the service")
@@ -387,6 +408,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="profile autodiff ops and print the top-k table")
     serve.add_argument("--top-ops", type=int, default=10,
                        help="rows in the op-profile table")
+    serve.add_argument("--kernels", choices=list(kernels.BACKENDS),
+                       default=None,
+                       help="inference kernel backend (default: fused, "
+                            "or the REPRO_KERNELS env var)")
     serve.set_defaults(func=cmd_serve)
 
     obs = sub.add_parser(
@@ -448,6 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
     deploy_serve.add_argument("--fault-spike-ms", type=float, default=0.0)
     deploy_serve.add_argument("--seed", type=int, default=0)
     deploy_serve.add_argument("--metrics-out", default=None, metavar="PATH")
+    deploy_serve.add_argument("--kernels", choices=list(kernels.BACKENDS),
+                              default=None,
+                              help="inference kernel backend (default: "
+                                   "fused, or the REPRO_KERNELS env var)")
     deploy_serve.set_defaults(func=cmd_deploy)
 
     info = sub.add_parser("info", help="summarise a CSV dataset")

@@ -24,39 +24,7 @@ from ..nn import AdditivePointerAttention, GRUCell, Linear, LSTMCell, Module
 from ..nn.init import normal
 from ..nn.module import Parameter
 from ..nn.positional import sinusoidal_position_encoding
-
-
-def _fast_recurrent_step(recurrent: "RecurrentCell", x: np.ndarray, state):
-    """Raw-numpy replica of :meth:`RecurrentCell.step` for inference.
-
-    Performs the exact floating-point operations of the Tensor-based
-    cells (same association order, same sigmoid/tanh formulas) without
-    building tape nodes.  Used by the batched decoders when gradients
-    are disabled; outputs are bit-identical to the Tensor path.
-    """
-    cell = recurrent.cell
-    d = cell.hidden_dim
-    if recurrent.cell_type == "lstm":
-        h, c = state
-        gates = x @ cell.weight_x.data + h @ cell.weight_h.data + cell.bias.data
-        i_gate = 1.0 / (1.0 + np.exp(-gates[..., 0 * d:1 * d]))
-        f_gate = 1.0 / (1.0 + np.exp(-gates[..., 1 * d:2 * d]))
-        g_gate = np.tanh(gates[..., 2 * d:3 * d])
-        o_gate = 1.0 / (1.0 + np.exp(-gates[..., 3 * d:4 * d]))
-        c_next = f_gate * c + i_gate * g_gate
-        h_next = o_gate * np.tanh(c_next)
-        return h_next, (h_next, c_next)
-    h = state
-    gates_x = x @ cell.weight_x.data + cell.bias.data
-    gates_h = h @ cell.weight_h.data
-    reset = 1.0 / (1.0 + np.exp(-(gates_x[..., 0:d] + gates_h[..., 0:d])))
-    update = 1.0 / (1.0 + np.exp(-(gates_x[..., d:2 * d]
-                                   + gates_h[..., d:2 * d])))
-    candidate = np.tanh(gates_x[..., 2 * d:3 * d]
-                        + reset * gates_h[..., 2 * d:3 * d])
-    one = np.ones_like(update)
-    h_next = (one - update) * candidate + update * h
-    return h_next, h_next
+from ..obs.tracing import span
 
 
 class RecurrentCell(Module):
@@ -236,9 +204,20 @@ class RouteDecoder(Module):
         instances that finish early keep stepping on a dummy candidate
         whose inputs are zeroed (:func:`padded_gather`), which cannot
         affect any still-active instance.
+
+        When gradients are disabled, decoding runs through the active
+        kernel backend (:mod:`repro.kernels`): the ``reference``
+        backend is the raw-numpy replica proven bit-identical to the
+        Tensor path below, the ``fused`` backend decodes incrementally
+        over preallocated buffers.
         """
         if not is_grad_enabled():
-            return self._forward_batch_fast(nodes, courier, lengths, adjacency)
+            from .. import kernels
+            with span("kernel.pointer_decode",
+                      backend=kernels.active_name(),
+                      batch_size=nodes.shape[0]):
+                return kernels.active().pointer_decode(
+                    self, nodes.data, courier.data, lengths, adjacency)
         batch, n = nodes.shape[0], nodes.shape[1]
         lengths = np.asarray(lengths, dtype=np.int64)
         visited = np.arange(n)[None, :] >= lengths[:, None]   # padding pre-visited
@@ -267,57 +246,6 @@ class RouteDecoder(Module):
             active = (step + 1 < lengths)[:, None]
             step_input = padded_gather(nodes, chosen[:, None],
                                        valid=active)[:, 0, :]
-
-        return routes
-
-    def _forward_batch_fast(self, nodes: Tensor, courier: Tensor,
-                            lengths: np.ndarray,
-                            adjacency: Optional[np.ndarray] = None
-                            ) -> np.ndarray:
-        """Raw-numpy :meth:`forward_batch` (inference, grad disabled).
-
-        Bit-identical arithmetic to the Tensor path — the key projection
-        is hoisted out of the loop (the keys never change), every other
-        operation is replicated in order — without tape-node overhead.
-        """
-        batch, n = nodes.shape[0], nodes.shape[1]
-        lengths = np.asarray(lengths, dtype=np.int64)
-        visited = np.arange(n)[None, :] >= lengths[:, None]
-        state = tuple(s.data for s in self.recurrent.initial_state((batch,))) \
-            if self.recurrent.cell_type == "lstm" \
-            else self.recurrent.initial_state((batch,)).data
-        step_input: np.ndarray = self.start_token.data
-        previous: Optional[np.ndarray] = None
-        routes = np.zeros((batch, n), dtype=np.int64)
-        courier_data = courier.data
-        node_data = nodes.data
-        projected_keys = node_data @ self.attention.key_proj.weight.data
-        query_weight = self.attention.query_proj.weight.data
-        v = self.attention.v.data
-        rows = np.arange(batch)
-
-        for step in range(n):
-            h, state = _fast_recurrent_step(self.recurrent, step_input, state)
-            query = np.concatenate([h, courier_data], axis=-1)
-            projected_query = (query @ query_weight).reshape(batch, 1, -1)
-            scores = np.tanh(projected_keys + projected_query) @ v
-            feasible = self._candidate_mask_batch(visited, previous, adjacency)
-            done = ~feasible.any(axis=1)
-            if done.any():
-                feasible = feasible.copy()
-                feasible[done, 0] = True
-            # Same masked log-softmax as the Tensor path so the argmax
-            # (including tie behaviour) is bit-identical.
-            penalised = scores + np.where(feasible, 0.0, -1e30)
-            shifted = penalised - penalised.max(axis=1, keepdims=True)
-            log_probs = shifted - np.log(
-                np.exp(shifted).sum(axis=1, keepdims=True))
-            chosen = np.argmax(log_probs, axis=1)
-            routes[:, step] = chosen
-            visited[rows, chosen] = True
-            previous = chosen
-            active = (step + 1 < lengths).astype(np.float64)[:, None]
-            step_input = node_data[rows, chosen] * active
 
         return routes
 
@@ -369,9 +297,18 @@ class SortLSTM(Module):
         a permutation of ``range(lengths[b])`` in its first ``lengths[b]``
         entries.  Returns ``(B, n)`` arrival times in node order;
         padding entries are exactly zero.
+
+        When gradients are disabled, the pass runs through the active
+        kernel backend (:mod:`repro.kernels`), bit-identical to the
+        Tensor path below.
         """
         if not is_grad_enabled():
-            return self._forward_batch_fast(nodes, routes, lengths)
+            from .. import kernels
+            with span("kernel.sort_rnn",
+                      backend=kernels.active_name(),
+                      batch_size=nodes.shape[0]):
+                return Tensor(kernels.active().sort_rnn_forward(
+                    self, nodes.data, routes, lengths))
         batch, n = nodes.shape[0], nodes.shape[1]
         routes = np.asarray(routes, dtype=np.int64)
         lengths = np.asarray(lengths, dtype=np.int64)
@@ -397,44 +334,6 @@ class SortLSTM(Module):
         # Node i is real exactly when i < lengths, the same mask as the
         # steps (real node ids are 0..lengths-1).
         return padded_gather(by_step, inverse, valid=step_valid)
-
-    def _forward_batch_fast(self, nodes: Tensor, routes: np.ndarray,
-                            lengths: np.ndarray) -> Tensor:
-        """Raw-numpy :meth:`forward_batch` (inference, grad disabled).
-
-        Replicates the Tensor path's arithmetic operation by operation,
-        so the returned values are bit-identical; only the tape-node
-        bookkeeping is skipped.
-        """
-        batch, n = nodes.shape[0], nodes.shape[1]
-        routes = np.asarray(routes, dtype=np.int64)
-        lengths = np.asarray(lengths, dtype=np.int64)
-        step_valid = np.arange(n)[None, :] < lengths[:, None]
-        state = tuple(s.data for s in self.recurrent.initial_state((batch,))) \
-            if self.recurrent.cell_type == "lstm" \
-            else self.recurrent.initial_state((batch,)).data
-        node_data = nodes.data
-        head_weight = self.head.weight.data
-        head_bias = self.head.bias.data
-        rows = np.arange(batch)
-        by_step = np.zeros((batch, n))
-        for position in range(1, n + 1):
-            valid = step_valid[:, position - 1]
-            safe = np.where(valid, routes[:, position - 1], 0)
-            step_nodes = (node_data[rows, safe]
-                          * valid.astype(np.float64)[:, None])
-            encoding = np.tile(
-                sinusoidal_position_encoding(position, self.position_dim),
-                (batch, 1))
-            step_input = np.concatenate([step_nodes, encoding], axis=-1)
-            h, state = _fast_recurrent_step(self.recurrent, step_input, state)
-            by_step[:, position - 1] = (h @ head_weight
-                                        + head_bias).reshape(batch)
-        inverse = np.zeros((batch, n), dtype=np.int64)
-        row_index, step_index = np.nonzero(step_valid)
-        inverse[row_index, routes[row_index, step_index]] = step_index
-        gathered = by_step[rows[:, None], np.where(step_valid, inverse, 0)]
-        return Tensor(gathered * step_valid.astype(np.float64))
 
 
 def positional_guidance(route: np.ndarray, dim: int) -> np.ndarray:

@@ -15,9 +15,10 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..autodiff import Tensor, concat, padded_gather, stack
+from ..autodiff import Tensor, concat, is_grad_enabled, padded_gather, stack
 from ..graphs import LevelGraph, MultiLevelGraph
 from ..nn import BiLSTM, FeatureEncoder, Linear, Module
+from ..obs.tracing import span
 from .gat_e import GATEEncoder
 
 
@@ -87,6 +88,17 @@ class LevelEncoder(Module):
         encoded_nodes, _ = self.gat(nodes, edges, level.adjacency)
         return encoded_nodes
 
+    def _embed_tensor(self, continuous: np.ndarray, discrete: np.ndarray,
+                      edge_features: np.ndarray,
+                      global_vector: Tensor) -> Tuple[Tensor, Tensor]:
+        """Tensor-path feature embedding for one padded level batch."""
+        batch, n = continuous.shape[:2]
+        node_embed = self.node_features(Tensor(continuous), discrete)
+        tiled_global = global_vector.reshape(batch, 1, -1) * Tensor(np.ones((batch, n, 1)))
+        nodes = self.node_proj(concat([node_embed, tiled_global], axis=-1))
+        edges = self.edge_proj(Tensor(edge_features))
+        return nodes, edges
+
     def forward_batch(self, level, global_vector: Tensor) -> Tensor:
         """Batched :meth:`forward` over a padded level batch.
 
@@ -94,12 +106,24 @@ class LevelEncoder(Module):
         ``continuous (B, n, c)``, ``discrete (B, n, 2)``,
         ``edge_features (B, n, n, 3)`` and ``adjacency (B, n, n)`` whose
         padding rows/columns are all ``False``.
+
+        When gradients are disabled the feature embedding runs through
+        the active kernel backend (:mod:`repro.kernels`), bit-identical
+        to the Tensor glue; training keeps the Tensor path.
         """
-        batch, n = level.continuous.shape[:2]
-        node_embed = self.node_features(Tensor(level.continuous), level.discrete)
-        tiled_global = global_vector.reshape(batch, 1, -1) * Tensor(np.ones((batch, n, 1)))
-        nodes = self.node_proj(concat([node_embed, tiled_global], axis=-1))
-        edges = self.edge_proj(Tensor(level.edge_features))
+        if not is_grad_enabled():
+            from .. import kernels
+            backend = kernels.active()
+            with span("kernel.level_embed", backend=kernels.active_name(),
+                      batch_size=level.continuous.shape[0]):
+                node_data, edge_data = backend.level_embed(
+                    self, level.continuous, level.discrete,
+                    level.edge_features, global_vector.data)
+            nodes, edges = Tensor(node_data), Tensor(edge_data)
+        else:
+            nodes, edges = self._embed_tensor(
+                level.continuous, level.discrete, level.edge_features,
+                global_vector)
         encoded_nodes, _ = self.gat.forward_batch(nodes, edges, level.adjacency,
                                                   need_edges=False)
         return encoded_nodes
@@ -178,7 +202,17 @@ class SequenceEncoder(Module):
 
 
 def _unroll_lstm_batch(cell, sequence: Tensor) -> Tensor:
-    """Run an LSTM cell over ``(B, n, d)`` steps; returns ``(B, n, hidden)``."""
+    """Run an LSTM cell over ``(B, n, d)`` steps; returns ``(B, n, hidden)``.
+
+    When gradients are disabled the unroll runs through the active
+    kernel backend (:mod:`repro.kernels`), bit-identical to the Tensor
+    loop below.
+    """
+    if not is_grad_enabled():
+        from .. import kernels
+        with span("kernel.lstm_unroll", backend=kernels.active_name(),
+                  batch_size=sequence.shape[0]):
+            return Tensor(kernels.active().lstm_unroll(cell, sequence.data))
     batch = sequence.shape[0]
     state = cell.initial_state((batch,))
     outputs = []

@@ -1,0 +1,46 @@
+"""Fused no-grad inference kernels with backend dispatch.
+
+``repro.core`` routes its hot inference paths (GAT-e stack, LSTM/GRU
+unrolls, pointer decode, sort-RNN) through this package whenever
+gradients are disabled; training and autodiff keep the existing
+verified Tensor path.  Two backends are provided:
+
+* ``reference`` — the previously inlined, test-certified paths;
+* ``fused`` — single-pass kernels over reusable scratch buffers
+  (:mod:`repro.kernels.workspace`), bit-identical by construction and
+  certified by ``tests/test_kernel_conformance.py``.
+
+Select with :func:`use` / :func:`backend_scope`, the ``REPRO_KERNELS``
+environment variable, or the CLI ``--kernels`` flag.
+"""
+
+from .dispatch import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    KernelUnavailableError,
+    active,
+    active_name,
+    available_backends,
+    backend_scope,
+    fallback_reason,
+    require,
+    use,
+)
+from .workspace import Workspace, get_workspace
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "KernelUnavailableError",
+    "Workspace",
+    "active",
+    "active_name",
+    "available_backends",
+    "backend_scope",
+    "fallback_reason",
+    "get_workspace",
+    "require",
+    "use",
+]

@@ -1,0 +1,540 @@
+"""Fused kernel backend: single-pass no-grad kernels with scratch reuse.
+
+Each kernel performs the *same floating-point operations in the same
+association order* as the reference backend — per-head matmuls stay
+separate, gate splits keep the reference order, the masked softmax runs
+the exact reference sequence — so outputs are bit-identical; only
+temporaries, tape bookkeeping and Python overhead are removed:
+
+* :func:`gat_encoder_forward` — one pass per GAT-e layer: edge logits,
+  masked softmax, neighbour aggregation and edge update run in-place on
+  workspace buffers that are reused across heads and layers.
+* :func:`level_embed` — the encoder's feature-embedding glue (Eq. 18):
+  continuous projection, embedding gathers, global tiling and the
+  node/edge input projections collapse into slice writes plus two GEMMs.
+* :class:`_FusedRecurrent` — LSTM/GRU stepper with one gate matmul per
+  step into preallocated gate/hidden/cell buffers (ping-pong swapped,
+  never reallocated).
+* :func:`pointer_decode` — incremental decode: the feasibility penalty
+  is maintained in place (`-1e30` written at each chosen column)
+  instead of being rebuilt from the visited mask every step, and the
+  log-softmax is skipped entirely — a per-row monotone shift cannot
+  change the argmax.
+* :func:`sort_rnn_forward` / :func:`lstm_unroll` — fused gathers and
+  steppers for the time decoder and the BiLSTM ablation encoder.
+
+The differential conformance suite (``tests/test_kernel_conformance.py``)
+certifies all of this against the reference backend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.positional import sinusoidal_position_encoding
+from .workspace import Workspace, get_workspace
+
+# Position-encoding rows are pure functions of (position, dim); caching
+# the stacked table per (n, dim) hoists them out of the sort-RNN step
+# loop entirely (the values are bitwise-identical to fresh computation).
+_POSITION_TABLES: dict = {}
+
+
+def _position_table(n: int, dim: int) -> np.ndarray:
+    table = _POSITION_TABLES.get(dim)
+    if table is None or table.shape[0] < n:
+        table = np.stack([sinusoidal_position_encoding(p, dim)
+                          for p in range(1, n + 1)])
+        _POSITION_TABLES[dim] = table
+    return table
+
+
+def _sigmoid_(values: np.ndarray) -> np.ndarray:
+    """In-place ``1 / (1 + exp(-x))`` — same values as the Tensor sigmoid."""
+    np.negative(values, out=values)
+    np.exp(values, out=values)
+    values += 1.0
+    np.divide(1.0, values, out=values)
+    return values
+
+
+def _relu_into(values: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``values * (values > 0)`` — the exact Tensor ``relu`` expression."""
+    return np.multiply(values, values > 0, out=out)
+
+
+class _BareCell:
+    """Adapts a raw LSTM/GRU cell to the ``recurrent`` duck type."""
+
+    __slots__ = ("cell", "cell_type")
+
+    def __init__(self, cell, cell_type: str):
+        self.cell = cell
+        self.cell_type = cell_type
+
+
+class _FusedRecurrent:
+    """Preallocated-buffer LSTM/GRU stepper.
+
+    Bit-identical to :func:`repro.kernels.reference.recurrent_step`:
+    the gate pre-activation keeps the ``(x W_x + h W_h) + b``
+    association (LSTM) / ``(x W_x + b) + h W_h`` slice sums (GRU), and
+    state updates keep ``(f*c) + (i*g)`` / ``((1-z)*n) + (z*h)``.
+    Hidden/cell buffers are ping-pong swapped between steps.
+    """
+
+    def __init__(self, recurrent, batch: int, workspace: Workspace, tag: str):
+        cell = recurrent.cell
+        self.kind = recurrent.cell_type
+        self.hidden_dim = cell.hidden_dim
+        self.weight_x = cell.weight_x.data
+        self.weight_h = cell.weight_h.data
+        self.bias = cell.bias.data
+        self.ws = workspace
+        self.tag = tag
+        d = cell.hidden_dim
+        gate_width = self.weight_x.shape[1]  # 4d (lstm) / 3d (gru)
+        ws = workspace
+        self.gates = ws.buf(tag + ".gates", (batch, gate_width))
+        self.h_gates = ws.buf(tag + ".hgates", (batch, gate_width))
+        self.h = ws.zeros(tag + ".h", (batch, d))
+        self.h_next = ws.buf(tag + ".hnext", (batch, d))
+        self.scratch = ws.buf(tag + ".scratch", (batch, d))
+        if self.kind == "lstm":
+            self.c = ws.zeros(tag + ".c", (batch, d))
+            self.c_next = ws.buf(tag + ".cnext", (batch, d))
+            self.g_scratch = ws.buf(tag + ".gscratch", (batch, d))
+        else:
+            self.rz = ws.buf(tag + ".rz", (batch, 2 * d))
+            self.candidate = ws.buf(tag + ".cand", (batch, d))
+
+    def _input_gates(self, x: np.ndarray) -> np.ndarray:
+        gates = self.gates
+        if x.ndim == 2:
+            np.matmul(x, self.weight_x, out=gates)
+        else:
+            # 1-D input (the start token): the reference computes a
+            # vector x @ W_x and lets the h-term broadcast; replicating
+            # that (vector matmul, then broadcast add) keeps bit parity.
+            gates[...] = x @ self.weight_x
+        return gates
+
+    def precompute_inputs(self, sequence: np.ndarray) -> np.ndarray:
+        """Project every step's input through ``W_x`` in one GEMM.
+
+        ``sequence`` is ``(B, steps, in)``; returns ``(steps, B, gates)``
+        whose slice ``[s]`` is bitwise-identical to the per-step 2-D
+        ``x_s @ W_x`` (row blocks of a GEMM are computed independently).
+        Only valid when the whole input sequence is known up front —
+        i.e. not for pointer decoding, where step inputs depend on the
+        previous choice.
+        """
+        steps, batch = sequence.shape[1], sequence.shape[0]
+        buf = self.ws.buf(self.tag + ".xgates",
+                          (steps, batch, self.weight_x.shape[1]))
+        np.matmul(sequence.transpose(1, 0, 2), self.weight_x, out=buf)
+        return buf
+
+    def step(self, x: Optional[np.ndarray],
+             pre: Optional[np.ndarray] = None) -> np.ndarray:
+        if self.kind == "lstm":
+            return self._step_lstm(x, pre)
+        return self._step_gru(x, pre)
+
+    def _step_lstm(self, x: Optional[np.ndarray],
+                   pre: Optional[np.ndarray] = None) -> np.ndarray:
+        d = self.hidden_dim
+        np.matmul(self.h, self.weight_h, out=self.h_gates)
+        if pre is None:
+            gates = self._input_gates(x)
+            gates += self.h_gates
+        else:
+            gates = self.gates
+            np.add(pre, self.h_gates, out=gates)
+        gates += self.bias
+        # tanh of the g-gate pre-activation is saved first, then one
+        # contiguous sigmoid sweeps the whole gate buffer (the swept
+        # g-slice is dead).  Elementwise results are identical to
+        # per-slice application; whole-buffer contiguous ufuncs are
+        # 2-3x faster than four strided slice passes.
+        np.tanh(gates[:, 2 * d:3 * d], out=self.g_scratch)
+        _sigmoid_(gates)
+        np.multiply(gates[:, 1 * d:2 * d], self.c, out=self.c_next)
+        np.multiply(gates[:, 0 * d:1 * d], self.g_scratch, out=self.scratch)
+        self.c_next += self.scratch
+        np.tanh(self.c_next, out=self.scratch)
+        np.multiply(gates[:, 3 * d:4 * d], self.scratch, out=self.h_next)
+        self.h, self.h_next = self.h_next, self.h
+        self.c, self.c_next = self.c_next, self.c
+        return self.h
+
+    def _step_gru(self, x: Optional[np.ndarray],
+                  pre: Optional[np.ndarray] = None) -> np.ndarray:
+        d = self.hidden_dim
+        if pre is None:
+            gates_x = self._input_gates(x)
+            gates_x += self.bias
+        else:
+            gates_x = self.gates
+            np.add(pre, self.bias, out=gates_x)
+        np.matmul(self.h, self.weight_h, out=self.h_gates)
+        gates_h = self.h_gates
+        # Reset and update gates are adjacent slices: one add + one
+        # contiguous sigmoid over both.
+        np.add(gates_x[:, 0:2 * d], gates_h[:, 0:2 * d], out=self.rz)
+        _sigmoid_(self.rz)
+        reset = self.rz[:, 0:d]
+        update = self.rz[:, d:2 * d]
+        np.multiply(reset, gates_h[:, 2 * d:3 * d], out=self.candidate)
+        np.add(gates_x[:, 2 * d:3 * d], self.candidate, out=self.candidate)
+        np.tanh(self.candidate, out=self.candidate)
+        np.subtract(1.0, update, out=self.scratch)
+        np.multiply(self.scratch, self.candidate, out=self.h_next)
+        np.multiply(update, self.h, out=self.scratch)
+        self.h_next += self.scratch
+        self.h, self.h_next = self.h_next, self.h
+        return self.h
+
+
+# ----------------------------------------------------------------------
+# GAT-e encoder stack
+# ----------------------------------------------------------------------
+def _stacked(ws: Workspace, tag: str, heads, attr: str) -> np.ndarray:
+    """Copy one weight per head into a reusable ``(H, ...)`` buffer.
+
+    Cheaper than ``np.stack`` (no list/concatenate machinery) and safe
+    against in-place optimizer updates, unlike caching the stack.
+    """
+    first = getattr(heads[0], attr).data
+    buf = ws.buf(tag, (len(heads),) + first.shape)
+    buf[0] = first
+    for index in range(1, len(heads)):
+        buf[index] = getattr(heads[index], attr).data
+    return buf
+
+
+def _gat_layer(layer, nodes: np.ndarray, edges: np.ndarray,
+               adjacency: np.ndarray, mask_f: np.ndarray,
+               empty_f: np.ndarray, empty_b: np.ndarray,
+               need_edges: bool, ws: Workspace):
+    """One multi-head GAT-e layer, all heads stacked on a leading axis.
+
+    Head weights are stacked to ``(H, ...)`` and every matmul runs as a
+    batched GEMM whose per-slice 2-D shape equals the per-head call, so
+    each head's result is bitwise-identical to computing it alone; the
+    whole masked-softmax chain then runs once over ``(H, B, n, n)``
+    instead of ``H`` times over ``(B, n, n)``.  The attention-vector
+    scores stay per-head 1-D matmuls (``(B, n, d) @ (d,)``) because the
+    dgemv and dgemm paths are not bitwise-interchangeable.
+    """
+    heads = layer.heads
+    num_heads = len(heads)
+    batch, n, dim = nodes.shape
+    head_dim = heads[0].w2.data.shape[1]
+    out_dim = head_dim if layer.final else head_dim * num_heads
+    w1 = _stacked(ws, "gat.w1s", heads, "w1")          # (H, dim, dim)
+    w2 = _stacked(ws, "gat.w2s", heads, "w2")          # (H, dim, hd)
+
+    transformed = ws.buf("gat.transformed", (num_heads, batch, n, dim))
+    np.matmul(nodes, w1[:, None], out=transformed)
+    source = ws.buf("gat.source", (num_heads, batch, n))
+    target = ws.buf("gat.target", (num_heads, batch, n))
+    logits = ws.buf("gat.alpha", (num_heads, batch, n, n))
+    scratch = ws.buf("gat.scratch", (num_heads, batch, n, n))
+    row_max = ws.buf("gat.rowmax", (num_heads, batch, n, 1))
+    for index, head in enumerate(heads):
+        np.matmul(transformed[index], head.a_src.data, out=source[index])
+        np.matmul(transformed[index], head.a_dst.data, out=target[index])
+        np.matmul(edges, head.a_edge.data, out=scratch[index])  # edge score
+    np.add(source[:, :, :, None], target[:, :, None, :], out=logits)
+    logits += scratch
+    # Leaky ReLU as max(x, slope*x): picks the same product the
+    # reference's where()-multiply computes, with no temporaries.
+    np.multiply(logits, heads[0].leaky_slope, out=scratch)
+    np.maximum(logits, scratch, out=logits)
+    # Masked softmax, reference op order (see autodiff.masked_softmax).
+    logits.max(axis=3, keepdims=True, where=adjacency[None, :, :, :],
+               initial=-np.inf, out=row_max)
+    np.copyto(row_max, 0.0, where=empty_b[None])       # fully-masked rows
+    logits -= row_max
+    # Zero masked positions *before* exp (reference clamps them with a
+    # where()); multiplying by the mask maps them to +-0.0, and
+    # exp(+-0.0) == 1.0 exactly, so the exp'd values match bitwise.
+    logits *= mask_f
+    np.exp(logits, out=logits)
+    logits *= mask_f
+    denominator = logits.sum(axis=3, keepdims=True, out=row_max)
+    denominator += empty_f
+    logits /= denominator
+
+    messages = ws.buf("gat.messages", (num_heads, batch, n, head_dim))
+    np.matmul(nodes, w2[:, None], out=messages)
+    node_tmp = ws.buf("gat.node_tmp", (num_heads, batch, n, head_dim))
+    np.matmul(logits, messages, out=node_tmp)
+    node_out = ws.buf("gat.node_out", (batch, n, out_dim))
+    if layer.final:
+        # add.reduce over a length-H axis accumulates sequentially —
+        # the same h0+h1+... order as the reference head loop.
+        np.add.reduce(node_tmp, axis=0, out=node_out)
+    else:
+        for index in range(num_heads):
+            lo = index * head_dim
+            _relu_into(node_tmp[index], node_out[..., lo:lo + head_dim])
+
+    edge_out = None
+    if need_edges:
+        w3 = _stacked(ws, "gat.w3s", heads, "w3")
+        w4 = _stacked(ws, "gat.w4s", heads, "w4")
+        w5 = _stacked(ws, "gat.w5s", heads, "w5")
+        edge_tmp = ws.buf("gat.edge_tmp", (num_heads, batch, n, n, head_dim))
+        np.matmul(edges, w3[:, None, None], out=edge_tmp)
+        n4 = ws.buf("gat.n4", (num_heads, batch, n, head_dim))
+        n5 = ws.buf("gat.n5", (num_heads, batch, n, head_dim))
+        np.matmul(nodes, w4[:, None], out=n4)
+        np.matmul(nodes, w5[:, None], out=n5)
+        edge_tmp += n4[:, :, :, None, :]
+        edge_tmp += n5[:, :, None, :, :]
+        edge_out = ws.buf("gat.edge_out", (batch, n, n, out_dim))
+        if layer.final:
+            np.add.reduce(edge_tmp, axis=0, out=edge_out)
+        else:
+            for index in range(num_heads):
+                lo = index * head_dim
+                _relu_into(edge_tmp[index], edge_out[..., lo:lo + head_dim])
+    if layer.final:
+        scale = 1.0 / float(num_heads)
+        node_out *= scale
+        _relu_into(node_out, node_out)
+        if need_edges:
+            edge_out *= scale
+            _relu_into(edge_out, edge_out)
+    return node_out, edge_out
+
+
+def gat_encoder_forward(gat, nodes: np.ndarray, edges: np.ndarray,
+                        adjacency: np.ndarray, need_edges: bool = True):
+    """Residual GAT-e stack fused over workspace buffers.
+
+    Masks, their float casts and the empty-row guard are computed once
+    for the whole stack; node/edge accumulators are updated in place.
+    """
+    ws = get_workspace()
+    adjacency = np.asarray(adjacency, dtype=bool)
+    mask_f = adjacency.astype(np.float64)
+    empty_b = (~adjacency).all(axis=2, keepdims=True)
+    empty_f = empty_b.astype(np.float64)
+    node_acc = ws.buf("gat.node_acc", nodes.shape)
+    np.copyto(node_acc, nodes)
+    edge_acc = ws.buf("gat.edge_acc", edges.shape)
+    np.copyto(edge_acc, edges)
+    last = len(gat.layers) - 1
+    # One errstate for the whole stack: fully-masked rows produce
+    # -inf - -inf inside the attention shift (reference behaviour).
+    with np.errstate(invalid="ignore"):
+        for index, layer in enumerate(gat.layers):
+            layer_need_edges = need_edges or index < last
+            node_update, edge_update = _gat_layer(
+                layer, node_acc, edge_acc, adjacency, mask_f, empty_f,
+                empty_b, layer_need_edges, ws)
+            node_acc += node_update
+            if layer_need_edges:
+                edge_acc += edge_update
+    # Copies detach the results from the reusable workspace buffers.
+    return node_acc.copy(), (edge_acc.copy() if need_edges else None)
+
+
+# ----------------------------------------------------------------------
+# Recurrent kernels
+# ----------------------------------------------------------------------
+def lstm_unroll(cell, sequence: np.ndarray) -> np.ndarray:
+    """Unroll an LSTM cell over ``(B, n, d)`` with preallocated buffers.
+
+    The input-side gate projections for every step are batched into one
+    GEMM up front; the step loop only runs the recurrent half.
+    """
+    batch, steps, _ = sequence.shape
+    recurrent = _FusedRecurrent(_BareCell(cell, "lstm"), batch,
+                                get_workspace(), "unroll")
+    pre = recurrent.precompute_inputs(sequence)
+    outputs = np.empty((batch, steps, cell.hidden_dim))
+    for step in range(steps):
+        outputs[:, step, :] = recurrent.step(None, pre=pre[step])
+    return outputs
+
+
+def level_embed(encoder, continuous: np.ndarray, discrete: np.ndarray,
+                edge_features: np.ndarray, global_data: np.ndarray):
+    """Fused node/edge feature embedding for one padded graph level.
+
+    Replaces the Tensor glue of ``LevelEncoder.forward_batch`` — the
+    continuous projection, discrete embedding gathers, global-context
+    tiling and the node/edge input projections — with slice writes into
+    one workspace buffer followed by two GEMMs.  Concatenation becomes
+    slice assignment (a memcpy), the tile-by-ones becomes a broadcast
+    copy (``x * 1.0`` is an IEEE identity), and each projection keeps
+    the same matmul + bias add, so outputs are bit-identical to the
+    Tensor path.  Returned arrays are workspace views: valid until the
+    next same-shape call on this thread (the GAT stack consumes them
+    immediately and returns fresh copies).
+    """
+    ws = get_workspace()
+    batch, n = continuous.shape[:2]
+    features = encoder.node_features
+    cont_dim = features.continuous.out_features
+    stacked = ws.buf("embed.stack",
+                     (batch, n, features.output_dim + global_data.shape[-1]))
+    np.matmul(continuous, features.continuous.weight.data,
+              out=stacked[:, :, :cont_dim])
+    stacked[:, :, :cont_dim] += features.continuous.bias.data
+    indices = np.asarray(discrete, dtype=np.int64)
+    offset = cont_dim
+    for column, table in enumerate(features.embeddings):
+        idx = indices[..., column]
+        if np.any(idx < 0) or np.any(idx >= table.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {table.num_embeddings}): "
+                f"min={idx.min()}, max={idx.max()}"
+            )
+        stacked[:, :, offset:offset + table.embedding_dim] = \
+            table.weight.data[idx]
+        offset += table.embedding_dim
+    stacked[:, :, features.output_dim:] = global_data[:, None, :]
+    nodes = ws.buf("embed.nodes", (batch, n, encoder.node_proj.out_features))
+    np.matmul(stacked, encoder.node_proj.weight.data, out=nodes)
+    nodes += encoder.node_proj.bias.data
+    edges = ws.buf("embed.edges",
+                   (batch, n, n, encoder.edge_proj.out_features))
+    np.matmul(edge_features, encoder.edge_proj.weight.data, out=edges)
+    edges += encoder.edge_proj.bias.data
+    return nodes, edges
+
+
+def pointer_decode(decoder, nodes: np.ndarray, courier: np.ndarray,
+                   lengths: np.ndarray,
+                   adjacency: Optional[np.ndarray] = None) -> np.ndarray:
+    """Incremental greedy pointer decode.
+
+    Instead of rebuilding the feasibility mask and running a full
+    log-softmax per step, the additive ``-1e30`` penalty row is updated
+    in place as nodes are chosen, and the argmax runs directly on the
+    penalised scores (the log-softmax subtracts a per-row constant, a
+    monotone shift that cannot change the argmax).  With
+    ``restrict_to_neighbors`` the feasible set depends on the previous
+    choice, so the mask is recomputed per step exactly as the reference
+    does.
+    """
+    ws = get_workspace()
+    batch, n, node_dim = nodes.shape
+    lengths = np.asarray(lengths, dtype=np.int64)
+    visited = np.arange(n)[None, :] >= lengths[:, None]   # padding pre-visited
+    attention = decoder.attention
+    query_weight = attention.query_proj.weight.data
+    v = attention.v.data
+    hidden = query_weight.shape[1]
+    projected_keys = np.matmul(nodes, attention.key_proj.weight.data,
+                               out=ws.buf("ptr.keys", (batch, n, hidden)))
+    recurrent = _FusedRecurrent(decoder.recurrent, batch, ws, "ptr")
+    state_dim = recurrent.hidden_dim
+    query = ws.buf("ptr.query", (batch, state_dim + courier.shape[-1]))
+    query[:, state_dim:] = courier
+    projected_query = ws.buf("ptr.pquery", (batch, hidden))
+    pre_tanh = ws.buf("ptr.pretanh", (batch, n, hidden))
+    step_input_buf = ws.buf("ptr.input", (batch, node_dim))
+    scores = ws.buf("ptr.scores", (batch, n))
+    routes = np.zeros((batch, n), dtype=np.int64)
+    rows = np.arange(batch)
+    incremental = not (decoder.restrict_to_neighbors and adjacency is not None)
+    steps = np.arange(1, n + 1)
+    # Per-step masks hoisted out of the loop: the float "still active"
+    # column and, for the incremental path, the value the chosen column
+    # gets.  Rows already finished *before* a step choose the dummy
+    # candidate 0, which must stay open (value 0.0); everyone else's
+    # choice is closed with -1e30.  A row finishing *at* a step still
+    # closes its last real node, so its dummy is re-opened explicitly.
+    active_f = (steps[:, None] < lengths[None, :]).astype(np.float64)
+    if incremental:
+        penalty = ws.buf("ptr.penalty", (batch, n))
+        np.copyto(penalty, np.where(visited, -1e30, 0.0))
+        exhausted = lengths <= 0
+        if exhausted.any():   # dummy candidate for empty rows, like reference
+            penalty[exhausted, 0] = 0.0
+        close_value = np.where(steps[:, None] > lengths[None, :], 0.0, -1e30)
+        # Rows whose last real node is chosen at step s (lengths == s),
+        # grouped per step with one sort instead of n nonzero scans.
+        order = np.argsort(lengths, kind="stable")
+        sorted_lengths = lengths[order]
+        lo = np.searchsorted(sorted_lengths, steps, side="left")
+        hi = np.searchsorted(sorted_lengths, steps, side="right")
+        reopen_rows = [order[lo[i]:hi[i]] for i in range(n)]
+    step_input: np.ndarray = decoder.start_token.data
+    previous: Optional[np.ndarray] = None
+
+    for step in range(n):
+        h = recurrent.step(step_input)
+        query[:, :state_dim] = h
+        np.matmul(query, query_weight, out=projected_query)
+        np.add(projected_keys, projected_query[:, None, :], out=pre_tanh)
+        np.tanh(pre_tanh, out=pre_tanh)
+        np.matmul(pre_tanh, v, out=scores)         # (B, n)
+        if incremental:
+            scores += penalty
+        else:
+            feasible = decoder._candidate_mask_batch(visited, previous,
+                                                     adjacency)
+            done = ~feasible.any(axis=1)
+            if done.any():
+                feasible = feasible.copy()
+                feasible[done, 0] = True
+            scores += np.where(feasible, 0.0, -1e30)
+        chosen = np.argmax(scores, axis=1)
+        routes[:, step] = chosen
+        if incremental:
+            penalty[rows, chosen] = close_value[step]
+            if reopen_rows[step].size:   # rows whose last real node this was
+                penalty[reopen_rows[step], 0] = 0.0
+        else:
+            visited[rows, chosen] = True
+            previous = chosen
+        np.multiply(nodes[rows, chosen], active_f[step][:, None],
+                    out=step_input_buf)
+        step_input = step_input_buf
+
+    return routes
+
+
+def sort_rnn_forward(sort, nodes: np.ndarray, routes: np.ndarray,
+                     lengths: np.ndarray) -> np.ndarray:
+    """Batched SortLSTM forward with a fused gather+concat step input."""
+    ws = get_workspace()
+    batch, n, node_dim = nodes.shape
+    routes = np.asarray(routes, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    step_valid = np.arange(n)[None, :] < lengths[:, None]
+    step_valid_f = step_valid.astype(np.float64)
+    safe_all = np.where(step_valid, routes, 0)   # all gather indices at once
+    recurrent = _FusedRecurrent(sort.recurrent, batch, ws, "sort")
+    head_weight = sort.head.weight.data
+    head_bias = sort.head.bias.data
+    head_out = ws.buf("sort.head", (batch, 1))
+    rows = np.arange(batch)
+    by_step = np.zeros((batch, n))
+    # The whole step-input sequence is known up front (gathered nodes +
+    # position encodings), so both the gather and the input-side gate
+    # projections are batched out of the loop.
+    sequence = ws.buf("sort.seq", (batch, n, node_dim + sort.position_dim))
+    np.multiply(nodes[rows[:, None], safe_all], step_valid_f[:, :, None],
+                out=sequence[:, :, :node_dim])
+    sequence[:, :, node_dim:] = _position_table(n, sort.position_dim)[None, :n]
+    pre = recurrent.precompute_inputs(sequence)
+    for position in range(1, n + 1):
+        h = recurrent.step(None, pre=pre[position - 1])
+        np.matmul(h, head_weight, out=head_out)
+        head_out += head_bias
+        by_step[:, position - 1] = head_out[:, 0]
+    inverse = np.zeros((batch, n), dtype=np.int64)
+    row_index, step_index = np.nonzero(step_valid)
+    inverse[row_index, routes[row_index, step_index]] = step_index
+    gathered = by_step[rows[:, None], np.where(step_valid, inverse, 0)]
+    return gathered * step_valid_f

@@ -1,0 +1,183 @@
+"""Reference kernel backend: the verified no-grad inference paths.
+
+Every function here is the code that previously lived inline in
+``repro.core`` — the GAT-e stack delegates to the Tensor
+``forward_batch`` implementation (tape-free under ``no_grad``) and the
+decoder loops are the raw-numpy replicas proven bit-identical to the
+Tensor path by ``tests/test_core_batching.py::TestFastPathParity``.
+The fused backend is certified against these functions by the
+differential conformance suite.
+
+All entry points take and return plain ``np.ndarray`` values; module
+parameters are read through the passed model objects (duck-typed, the
+same objects ``repro.core`` builds).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..nn.positional import sinusoidal_position_encoding
+
+
+def recurrent_step(recurrent, x: np.ndarray, state):
+    """Raw-numpy replica of ``RecurrentCell.step`` for inference.
+
+    Performs the exact floating-point operations of the Tensor-based
+    cells (same association order, same sigmoid/tanh formulas) without
+    building tape nodes; outputs are bit-identical to the Tensor path.
+    """
+    cell = recurrent.cell
+    d = cell.hidden_dim
+    if recurrent.cell_type == "lstm":
+        h, c = state
+        gates = x @ cell.weight_x.data + h @ cell.weight_h.data + cell.bias.data
+        i_gate = 1.0 / (1.0 + np.exp(-gates[..., 0 * d:1 * d]))
+        f_gate = 1.0 / (1.0 + np.exp(-gates[..., 1 * d:2 * d]))
+        g_gate = np.tanh(gates[..., 2 * d:3 * d])
+        o_gate = 1.0 / (1.0 + np.exp(-gates[..., 3 * d:4 * d]))
+        c_next = f_gate * c + i_gate * g_gate
+        h_next = o_gate * np.tanh(c_next)
+        return h_next, (h_next, c_next)
+    h = state
+    gates_x = x @ cell.weight_x.data + cell.bias.data
+    gates_h = h @ cell.weight_h.data
+    reset = 1.0 / (1.0 + np.exp(-(gates_x[..., 0:d] + gates_h[..., 0:d])))
+    update = 1.0 / (1.0 + np.exp(-(gates_x[..., d:2 * d]
+                                   + gates_h[..., d:2 * d])))
+    candidate = np.tanh(gates_x[..., 2 * d:3 * d]
+                        + reset * gates_h[..., 2 * d:3 * d])
+    one = np.ones_like(update)
+    h_next = (one - update) * candidate + update * h
+    return h_next, h_next
+
+
+def _initial_numpy_state(recurrent, batch: int):
+    """Zero recurrent state as raw arrays (matching ``initial_state``)."""
+    state = recurrent.initial_state((batch,))
+    if recurrent.cell_type == "lstm":
+        return tuple(s.data for s in state)
+    return state.data
+
+
+def gat_encoder_forward(gat, nodes: np.ndarray, edges: np.ndarray,
+                        adjacency: np.ndarray, need_edges: bool = True):
+    """GAT-e stack via the Tensor ``forward_batch`` (tape-free under no_grad)."""
+    out_nodes, out_edges = gat._forward_batch_tensor(
+        Tensor(nodes), Tensor(edges), adjacency, need_edges=need_edges)
+    return out_nodes.data, (None if out_edges is None else out_edges.data)
+
+
+def level_embed(encoder, continuous: np.ndarray, discrete: np.ndarray,
+                edge_features: np.ndarray, global_data: np.ndarray):
+    """Level feature embedding via the Tensor glue (tape-free under no_grad).
+
+    Delegates to ``LevelEncoder._embed_tensor`` — the exact code the
+    training path runs — and unwraps the arrays.
+    """
+    nodes, edges = encoder._embed_tensor(continuous, discrete, edge_features,
+                                         Tensor(global_data))
+    return nodes.data, edges.data
+
+
+def lstm_unroll(cell, sequence: np.ndarray) -> np.ndarray:
+    """Unroll an LSTM cell over ``(B, n, d)`` steps via Tensor ops.
+
+    Identical to the Tensor loop previously inlined in
+    ``repro.core.encoder._unroll_lstm_batch``; under ``no_grad`` the
+    Tensor ops build no tape, so this is the verified reference for the
+    fused unroll.
+    """
+    batch = sequence.shape[0]
+    state = cell.initial_state((batch,))
+    sequence_t = Tensor(sequence)
+    outputs = []
+    for step in range(sequence.shape[1]):
+        h, c = cell(sequence_t[:, step, :], state)
+        state = (h, c)
+        outputs.append(h.data)
+    return np.stack(outputs, axis=1)
+
+
+def pointer_decode(decoder, nodes: np.ndarray, courier: np.ndarray,
+                   lengths: np.ndarray,
+                   adjacency: Optional[np.ndarray] = None) -> np.ndarray:
+    """Greedy batched pointer decode (raw numpy, bit-identical to Tensor path).
+
+    The key projection is hoisted out of the loop (the keys never
+    change); every other operation is replicated in order, including
+    the masked log-softmax, so the argmax (tie behaviour included) is
+    bit-identical to the Tensor ``forward_batch``.
+    """
+    batch, n = nodes.shape[0], nodes.shape[1]
+    lengths = np.asarray(lengths, dtype=np.int64)
+    visited = np.arange(n)[None, :] >= lengths[:, None]   # padding pre-visited
+    state = _initial_numpy_state(decoder.recurrent, batch)
+    step_input: np.ndarray = decoder.start_token.data
+    previous: Optional[np.ndarray] = None
+    routes = np.zeros((batch, n), dtype=np.int64)
+    projected_keys = nodes @ decoder.attention.key_proj.weight.data
+    query_weight = decoder.attention.query_proj.weight.data
+    v = decoder.attention.v.data
+    rows = np.arange(batch)
+
+    for step in range(n):
+        h, state = recurrent_step(decoder.recurrent, step_input, state)
+        query = np.concatenate([h, courier], axis=-1)
+        projected_query = (query @ query_weight).reshape(batch, 1, -1)
+        scores = np.tanh(projected_keys + projected_query) @ v
+        feasible = decoder._candidate_mask_batch(visited, previous, adjacency)
+        done = ~feasible.any(axis=1)
+        if done.any():
+            feasible = feasible.copy()
+            feasible[done, 0] = True
+        penalised = scores + np.where(feasible, 0.0, -1e30)
+        shifted = penalised - penalised.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(
+            np.exp(shifted).sum(axis=1, keepdims=True))
+        chosen = np.argmax(log_probs, axis=1)
+        routes[:, step] = chosen
+        visited[rows, chosen] = True
+        previous = chosen
+        active = (step + 1 < lengths).astype(np.float64)[:, None]
+        step_input = nodes[rows, chosen] * active
+
+    return routes
+
+
+def sort_rnn_forward(sort, nodes: np.ndarray, routes: np.ndarray,
+                     lengths: np.ndarray) -> np.ndarray:
+    """Batched SortLSTM forward (raw numpy, bit-identical to Tensor path).
+
+    Returns ``(B, n)`` arrival times in node order; padding entries are
+    exactly zero.
+    """
+    batch, n = nodes.shape[0], nodes.shape[1]
+    routes = np.asarray(routes, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    step_valid = np.arange(n)[None, :] < lengths[:, None]
+    state = _initial_numpy_state(sort.recurrent, batch)
+    head_weight = sort.head.weight.data
+    head_bias = sort.head.bias.data
+    rows = np.arange(batch)
+    by_step = np.zeros((batch, n))
+    for position in range(1, n + 1):
+        valid = step_valid[:, position - 1]
+        safe = np.where(valid, routes[:, position - 1], 0)
+        step_nodes = (nodes[rows, safe]
+                      * valid.astype(np.float64)[:, None])
+        encoding = np.tile(
+            sinusoidal_position_encoding(position, sort.position_dim),
+            (batch, 1))
+        step_input = np.concatenate([step_nodes, encoding], axis=-1)
+        h, state = recurrent_step(sort.recurrent, step_input, state)
+        by_step[:, position - 1] = (h @ head_weight
+                                    + head_bias).reshape(batch)
+    inverse = np.zeros((batch, n), dtype=np.int64)
+    row_index, step_index = np.nonzero(step_valid)
+    inverse[row_index, routes[row_index, step_index]] = step_index
+    gathered = by_step[rows[:, None], np.where(step_valid, inverse, 0)]
+    return gathered * step_valid.astype(np.float64)

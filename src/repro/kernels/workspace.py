@@ -1,0 +1,84 @@
+"""Scratch-buffer workspace for the fused inference kernels.
+
+The fused kernels run many small numpy operations per decode step; at
+batch sizes 1-8 the allocator dominates the op cost.  A
+:class:`Workspace` hands out preallocated ``np.empty`` buffers keyed by
+``(tag, shape, dtype)`` so every step of a decode loop — and every
+layer of the GAT-e stack — reuses the same scratch memory.
+
+Buffers are *not* zeroed on reuse (callers overwrite them fully, or
+request :meth:`Workspace.zeros` explicitly).  Workspaces are
+thread-local: two threads running fused inference concurrently never
+share a buffer, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Tuple
+
+import numpy as np
+
+
+class Workspace:
+    """Bounded pool of reusable scratch arrays.
+
+    The pool is an LRU over ``(tag, shape, dtype)`` keys capped at
+    ``max_entries`` so pathological shape churn (e.g. sweeping many
+    distinct batch sizes) cannot grow memory without bound.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._buffers: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def buf(self, tag: str, shape, dtype=np.float64) -> np.ndarray:
+        """Return a reusable buffer of ``shape``; contents are undefined."""
+        key = (tag, tuple(int(s) for s in shape), np.dtype(dtype).str)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            self.misses += 1
+            buffer = np.empty(key[1], dtype=dtype)
+            self._buffers[key] = buffer
+            while len(self._buffers) > self.max_entries:
+                self._buffers.popitem(last=False)
+        else:
+            self.hits += 1
+            self._buffers.move_to_end(key)
+        return buffer
+
+    def zeros(self, tag: str, shape, dtype=np.float64) -> np.ndarray:
+        """Like :meth:`buf` but zero-filled."""
+        buffer = self.buf(tag, shape, dtype=dtype)
+        buffer[...] = 0
+        return buffer
+
+    def clear(self) -> None:
+        self._buffers.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_local = threading.local()
+
+
+def get_workspace() -> Workspace:
+    """The calling thread's workspace (created on first use)."""
+    workspace = getattr(_local, "workspace", None)
+    if workspace is None:
+        workspace = Workspace()
+        _local.workspace = workspace
+    return workspace

@@ -107,15 +107,21 @@ class TestFuzzGradients:
         check_gradients(fn, [a, b])
 
     @given(seed=st.integers(0, 10_000), rows=st.integers(1, 4),
-           cols=st.integers(2, 6))
+           cols=st.integers(1, 6), force_empty_row=st.booleans())
     @settings(max_examples=40, deadline=None)
-    def test_masked_softmax_gradcheck(self, seed, rows, cols):
+    def test_masked_softmax_gradcheck(self, seed, rows, cols,
+                                      force_empty_row):
         """Analytic gradient matches finite differences; masked positions
-        get exactly zero probability and exactly zero gradient."""
+        get exactly zero probability and exactly zero gradient.
+
+        Degenerate shapes are in scope: length-1 rows (``cols == 1``)
+        and guaranteed fully-masked rows (``force_empty_row``)."""
         rng = np.random.default_rng(seed)
         logits = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
         # Random mask; some rows may be entirely masked (padding rows).
         mask = rng.random((rows, cols)) > 0.4
+        if force_empty_row:
+            mask[int(rng.integers(rows))] = False
         weights = rng.normal(size=(rows, cols))
 
         def fn():
@@ -134,6 +140,76 @@ class TestFuzzGradients:
         logits.grad = None
         fn().backward()
         assert (logits.grad[~mask] == 0.0).all()
+
+    def test_masked_softmax_fully_masked_rows_zeros_not_nan(self):
+        """The previously-missing gradcheck: rows whose mask is entirely
+        False must produce exactly-zero probabilities AND exactly-zero,
+        finite gradients — not NaN from a 0/0 normalisation."""
+        rng = np.random.default_rng(7)
+        logits = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        mask = np.ones((3, 5), dtype=bool)
+        mask[1] = False                     # one fully-masked row
+        weights = rng.normal(size=(3, 5))
+
+        def fn():
+            return (masked_softmax(logits, mask, axis=-1)
+                    * Tensor(weights)).sum()
+
+        check_gradients(fn, [logits])
+        probs = masked_softmax(logits, mask, axis=-1)
+        assert np.isfinite(probs.data).all()
+        assert (probs.data[1] == 0.0).all()
+        logits.grad = None
+        fn().backward()
+        assert np.isfinite(logits.grad).all()
+        assert (logits.grad[1] == 0.0).all()
+
+    def test_masked_softmax_all_rows_masked_gradcheck(self):
+        """Every row masked: the output is identically zero and the
+        gradient is exactly zero everywhere (present, finite, zero)."""
+        rng = np.random.default_rng(11)
+        logits = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        mask = np.zeros((2, 4), dtype=bool)
+
+        def fn():
+            return (masked_softmax(logits, mask, axis=-1) ** 2).sum()
+
+        check_gradients(fn, [logits])
+        assert (masked_softmax(logits, mask, axis=-1).data == 0.0).all()
+        logits.grad = None
+        fn().backward()
+        assert (logits.grad == 0.0).all()
+
+    def test_length_one_sequence_gradcheck(self):
+        """A recurrent cell unrolled over a single step (length-1
+        sequence) must gradcheck cleanly."""
+        from repro.nn import LSTMCell
+        rng = np.random.default_rng(3)
+        cell = LSTMCell(3, 4, rng)
+        sequence = Tensor(rng.normal(size=(2, 1, 3)), requires_grad=True)
+
+        def fn():
+            h, _ = cell(sequence[:, 0, :], cell.initial_state((2,)))
+            return (h * h).sum()
+
+        check_gradients(fn, [sequence, cell.weight_x, cell.bias])
+
+    def test_single_node_graph_gradcheck(self):
+        """GAT-e on a one-node graph — with and without a self-loop —
+        must produce finite, finite-difference-matching gradients."""
+        from repro.core.gat_e import GATEEncoder
+        rng = np.random.default_rng(5)
+        gat = GATEEncoder(dim=4, num_layers=1, num_heads=2, rng=rng)
+        nodes = Tensor(rng.normal(size=(1, 4)), requires_grad=True)
+        edges = Tensor(rng.normal(size=(1, 1, 4)), requires_grad=True)
+        head = gat.layers[0].heads[0]
+        for adjacency in (np.ones((1, 1), dtype=bool),
+                          np.zeros((1, 1), dtype=bool)):
+            def fn():
+                out_nodes, out_edges = gat(nodes, edges, adjacency)
+                return (out_nodes ** 2).sum() + (out_edges ** 2).sum() * 0.1
+
+            check_gradients(fn, [nodes, edges, head.w1, head.a_src, head.w2])
 
     @given(seed=st.integers(0, 10_000))
     @settings(max_examples=30, deadline=None)

@@ -1,0 +1,581 @@
+"""Differential conformance suite for the fused kernel backend.
+
+Contract (see ``repro.kernels``): for every no-grad inference kernel —
+GAT-e encoder stack, LSTM/GRU steppers, pointer decode, sort-RNN — the
+``fused`` backend must reproduce the ``reference`` backend exactly:
+
+* encoder embeddings within 1e-8 (empirically bit-identical, and the
+  suite asserts the stronger property);
+* decoded routes exactly, at both levels, including tie behaviour and
+  the padding region;
+* arrival times within 1e-8 (again asserted bit-identical).
+
+The sweep covers randomized instances from 1 to 64 locations and 1 to
+16 AOIs, every ablation variant, both decoder cell types, and the
+degenerate shapes that historically break masked kernels: single-node
+graphs, fully-masked attention rows and zero-length decode rows.  A
+seeded fuzz sweep over random kernel-level shapes runs under
+``--runslow``.
+"""
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.autodiff import Tensor, concat, no_grad
+from repro.core import BatchedM2G4RTP, GraphBatch, M2G4RTP, M2G4RTPConfig, make_variant
+from repro.core.decoder import RecurrentCell
+from repro.core.gat_e import GATEEncoder
+from repro.kernels import (
+    KernelUnavailableError,
+    Workspace,
+    dispatch,
+    fused,
+    get_workspace,
+    reference,
+)
+from repro.nn.recurrent import LSTMCell
+
+
+def small_config(**overrides) -> M2G4RTPConfig:
+    base = dict(hidden_dim=16, num_heads=2, num_encoder_layers=1,
+                continuous_embed_dim=8, discrete_embed_dim=4,
+                position_dim=4, courier_embed_dim=4, seed=5)
+    base.update(overrides)
+    return M2G4RTPConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# Dispatch layer
+# ----------------------------------------------------------------------
+class TestDispatch:
+    @pytest.fixture(autouse=True)
+    def _restore(self, monkeypatch):
+        monkeypatch.delenv(dispatch.ENV_VAR, raising=False)
+        yield
+        dispatch._reset()
+
+    def test_use_returns_previous_and_switches(self):
+        previous = kernels.use("reference")
+        try:
+            assert kernels.active_name() == "reference"
+            assert kernels.active() is reference
+        finally:
+            kernels.use(previous)
+
+    def test_backend_scope_restores(self):
+        before = kernels.active_name()
+        with kernels.backend_scope("reference"):
+            assert kernels.active_name() == "reference"
+        assert kernels.active_name() == before
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.use("turbo")
+        with pytest.raises(ValueError):
+            kernels.require("turbo")
+
+    def test_both_backends_available(self):
+        status = kernels.available_backends()
+        assert status == {"reference": None, "fused": None}
+        kernels.require("fused")
+        kernels.require("reference")
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(dispatch.ENV_VAR, "reference")
+        dispatch._reset()
+        assert kernels.active_name() == "reference"
+
+    def test_invalid_env_var_is_loud(self, monkeypatch):
+        monkeypatch.setenv(dispatch.ENV_VAR, "nope")
+        dispatch._reset()
+        with pytest.raises(ValueError):
+            kernels.active_name()
+
+    def test_broken_fused_default_falls_back_with_warning(self):
+        dispatch._reset()
+        dispatch._modules.pop("fused", None)
+        dispatch._import_errors["fused"] = "simulated import failure"
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert kernels.active_name() == "reference"
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+        assert "simulated import failure" in kernels.fallback_reason()
+
+    def test_broken_fused_explicit_request_propagates(self, monkeypatch):
+        dispatch._reset()
+        dispatch._modules.pop("fused", None)
+        dispatch._import_errors["fused"] = "simulated import failure"
+        with warnings.catch_warnings():
+            # use() resolves the previous selection first, which falls
+            # back (loudly) to reference; that warning is expected here.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(KernelUnavailableError):
+                kernels.use("fused")
+        monkeypatch.setenv(dispatch.ENV_VAR, "fused")
+        dispatch._reset(clear_import_errors=False)
+        with pytest.raises(KernelUnavailableError):
+            kernels.active_name()
+
+
+# ----------------------------------------------------------------------
+# Workspace allocator
+# ----------------------------------------------------------------------
+class TestWorkspace:
+    def test_same_key_reuses_buffer(self):
+        ws = Workspace()
+        a = ws.buf("x", (3, 4))
+        b = ws.buf("x", (3, 4))
+        assert a is b
+        assert ws.hits == 1 and ws.misses == 1
+
+    def test_distinct_tags_and_shapes_get_distinct_buffers(self):
+        ws = Workspace()
+        a = ws.buf("x", (3, 4))
+        assert ws.buf("y", (3, 4)) is not a
+        assert ws.buf("x", (4, 3)) is not a
+        assert ws.buf("x", (3, 4), dtype=np.int64) is not a
+        assert len(ws) == 4
+
+    def test_zeros_is_zeroed_on_every_call(self):
+        ws = Workspace()
+        a = ws.zeros("z", (2, 2))
+        a[...] = 7.0
+        assert not ws.zeros("z", (2, 2)).any()
+
+    def test_lru_cap_evicts_oldest(self):
+        ws = Workspace(max_entries=2)
+        a = ws.buf("a", (1,))
+        ws.buf("b", (1,))
+        ws.buf("c", (1,))          # evicts "a"
+        assert len(ws) == 2
+        assert ws.buf("a", (1,)) is not a   # re-created, was evicted
+        assert ws.misses == 4
+
+    def test_clear_and_nbytes(self):
+        ws = Workspace()
+        ws.buf("x", (4, 8))
+        assert ws.nbytes == 4 * 8 * 8
+        ws.clear()
+        assert len(ws) == 0 and ws.nbytes == 0 and ws.hits == 0
+
+    def test_thread_local_workspaces(self):
+        main_ws = get_workspace()
+        seen = {}
+
+        def worker():
+            seen["ws"] = get_workspace()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["ws"] is not main_ws
+        assert get_workspace() is main_ws
+
+
+# ----------------------------------------------------------------------
+# Kernel units: recurrent steppers
+# ----------------------------------------------------------------------
+class TestRecurrentKernels:
+    @pytest.mark.parametrize("cell_type", ["lstm", "gru"])
+    @pytest.mark.parametrize("batch", [1, 5])
+    def test_stepper_matches_reference(self, cell_type, batch, rng):
+        recurrent = RecurrentCell(6, 8, rng, cell_type=cell_type)
+        xs = rng.normal(size=(10, batch, 6))
+        fused_rec = fused._FusedRecurrent(recurrent, batch, Workspace(), "t")
+        state = reference._initial_numpy_state(recurrent, batch)
+        for step in range(xs.shape[0]):
+            h_ref, state = reference.recurrent_step(recurrent, xs[step], state)
+            h_fused = fused_rec.step(xs[step])
+            np.testing.assert_array_equal(h_fused, h_ref)
+
+    @pytest.mark.parametrize("cell_type", ["lstm", "gru"])
+    def test_stepper_1d_start_token_broadcast(self, cell_type, rng):
+        """A 1-D input (the decoder start token) must broadcast exactly
+        like the reference's vector-matmul path."""
+        recurrent = RecurrentCell(6, 8, rng, cell_type=cell_type)
+        token = rng.normal(size=6)
+        fused_rec = fused._FusedRecurrent(recurrent, 3, Workspace(), "t")
+        state = reference._initial_numpy_state(recurrent, 3)
+        h_ref, state = reference.recurrent_step(recurrent, token, state)
+        h_fused = fused_rec.step(token)
+        np.testing.assert_array_equal(h_fused, np.broadcast_to(h_ref, (3, 8)))
+
+    def test_lstm_unroll_matches_reference(self, rng):
+        cell = LSTMCell(5, 7, rng)
+        sequence = rng.normal(size=(4, 9, 5))
+        with no_grad():
+            out_ref = reference.lstm_unroll(cell, sequence)
+        out_fused = fused.lstm_unroll(cell, sequence)
+        np.testing.assert_array_equal(out_fused, out_ref)
+
+    def test_lstm_unroll_length_one_sequence(self, rng):
+        cell = LSTMCell(5, 7, rng)
+        sequence = rng.normal(size=(2, 1, 5))
+        with no_grad():
+            np.testing.assert_array_equal(
+                fused.lstm_unroll(cell, sequence),
+                reference.lstm_unroll(cell, sequence))
+
+
+# ----------------------------------------------------------------------
+# Kernel units: GAT-e encoder stack
+# ----------------------------------------------------------------------
+def random_gat_inputs(rng, batch, n, dim, mask_rows=0):
+    nodes = rng.normal(size=(batch, n, dim))
+    edges = rng.normal(size=(batch, n, n, dim))
+    adjacency = rng.random((batch, n, n)) < 0.6
+    for b in range(batch):
+        for row in rng.choice(n, size=min(mask_rows, n), replace=False):
+            adjacency[b, row, :] = False
+    return nodes, edges, adjacency
+
+
+class TestGATKernel:
+    @pytest.mark.parametrize("need_edges", [True, False])
+    def test_stack_matches_reference(self, rng, need_edges):
+        gat = GATEEncoder(dim=8, num_layers=2, num_heads=2, rng=rng)
+        nodes, edges, adjacency = random_gat_inputs(rng, batch=3, n=7, dim=8)
+        with no_grad():
+            ref_nodes, ref_edges = reference.gat_encoder_forward(
+                gat, nodes, edges, adjacency, need_edges=need_edges)
+        fused_nodes, fused_edges = fused.gat_encoder_forward(
+            gat, nodes, edges, adjacency, need_edges=need_edges)
+        np.testing.assert_array_equal(fused_nodes, ref_nodes)
+        if need_edges:
+            np.testing.assert_array_equal(fused_edges, ref_edges)
+        else:
+            assert fused_edges is None and ref_edges is None
+
+    def test_fully_masked_rows_are_finite_and_equal(self, rng):
+        """Rows with no neighbours (padding) must yield zeros, not NaN."""
+        gat = GATEEncoder(dim=8, num_layers=2, num_heads=2, rng=rng)
+        nodes, edges, adjacency = random_gat_inputs(
+            rng, batch=2, n=6, dim=8, mask_rows=3)
+        with no_grad():
+            ref_nodes, _ = reference.gat_encoder_forward(
+                gat, nodes, edges, adjacency)
+        fused_nodes, _ = fused.gat_encoder_forward(gat, nodes, edges, adjacency)
+        assert np.isfinite(fused_nodes).all()
+        np.testing.assert_array_equal(fused_nodes, ref_nodes)
+
+    def test_all_rows_masked(self, rng):
+        """An entirely disconnected graph (every row fully masked)."""
+        gat = GATEEncoder(dim=8, num_layers=1, num_heads=2, rng=rng)
+        nodes = rng.normal(size=(2, 4, 8))
+        edges = rng.normal(size=(2, 4, 4, 8))
+        adjacency = np.zeros((2, 4, 4), dtype=bool)
+        with no_grad():
+            ref_nodes, _ = reference.gat_encoder_forward(
+                gat, nodes, edges, adjacency)
+        fused_nodes, _ = fused.gat_encoder_forward(gat, nodes, edges, adjacency)
+        assert np.isfinite(fused_nodes).all()
+        np.testing.assert_array_equal(fused_nodes, ref_nodes)
+
+    def test_single_node_graph(self, rng):
+        gat = GATEEncoder(dim=8, num_layers=2, num_heads=2, rng=rng)
+        nodes = rng.normal(size=(1, 1, 8))
+        edges = rng.normal(size=(1, 1, 1, 8))
+        for adjacency in (np.ones((1, 1, 1), dtype=bool),
+                          np.zeros((1, 1, 1), dtype=bool)):
+            with no_grad():
+                ref_nodes, ref_edges = reference.gat_encoder_forward(
+                    gat, nodes, edges, adjacency)
+            fused_nodes, fused_edges = fused.gat_encoder_forward(
+                gat, nodes, edges, adjacency)
+            np.testing.assert_array_equal(fused_nodes, ref_nodes)
+            np.testing.assert_array_equal(fused_edges, ref_edges)
+
+    def test_outputs_detached_from_workspace(self, rng):
+        """A second call must not corrupt previously returned arrays."""
+        gat = GATEEncoder(dim=8, num_layers=1, num_heads=2, rng=rng)
+        nodes, edges, adjacency = random_gat_inputs(rng, batch=2, n=5, dim=8)
+        first, _ = fused.gat_encoder_forward(gat, nodes, edges, adjacency)
+        snapshot = first.copy()
+        fused.gat_encoder_forward(gat, nodes * 2.0, edges, adjacency)
+        np.testing.assert_array_equal(first, snapshot)
+
+
+# ----------------------------------------------------------------------
+# Kernel units: level feature embedding
+# ----------------------------------------------------------------------
+class TestLevelEmbedKernel:
+    @pytest.fixture()
+    def level_encoder(self, rng):
+        from repro.core.encoder import EncoderConfig, LevelEncoder
+        config = EncoderConfig(hidden_dim=8, num_layers=1, num_heads=2,
+                               continuous_embed_dim=6, discrete_embed_dim=4)
+        return LevelEncoder(6, config, global_dim=10, rng=rng), config
+
+    def embed_inputs(self, rng, batch=3, n=7):
+        continuous = rng.normal(size=(batch, n, 6))
+        discrete = np.stack([rng.integers(0, 256, size=(batch, n)),
+                             rng.integers(0, 8, size=(batch, n))], axis=-1)
+        edge_features = rng.normal(size=(batch, n, n, 3))
+        global_data = rng.normal(size=(batch, 10))
+        return continuous, discrete, edge_features, global_data
+
+    def test_matches_reference(self, level_encoder, rng):
+        encoder, _ = level_encoder
+        inputs = self.embed_inputs(rng)
+        with no_grad():
+            ref_nodes, ref_edges = reference.level_embed(encoder, *inputs)
+        out_nodes, out_edges = fused.level_embed(encoder, *inputs)
+        np.testing.assert_array_equal(out_nodes, ref_nodes)
+        np.testing.assert_array_equal(out_edges, ref_edges)
+
+    def test_single_node_level(self, level_encoder, rng):
+        encoder, _ = level_encoder
+        inputs = self.embed_inputs(rng, batch=1, n=1)
+        with no_grad():
+            ref_nodes, ref_edges = reference.level_embed(encoder, *inputs)
+        out_nodes, out_edges = fused.level_embed(encoder, *inputs)
+        np.testing.assert_array_equal(out_nodes, ref_nodes)
+        np.testing.assert_array_equal(out_edges, ref_edges)
+
+    def test_out_of_range_embedding_index_raises(self, level_encoder, rng):
+        encoder, _ = level_encoder
+        continuous, discrete, edge_features, global_data = self.embed_inputs(rng)
+        discrete[0, 0, 1] = 9999
+        with pytest.raises(IndexError, match="out of range"):
+            fused.level_embed(encoder, continuous, discrete, edge_features,
+                              global_data)
+        with no_grad(), pytest.raises(IndexError, match="out of range"):
+            reference.level_embed(encoder, continuous, discrete,
+                                  edge_features, global_data)
+
+
+# ----------------------------------------------------------------------
+# Kernel units: pointer decode and sort-RNN
+# ----------------------------------------------------------------------
+def build_decoders(rng, node_dim=10, courier_dim=4, cell_type="lstm",
+                   restrict_to_neighbors=False):
+    from repro.core.decoder import RouteDecoder, SortLSTM
+    route = RouteDecoder(node_dim=node_dim, state_dim=8,
+                         courier_dim=courier_dim, rng=rng,
+                         cell_type=cell_type,
+                         restrict_to_neighbors=restrict_to_neighbors)
+    sort = SortLSTM(node_dim=node_dim, state_dim=8, position_dim=4,
+                    rng=rng, cell_type=cell_type)
+    return route, sort
+
+
+class TestPointerDecodeKernel:
+    @pytest.mark.parametrize("cell_type", ["lstm", "gru"])
+    def test_matches_reference(self, rng, cell_type):
+        route, _ = build_decoders(rng, cell_type=cell_type)
+        nodes = rng.normal(size=(4, 9, 10))
+        courier = rng.normal(size=(4, 4))
+        lengths = np.array([9, 5, 1, 7])
+        ref = reference.pointer_decode(route, nodes, courier, lengths)
+        out = fused.pointer_decode(route, nodes, courier, lengths)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_zero_length_rows(self, rng):
+        """Exhausted rows must loop on the dummy candidate like reference."""
+        route, _ = build_decoders(rng)
+        nodes = rng.normal(size=(3, 6, 10))
+        courier = rng.normal(size=(3, 4))
+        lengths = np.array([0, 6, 3])
+        np.testing.assert_array_equal(
+            fused.pointer_decode(route, nodes, courier, lengths),
+            reference.pointer_decode(route, nodes, courier, lengths))
+
+    def test_single_node(self, rng):
+        route, _ = build_decoders(rng)
+        nodes = rng.normal(size=(1, 1, 10))
+        courier = rng.normal(size=(1, 4))
+        lengths = np.array([1])
+        np.testing.assert_array_equal(
+            fused.pointer_decode(route, nodes, courier, lengths),
+            reference.pointer_decode(route, nodes, courier, lengths))
+
+    def test_restrict_to_neighbors_path(self, rng):
+        route, _ = build_decoders(rng, restrict_to_neighbors=True)
+        nodes = rng.normal(size=(3, 8, 10))
+        courier = rng.normal(size=(3, 4))
+        lengths = np.array([8, 4, 6])
+        adjacency = rng.random((3, 8, 8)) < 0.5
+        np.testing.assert_array_equal(
+            fused.pointer_decode(route, nodes, courier, lengths, adjacency),
+            reference.pointer_decode(route, nodes, courier, lengths, adjacency))
+
+
+class TestSortRNNKernel:
+    @pytest.mark.parametrize("cell_type", ["lstm", "gru"])
+    def test_matches_reference(self, rng, cell_type):
+        _, sort = build_decoders(rng, cell_type=cell_type)
+        batch, n = 4, 9
+        nodes = rng.normal(size=(batch, n, 10))
+        lengths = np.array([9, 5, 1, 7])
+        routes = np.zeros((batch, n), dtype=np.int64)
+        for b, k in enumerate(lengths):
+            routes[b, :k] = rng.permutation(k)
+        ref = reference.sort_rnn_forward(sort, nodes, routes, lengths)
+        out = fused.sort_rnn_forward(sort, nodes, routes, lengths)
+        np.testing.assert_array_equal(out, ref)
+        # Padding positions are exactly zero.
+        for b, k in enumerate(lengths):
+            assert not out[b, k:].any()
+
+    def test_single_step(self, rng):
+        _, sort = build_decoders(rng)
+        nodes = rng.normal(size=(1, 1, 10))
+        routes = np.zeros((1, 1), dtype=np.int64)
+        lengths = np.array([1])
+        np.testing.assert_array_equal(
+            fused.sort_rnn_forward(sort, nodes, routes, lengths),
+            reference.sort_rnn_forward(sort, nodes, routes, lengths))
+
+
+# ----------------------------------------------------------------------
+# End-to-end sweep: full models over randomized instances
+# ----------------------------------------------------------------------
+SWEEP_SIZES = [(1, 1), (2, 1), (6, 3), (16, 8), (33, 12), (64, 16)]
+
+
+@pytest.fixture(scope="module")
+def sweep_graphs(world, builder):
+    """Instances spanning 1-64 locations and 1-16 AOIs."""
+    graphs = []
+    for index, (num_locations, num_aois) in enumerate(SWEEP_SIZES):
+        instance = world.simulate_courier_day(
+            courier_index=index % 4, day=index % 6,
+            num_locations=num_locations, num_aois=num_aois,
+            seed=1000 + index)
+        graphs.append(builder.build(instance))
+    return graphs
+
+
+def predict_both_backends(model, graphs):
+    engine = BatchedM2G4RTP(model)
+    with kernels.backend_scope("reference"):
+        ref = engine.predict(graphs)
+    with kernels.backend_scope("fused"):
+        out = engine.predict(graphs)
+    return ref, out
+
+
+def assert_outputs_identical(ref, out):
+    assert len(ref) == len(out)
+    for r, f in zip(ref, out):
+        np.testing.assert_array_equal(f.route, r.route)
+        np.testing.assert_array_equal(f.arrival_times, r.arrival_times)
+        if r.aoi_route is None:
+            assert f.aoi_route is None and f.aoi_arrival_times is None
+        else:
+            np.testing.assert_array_equal(f.aoi_route, r.aoi_route)
+            np.testing.assert_array_equal(f.aoi_arrival_times,
+                                          r.aoi_arrival_times)
+
+
+class TestEndToEndConformance:
+    @pytest.mark.parametrize("variant", ["full", "two-step", "w/o aoi",
+                                         "w/o graph", "w/o uncertainty"])
+    def test_variant_sweep(self, variant, sweep_graphs):
+        model = M2G4RTP(make_variant(variant, small_config()))
+        ref, out = predict_both_backends(model, sweep_graphs)
+        assert_outputs_identical(ref, out)
+
+    @pytest.mark.parametrize("cell_type", ["lstm", "gru"])
+    def test_cell_types(self, cell_type, sweep_graphs):
+        model = M2G4RTP(small_config(cell_type=cell_type))
+        ref, out = predict_both_backends(model, sweep_graphs)
+        assert_outputs_identical(ref, out)
+
+    def test_restrict_to_neighbors(self, sweep_graphs):
+        model = M2G4RTP(small_config(restrict_to_neighbors=True))
+        ref, out = predict_both_backends(model, sweep_graphs)
+        assert_outputs_identical(ref, out)
+
+    def test_encoder_embeddings_identical(self, sweep_graphs):
+        model = M2G4RTP(small_config())
+        model.eval()
+        batch = GraphBatch.from_graphs(sweep_graphs)
+        with no_grad():
+            with kernels.backend_scope("reference"):
+                loc_ref, aoi_ref = model.encoder.forward_batch(batch)
+            with kernels.backend_scope("fused"):
+                loc_out, aoi_out = model.encoder.forward_batch(batch)
+        np.testing.assert_array_equal(loc_out.data, loc_ref.data)
+        np.testing.assert_array_equal(aoi_out.data, aoi_ref.data)
+
+    def test_fused_matches_sequential_predict(self, sweep_graphs):
+        """The existing batched-vs-sequential contract holds on fused."""
+        model = M2G4RTP(small_config())
+        with kernels.backend_scope("fused"):
+            batched = BatchedM2G4RTP(model).predict(sweep_graphs)
+        for graph, out in zip(sweep_graphs, batched):
+            sequential = model.predict(graph)
+            np.testing.assert_array_equal(out.route, sequential.route)
+            np.testing.assert_allclose(out.arrival_times,
+                                       sequential.arrival_times, atol=1e-8)
+
+    def test_single_node_instance_full_model(self, world, builder):
+        instance = world.simulate_courier_day(0, 0, num_locations=1,
+                                              num_aois=1, seed=77)
+        graph = builder.build(instance)
+        model = M2G4RTP(small_config())
+        ref, out = predict_both_backends(model, [graph])
+        assert_outputs_identical(ref, out)
+        assert len(out[0].route) == 1
+
+
+# ----------------------------------------------------------------------
+# Seeded fuzz (--runslow)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestFuzzConformance:
+    def test_kernel_level_fuzz(self):
+        rng = np.random.default_rng(20230806)
+        for trial in range(30):
+            batch = int(rng.integers(1, 7))
+            n = int(rng.integers(1, 33))
+            dim = int(rng.choice([4, 8, 16]))
+            heads = 2 if dim % 2 == 0 else 1
+            gat = GATEEncoder(dim=dim, num_layers=int(rng.integers(1, 3)),
+                              num_heads=heads, rng=rng)
+            nodes, edges, adjacency = random_gat_inputs(
+                rng, batch, n, dim, mask_rows=int(rng.integers(0, n + 1)))
+            with no_grad():
+                ref_nodes, _ = reference.gat_encoder_forward(
+                    gat, nodes, edges, adjacency)
+            fused_nodes, _ = fused.gat_encoder_forward(
+                gat, nodes, edges, adjacency)
+            np.testing.assert_array_equal(fused_nodes, ref_nodes,
+                                          err_msg=f"trial {trial}")
+
+            cell_type = str(rng.choice(["lstm", "gru"]))
+            route, sort = build_decoders(rng, node_dim=dim,
+                                         cell_type=cell_type)
+            dec_nodes = rng.normal(size=(batch, n, dim))
+            courier = rng.normal(size=(batch, 4))
+            lengths = rng.integers(0, n + 1, size=batch)
+            ref_routes = reference.pointer_decode(route, dec_nodes, courier,
+                                                  lengths)
+            out_routes = fused.pointer_decode(route, dec_nodes, courier,
+                                              lengths)
+            np.testing.assert_array_equal(out_routes, ref_routes,
+                                          err_msg=f"trial {trial}")
+            np.testing.assert_array_equal(
+                fused.sort_rnn_forward(sort, dec_nodes, out_routes, lengths),
+                reference.sort_rnn_forward(sort, dec_nodes, ref_routes,
+                                           lengths),
+                err_msg=f"trial {trial}")
+
+    def test_model_level_fuzz(self, world, builder):
+        rng = np.random.default_rng(42)
+        model = M2G4RTP(small_config())
+        for trial in range(8):
+            sizes = [(int(rng.integers(1, 65)), int(rng.integers(1, 17)))
+                     for _ in range(int(rng.integers(1, 5)))]
+            graphs = [builder.build(world.simulate_courier_day(
+                int(rng.integers(0, 4)), int(rng.integers(0, 6)),
+                num_locations=n, num_aois=min(m, n),
+                seed=int(rng.integers(0, 2 ** 31))))
+                for n, m in sizes]
+            ref, out = predict_both_backends(model, graphs)
+            assert_outputs_identical(ref, out)

@@ -326,3 +326,67 @@ class TestGraphCacheMetricsExport:
         assert service.cache.hits == 1
         assert service.cache.misses == 1
         assert service.cache.evictions == 0
+
+
+# ----------------------------------------------------------------------
+# Timer-edge regression: flush at *exactly* the deadline
+# ----------------------------------------------------------------------
+class TestMicroBatcherTimerEdge:
+    """``poll`` must flush when ``waited_ms == max_wait_ms`` exactly.
+
+    The latency bound is inclusive: a request that has waited exactly
+    ``max_wait_ms`` has hit its deadline and must go out *now*, not on
+    the next poll tick.  The values below (250 ms = 0.25 s) are exact
+    binary fractions, so ``(clock() - enqueued_at) * 1000.0`` lands on
+    the boundary with no floating-point slack — an accidental ``>``
+    instead of ``>=`` in ``poll`` fails these tests deterministically.
+    """
+
+    def make(self, service, max_wait_ms=250.0):
+        clock = FakeClock()
+        batcher = MicroBatcher(service, max_batch_size=100,
+                               max_wait_ms=max_wait_ms, clock=clock)
+        return batcher, clock
+
+    def test_flushes_exactly_at_deadline(self, service, requests):
+        batcher, clock = self.make(service)
+        ticket = batcher.submit(requests[0])   # partially-filled batch
+        clock.advance_ms(125.0)                # now = 0.125 s, exact
+        assert batcher.poll() == 0
+        assert not ticket.done
+        clock.advance_ms(125.0)                # now = 0.25 s: waited
+        assert batcher.poll() == 1             # exactly 250.0 ms
+        assert ticket.done
+        assert batcher.batches_flushed == 1
+        assert batcher.pending == 0
+
+    def test_just_under_deadline_does_not_flush(self, service, requests):
+        batcher, clock = self.make(service)
+        ticket = batcher.submit(requests[0])
+        clock.advance_ms(249.0)
+        assert batcher.poll() == 0
+        assert not ticket.done
+        clock.advance_ms(1.0)                  # reaches the deadline
+        assert batcher.poll() == 1
+        assert ticket.done
+
+    def test_zero_wait_flushes_on_first_poll(self, service, requests):
+        """``max_wait_ms == 0`` means no batching delay at all: the very
+        first poll flushes even with zero elapsed time (0 >= 0)."""
+        batcher, clock = self.make(service, max_wait_ms=0.0)
+        ticket = batcher.submit(requests[0])
+        assert batcher.poll() == 1             # no clock advance at all
+        assert ticket.done
+
+    def test_oldest_request_governs_the_deadline(self, service, requests):
+        """A younger request must not reset the timer: the flush happens
+        at the *oldest* ticket's deadline and takes everyone with it."""
+        batcher, clock = self.make(service)
+        first = batcher.submit(requests[0])
+        clock.advance_ms(125.0)
+        second = batcher.submit(requests[1])   # younger, waited 125 less
+        clock.advance_ms(125.0)                # first hits 250.0 exactly
+        assert batcher.poll() == 2             # both flush together
+        assert first.done and second.done
+        assert batcher.batches_flushed == 1
+        assert batcher.requests_flushed == 2
