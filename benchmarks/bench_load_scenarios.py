@@ -1,0 +1,116 @@
+"""Constant-rate load scenarios through the resilience stack.
+
+Runs every scenario in the :mod:`repro.load` library with the
+open-loop driver (arrivals scheduled by clock, never throttled by
+response latency) and reports per-phase p50/p95/p99 latency, degraded
+fraction, shed counts and the SLO verdict.  Each run also writes its
+machine-readable JSON artifact to ``benchmarks/results/`` and
+validates it against the checked-in schema plus the live metrics
+registry.
+
+``--smoke`` uses the deterministic virtual clock with 1-second phases
+(CI-sized, bit-reproducible); the default is a wall-clock run with the
+standard 5-second phases.  Outcome assertions (surge sheds and
+recovers, the fault storm trips the breaker, checkpoint corruption is
+refused, the faulty canary rolls back) hold in both modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from repro.load import (LoadRunConfig, SCENARIOS, ScenarioResult,
+                        reconcile_with_registry, run_scenario,
+                        validate_artifact, write_artifact)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def check_outcomes(result: ScenarioResult) -> None:
+    """Scenario-specific invariants the resilience layer must uphold."""
+    artifact = result.artifact
+    totals = artifact["totals"]
+    phases = {p["name"]: p for p in artifact["phases"]}
+    name = result.scenario
+    assert totals["invalid_responses"] == 0, (
+        f"{name}: every response must be a valid route+ETA")
+    if name == "steady":
+        assert result.passed, "steady state must meet the SLO"
+        assert totals["degraded"] == 0
+    elif name == "surge":
+        assert phases["surge"]["degraded"]["by_reason"].get("shed", 0) > 0, (
+            "overload must trigger admission-control shedding")
+        assert phases["recovery"]["degraded"]["total"] == 0, (
+            "recovery after the surge must be clean")
+    elif name == "fault_storm":
+        assert phases["storm"]["breaker_opens"] > 0, (
+            "the error burst must trip the circuit breaker")
+        assert phases["storm"]["degraded"]["total"] > 0
+    elif name == "checkpoint_corruption":
+        events = {e["event"] for e in artifact["events"]}
+        assert "checkpoint_corruption_rejected" in events, (
+            "the registry must refuse to load the corrupt checkpoint")
+        assert totals["degraded"] == 0, (
+            "disk corruption must not affect in-memory serving")
+    elif name == "canary_surge":
+        actions = {d["action"] for d in artifact["decisions"]}
+        assert "rollback" in actions, (
+            "the faulty candidate must be rolled back")
+
+
+def run(smoke: bool = False, seed: int = 0) -> str:
+    config = LoadRunConfig(
+        phase_duration_s=1.0 if smoke else 5.0,
+        virtual=smoke, seed=seed)
+    suffix = "_smoke" if smoke else ""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    lines = [
+        "Load scenario benchmark" + (" (smoke)" if smoke else ""),
+        f"  clock {config.mode}, base rate {config.rate:.0f} rps, "
+        f"phase {config.phase_duration_s:.0f} s, seed {config.seed}",
+        "",
+        f"  {'scenario':22s} {'req':>5s} {'p99ms':>8s} {'degr%':>7s} "
+        f"{'shed':>5s} {'opens':>5s} {'slo':>5s}",
+    ]
+    for name in sorted(SCENARIOS):
+        result = run_scenario(name, config)
+        artifact = result.artifact
+        validate_artifact(artifact)
+        reconcile_with_registry(artifact, result.context.metrics)
+        check_outcomes(result)
+        write_artifact(artifact, RESULTS_DIR / f"load_{name}{suffix}.json")
+        totals = artifact["totals"]
+        slo = artifact["slo"]
+        lines.append(
+            f"  {name:22s} {totals['requests']:>5d} "
+            f"{slo['p99_ms']:>8.1f} "
+            f"{100.0 * totals['degraded_fraction']:>6.1f}% "
+            f"{totals['shed']:>5d} {totals['breaker_opens']:>5d} "
+            f"{'PASS' if slo['passed'] else 'FAIL':>5s}")
+    lines += [
+        "",
+        "  (p99 and the verdict cover SLO-gated phases only; overload",
+        "   phases are recorded in the per-scenario JSON artifacts)",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="deterministic virtual-clock CI run")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    report = run(smoke=args.smoke, seed=args.seed)
+    suffix = "_smoke" if args.smoke else ""
+    out = RESULTS_DIR / f"load_scenarios{suffix}.txt"
+    out.write_text(report + "\n")
+    print(report)
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,7 @@ Quickstart::
 __version__ = "1.0.0"
 
 from . import autodiff, baselines, core, data, deploy, eval, experiments, graphs
-from . import kernels, metrics, nn, obs, parallel, service, training
+from . import kernels, load, metrics, nn, obs, parallel, service, training
 
 # Convenience re-exports of the most-used names.
 from .data import (
@@ -42,8 +42,8 @@ from .parallel import DataParallelTrainer, ParallelConfig, ParallelDataLoader
 
 __all__ = [
     "autodiff", "baselines", "core", "data", "deploy", "eval", "experiments",
-    "graphs", "kernels", "metrics", "nn", "obs", "parallel", "service",
-    "training",
+    "graphs", "kernels", "load", "metrics", "nn", "obs", "parallel",
+    "service", "training",
     "DataParallelTrainer", "ParallelConfig", "ParallelDataLoader",
     "AOI", "Courier", "Location", "RTPInstance", "RTPDataset",
     "GeneratorConfig", "SyntheticWorld", "generate_dataset",

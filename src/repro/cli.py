@@ -11,6 +11,7 @@ Installed as ``repro-rtp``::
     repro-rtp deploy register --registry reg/ --model model.npz
     repro-rtp deploy serve --registry reg/ --data data.csv \\
         --candidate latest --canary-frac 0.2
+    repro-rtp load --scenario surge --smoke
     repro-rtp obs --file trace.jsonl
 
 ``train`` writes the model config next to the checkpoint
@@ -329,6 +330,74 @@ def cmd_deploy(args: argparse.Namespace) -> int:
     raise ValueError(f"unknown deploy action {action!r}")
 
 
+def cmd_load(args: argparse.Namespace) -> int:
+    from . import load as load_harness
+
+    if args.list:
+        for name, scenario in sorted(load_harness.SCENARIOS.items()):
+            print(f"{name:24s} {scenario.description}")
+        return 0
+    if args.scenario is None:
+        print("error: --scenario is required (or use --list)",
+              file=sys.stderr)
+        return 2
+    _select_kernels(args)
+    virtual = args.mode == "virtual" or (args.smoke and args.mode is None)
+    rate = args.rate
+    duration = args.duration
+    if args.smoke:
+        rate = rate if rate is not None else 40.0
+        duration = duration if duration is not None else 1.0
+    config = load_harness.LoadRunConfig(
+        rate=rate if rate is not None else 40.0,
+        phase_duration_s=duration if duration is not None else 5.0,
+        seed=args.seed, virtual=virtual,
+        deadline_ms=args.deadline_ms,
+        max_queue_depth=args.max_queue_depth,
+        slo=load_harness.SLOPolicy(
+            p99_ms=args.slo_p99_ms,
+            max_degraded_fraction=args.slo_max_degraded))
+    model = _load_model(Path(args.model)) if args.model else None
+    result = load_harness.run_scenario(args.scenario, config, model=model)
+
+    artifact = result.artifact
+    print(f"scenario {args.scenario} ({config.mode} clock, "
+          f"seed {config.seed})")
+    header = (f"{'phase':18s} {'rate':>7s} {'req':>6s} {'p50ms':>8s} "
+              f"{'p95ms':>8s} {'p99ms':>8s} {'degr%':>7s} {'shed':>5s} "
+              f"{'backlog':>7s}")
+    print(header)
+    for phase in artifact["phases"]:
+        latency = phase["latency_ms"]
+        mark = "" if phase["slo"] else "  (no SLO)"
+        print(f"{phase['name']:18s} {phase['rate_rps']:>7.1f} "
+              f"{phase['requests']:>6d} {latency['p50']:>8.1f} "
+              f"{latency['p95']:>8.1f} {latency['p99']:>8.1f} "
+              f"{100.0 * phase['degraded']['fraction']:>6.1f}% "
+              f"{phase['degraded']['by_reason'].get('shed', 0):>5d} "
+              f"{phase['max_backlog']:>7d}{mark}")
+    for event in artifact["events"]:
+        print(f"event [{event['phase']}] {event['event']}: "
+              f"{event['detail']}")
+    for decision in artifact["decisions"]:
+        print(f"decision: {decision['action']} {decision['version']} "
+              f"({decision['reason']})")
+    slo = artifact["slo"]
+    verdict = "PASS" if slo["passed"] else "FAIL"
+    print(f"SLO {verdict}: p99 {slo['p99_ms']:.1f} ms "
+          f"(bound {slo['policy']['p99_ms']:.0f}), degraded "
+          f"{100.0 * slo['degraded_fraction']:.1f}% "
+          f"(bound {100.0 * slo['policy']['max_degraded_fraction']:.0f}%)"
+          + (f"; violations: {'; '.join(slo['violations'])}"
+             if slo["violations"] else ""))
+    out = args.out or f"load_{args.scenario}.json"
+    load_harness.write_artifact(artifact, Path(out))
+    print(f"wrote artifact to {out}")
+    if args.enforce_slo and not slo["passed"]:
+        return 1
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     dataset = read_csv(args.data)
     for key, value in dataset.summary().items():
@@ -478,6 +547,40 @@ def build_parser() -> argparse.ArgumentParser:
                               help="inference kernel backend (default: "
                                    "fused, or the REPRO_KERNELS env var)")
     deploy_serve.set_defaults(func=cmd_deploy)
+
+    load_cmd = sub.add_parser(
+        "load", help="constant-rate load & scenario replay (repro.load)")
+    load_cmd.add_argument("--scenario", default=None,
+                          help="scenario name (see --list)")
+    load_cmd.add_argument("--list", action="store_true",
+                          help="list available scenarios and exit")
+    load_cmd.add_argument("--rate", type=float, default=None,
+                          help="base arrival rate, requests/s (default 40)")
+    load_cmd.add_argument("--duration", type=float, default=None,
+                          help="full-weight phase duration, s (default 5)")
+    load_cmd.add_argument("--seed", type=int, default=0)
+    load_cmd.add_argument("--mode", choices=["wall", "virtual"], default=None,
+                          help="clock: wall (real time) or virtual "
+                               "(deterministic; default with --smoke)")
+    load_cmd.add_argument("--smoke", action="store_true",
+                          help="short deterministic run (1 s phases, "
+                               "virtual clock unless --mode wall)")
+    load_cmd.add_argument("--model", default=None, metavar="PATH",
+                          help="trained checkpoint to serve (default: "
+                               "small fresh model)")
+    load_cmd.add_argument("--out", default=None, metavar="PATH",
+                          help="artifact path (default load_<scenario>.json)")
+    load_cmd.add_argument("--deadline-ms", type=float, default=250.0)
+    load_cmd.add_argument("--max-queue-depth", type=int, default=32)
+    load_cmd.add_argument("--slo-p99-ms", type=float, default=250.0)
+    load_cmd.add_argument("--slo-max-degraded", type=float, default=0.2)
+    load_cmd.add_argument("--enforce-slo", action="store_true",
+                          help="exit non-zero when the SLO verdict fails")
+    load_cmd.add_argument("--kernels", choices=list(kernels.BACKENDS),
+                          default=None,
+                          help="inference kernel backend (default: fused, "
+                               "or the REPRO_KERNELS env var)")
+    load_cmd.set_defaults(func=cmd_load)
 
     info = sub.add_parser("info", help="summarise a CSV dataset")
     info.add_argument("--data", required=True)

@@ -106,6 +106,16 @@ class DeploymentController:
         version, else ``latest``.
     seed:
         Seeds the canary routing RNG (deterministic traffic split).
+    batcher:
+        Optional queue-depth source (anything with a ``pending``
+        attribute) handed to every resilient wrapper the controller
+        builds, so admission control sheds on the shared backlog.  The
+        load harness passes its open-loop backlog probe here.
+    service_wrapper:
+        Optional callable applied to each version's inner service
+        (after fault injection) before the resilient wrapper — the
+        load harness uses it to install modeled-latency shims under a
+        virtual clock.
     """
 
     def __init__(self, registry: ModelRegistry, *,
@@ -115,13 +125,17 @@ class DeploymentController:
                  fallback: Optional[FallbackPredictor] = None,
                  initial: Optional[str] = None,
                  seed: int = 0,
-                 clock: Callable[[], float] = time.perf_counter):
+                 clock: Callable[[], float] = time.perf_counter,
+                 batcher=None,
+                 service_wrapper: Optional[Callable] = None):
         self.registry = registry
         self.resilience = resilience or ResilienceConfig()
         self.policy = policy or RolloutPolicy()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.fallback = fallback or FallbackPredictor()
         self.clock = clock
+        self.batcher = batcher
+        self.service_wrapper = service_wrapper
         self._rng = np.random.default_rng(seed)
         self._decision_counter = self.metrics.counter(
             "rtp_rollout_decisions_total", "Canary verdicts by action",
@@ -146,9 +160,12 @@ class DeploymentController:
         model, _ = self.registry.load(version)
         service = RTPService(model)
         inner = fault_injector.wrap(service) if fault_injector else service
+        if self.service_wrapper is not None:
+            inner = self.service_wrapper(inner)
         return ResilientRTPService(
             inner, fallback=self.fallback, config=self.resilience,
-            registry=self.metrics, version=version, clock=self.clock)
+            registry=self.metrics, version=version, clock=self.clock,
+            batcher=self.batcher)
 
     # ------------------------------------------------------------------
     # Rollout lifecycle

@@ -29,6 +29,7 @@ model hard-down.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -131,8 +132,10 @@ class ResilientRTPService:
         gates admission (``pending`` attribute is all that is read).
     registry:
         Optional shared metrics registry; exports per-version
-        ``rtp_model_*`` series, ``rtp_degraded_total`` by reason and
-        the ``rtp_breaker_state`` gauge.
+        ``rtp_model_*`` series, ``rtp_degraded_total`` by reason, the
+        exactly-once ``rtp_degraded_responses_total`` total (always
+        equal to the per-reason sum) and the ``rtp_breaker_state``
+        gauge.
     version:
         Registry version label stamped on responses and metrics.
     """
@@ -154,11 +157,17 @@ class ResilientRTPService:
             recovery_seconds=self.config.breaker_recovery_seconds,
             clock=clock)
         # Local tallies (always on) + optional registry instruments.
+        # All tallies mutate under ``_counts_lock`` so concurrent
+        # callers never lose increments; the invariants
+        # ``requests == model + degraded`` and ``degraded ==
+        # breaker_open + deadline + shed + error`` hold exactly (each
+        # degraded response is attributed to exactly one reason).
         self.counts: Dict[str, int] = {
             "requests": 0, "model": 0, "degraded": 0, "errors": 0,
             "retries": 0, "breaker_open": 0, "deadline": 0, "shed": 0,
             "error": 0,
         }
+        self._counts_lock = threading.Lock()
         self._latency_sum_ms = 0.0
         self._latency_count = 0
         self._registry = registry
@@ -175,12 +184,23 @@ class ResilientRTPService:
             self._m_degraded = registry.counter(
                 "rtp_degraded_total", "Degraded responses by reason",
                 labels=("version", "reason"))
+            self._m_degraded_responses = registry.counter(
+                "rtp_degraded_responses_total",
+                "Degraded responses (exactly one per degraded request; "
+                "equals the sum of rtp_degraded_total over reasons)",
+                labels=("version",))
             self._m_breaker = registry.gauge(
                 "rtp_breaker_state",
                 "Circuit breaker state (0 closed, 1 half-open, 2 open)",
                 labels=("version",))
 
     # ------------------------------------------------------------------
+    def _count(self, *keys: str) -> None:
+        """Advance local tallies atomically (one lock hold per call)."""
+        with self._counts_lock:
+            for key in keys:
+                self.counts[key] += 1
+
     def _publish_breaker(self) -> None:
         if self._registry is not None:
             self._m_breaker.labels(version=self.version).set(
@@ -190,10 +210,12 @@ class ResilientRTPService:
                            started: float) -> RTPResponse:
         prediction = self.fallback.predict(request)
         latency_ms = (self.clock() - started) * 1000.0
-        self.counts["degraded"] += 1
-        self.counts[reason] += 1
+        # "degraded" and its reason advance together under one lock
+        # hold, so the per-reason sum always reconciles with the total.
+        self._count("degraded", reason)
         if self._registry is not None:
             self._m_degraded.labels(version=self.version, reason=reason).inc()
+            self._m_degraded_responses.labels(version=self.version).inc()
         self._publish_breaker()
         return RTPResponse(
             route=prediction.route,
@@ -216,7 +238,7 @@ class ResilientRTPService:
     def handle(self, request: RTPRequest) -> RTPResponse:
         """Answer one request, degrading instead of ever failing."""
         started = self.clock()
-        self.counts["requests"] += 1
+        self._count("requests")
         if self._registry is not None:
             self._m_requests.labels(version=self.version).inc()
         with span("rtp.resilient", version=self.version):
@@ -233,7 +255,7 @@ class ResilientRTPService:
                 try:
                     response = self.service.handle(request)
                 except Exception:
-                    self.counts["errors"] += 1
+                    self._count("errors")
                     self.breaker.record_failure()
                     if self._registry is not None:
                         self._m_errors.labels(version=self.version).inc()
@@ -241,7 +263,7 @@ class ResilientRTPService:
                                    - (self.clock() - started) * 1000.0)
                     if (attempt + 1 < attempts and budget_left > 0
                             and self.breaker.allow()):
-                        self.counts["retries"] += 1
+                        self._count("retries")
                         continue
                     return self._degraded_response(request, "error", started)
                 elapsed_ms = (self.clock() - started) * 1000.0
@@ -253,9 +275,10 @@ class ResilientRTPService:
                     return self._degraded_response(
                         request, "deadline", started)
                 self.breaker.record_success()
-                self.counts["model"] += 1
-                self._latency_sum_ms += elapsed_ms
-                self._latency_count += 1
+                with self._counts_lock:
+                    self.counts["model"] += 1
+                    self._latency_sum_ms += elapsed_ms
+                    self._latency_count += 1
                 if self._registry is not None:
                     self._m_latency.labels(
                         version=self.version).observe(elapsed_ms)
@@ -268,14 +291,26 @@ class ResilientRTPService:
         return [self.handle(request) for request in requests]
 
     # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        """Consistent copy of the tallies (one lock hold).
+
+        Unlike reading ``counts`` directly, a snapshot taken while
+        other threads are serving can never show a degraded total that
+        disagrees with its per-reason breakdown.
+        """
+        with self._counts_lock:
+            return dict(self.counts)
+
     @property
     def degraded_rate(self) -> float:
         """Fraction of requests answered by the fallback path."""
-        total = self.counts["requests"]
-        return self.counts["degraded"] / total if total else 0.0
+        with self._counts_lock:
+            total = self.counts["requests"]
+            return self.counts["degraded"] / total if total else 0.0
 
     def model_latency_mean_ms(self) -> float:
         """Mean latency of successful model-path answers (or 0)."""
-        if not self._latency_count:
-            return 0.0
-        return self._latency_sum_ms / self._latency_count
+        with self._counts_lock:
+            if not self._latency_count:
+                return 0.0
+            return self._latency_sum_ms / self._latency_count

@@ -1,0 +1,375 @@
+"""Machine-readable run artifacts with an SLO verdict.
+
+Every load run emits one JSON artifact — per-phase latency
+percentiles, cumulative histograms, degraded/shed/error counts and a
+pass/fail SLO verdict — so the performance trajectory of the repo is
+comparable across PRs by diffing files instead of reading prose.
+
+The artifact shape is pinned by a checked-in schema
+(``artifact_schema.json``, a self-contained subset of JSON Schema that
+:func:`validate_artifact` interprets without third-party packages).
+Validation goes beyond shape: histogram bucket monotonicity, per-reason
+counts reconciling with totals, and — via
+:func:`reconcile_with_registry` — artifact numbers matching the shared
+:class:`~repro.obs.MetricsRegistry` the run wrote through, so an
+artifact can never silently drift from what operators would scrape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..obs.metrics import MetricsRegistry
+from .driver import LOAD_LATENCY_BUCKETS, PhaseResult, percentile_summary
+
+SCHEMA_PATH = Path(__file__).resolve().parent / "artifact_schema.json"
+SCHEMA_VERSION = 1
+ARTIFACT_KIND = "repro.load.artifact"
+
+
+class ArtifactValidationError(ValueError):
+    """The artifact violates the schema or an internal invariant."""
+
+
+@dataclasses.dataclass
+class SLOPolicy:
+    """Bounds a run must hold over its SLO-flagged phases."""
+
+    p99_ms: float = 250.0              # pooled p99 latency bound
+    max_degraded_fraction: float = 0.2  # fallback answers allowed
+    max_invalid_fraction: float = 0.0   # malformed answers allowed (none)
+
+    def __post_init__(self) -> None:
+        if self.p99_ms <= 0:
+            raise ValueError("p99_ms must be positive")
+        for name in ("max_degraded_fraction", "max_invalid_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    def evaluate(self, phases: Sequence[PhaseResult]) -> Dict[str, object]:
+        """Verdict over the ``slo=True`` phases of a run."""
+        scored = [p for p in phases if p.slo]
+        latencies: List[float] = []
+        requests = degraded = invalid = 0
+        for phase in scored:
+            latencies.extend(phase.latencies_ms)
+            requests += phase.requests
+            degraded += phase.degraded
+            invalid += phase.invalid_responses
+        p99 = (float(np.percentile(np.asarray(latencies), 99))
+               if latencies else 0.0)
+        degraded_fraction = degraded / requests if requests else 0.0
+        invalid_fraction = invalid / requests if requests else 0.0
+        violations: List[str] = []
+        if not scored:
+            violations.append("no SLO-flagged phases were run")
+        if p99 > self.p99_ms:
+            violations.append(
+                f"p99 {p99:.1f} ms exceeds bound {self.p99_ms:.1f} ms")
+        if degraded_fraction > self.max_degraded_fraction:
+            violations.append(
+                f"degraded fraction {degraded_fraction:.3f} exceeds bound "
+                f"{self.max_degraded_fraction:.3f}")
+        if invalid_fraction > self.max_invalid_fraction:
+            violations.append(
+                f"invalid-response fraction {invalid_fraction:.3f} exceeds "
+                f"bound {self.max_invalid_fraction:.3f}")
+        return {
+            "policy": {
+                "p99_ms": self.p99_ms,
+                "max_degraded_fraction": self.max_degraded_fraction,
+                "max_invalid_fraction": self.max_invalid_fraction,
+            },
+            "phases_evaluated": [p.name for p in scored],
+            "p99_ms": p99,
+            "degraded_fraction": degraded_fraction,
+            "invalid_fraction": invalid_fraction,
+            "violations": violations,
+            "passed": not violations,
+        }
+
+
+# ----------------------------------------------------------------------
+# Building
+# ----------------------------------------------------------------------
+def _histogram_json(latencies_ms: Sequence[float],
+                    snapshot: Optional[Dict[str, object]] = None
+                    ) -> Dict[str, object]:
+    """Cumulative histogram block; ``+Inf`` serialised as ``null``.
+
+    When a registry ``snapshot`` is given its counts are used verbatim
+    (the artifact then reconciles with the exposition by
+    construction); otherwise the raw samples are bucketed locally.
+    """
+    if snapshot is not None:
+        bounds = list(snapshot["upper_bounds"])
+        counts = list(snapshot["counts"])
+    else:
+        bounds = list(LOAD_LATENCY_BUCKETS)
+        counts = [0] * len(bounds)
+        for value in latencies_ms:
+            for index, bound in enumerate(bounds):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+    cumulative: List[int] = []
+    running = 0
+    for count in counts:
+        running += int(count)
+        cumulative.append(running)
+    return {
+        "upper_bounds_ms": [None if math.isinf(b) else float(b)
+                            for b in bounds],
+        "cumulative_counts": cumulative,
+    }
+
+
+def phase_to_json(phase: PhaseResult,
+                  snapshot: Optional[Dict[str, object]] = None
+                  ) -> Dict[str, object]:
+    """Serialise one phase's measurements."""
+    return {
+        "name": phase.name,
+        "rate_rps": float(phase.rate),
+        "duration_s": float(phase.duration_s),
+        "slo": bool(phase.slo),
+        "requests": int(phase.requests),
+        "elapsed_s": float(phase.elapsed_s),
+        "throughput_rps": float(phase.throughput_rps),
+        "latency_ms": phase.latency_summary(),
+        "service_ms": percentile_summary(phase.service_ms),
+        "histogram_ms": _histogram_json(phase.latencies_ms, snapshot),
+        "degraded": {
+            "total": int(phase.degraded),
+            "fraction": float(phase.degraded_fraction),
+            "by_reason": {reason: int(count) for reason, count
+                          in sorted(phase.degraded_by_reason.items())},
+        },
+        "valid_responses": int(phase.valid_responses),
+        "invalid_responses": int(phase.invalid_responses),
+        "max_backlog": int(phase.max_backlog),
+        "breaker_opens": int(phase.breaker_opens),
+    }
+
+
+def build_artifact(*, scenario: str, description: str, mode: str, seed: int,
+                   config: Dict[str, object],
+                   phases: Sequence[PhaseResult],
+                   slo_policy: SLOPolicy,
+                   registry: Optional[MetricsRegistry] = None,
+                   events: Sequence[Dict[str, str]] = (),
+                   decisions: Sequence[Dict[str, str]] = ()
+                   ) -> Dict[str, object]:
+    """Assemble the full artifact for one scenario run."""
+    phase_blocks = []
+    for phase in phases:
+        snapshot = None
+        if registry is not None:
+            histogram = registry.get("load_latency_ms")
+            if histogram is not None:
+                snapshot = histogram.snapshot(
+                    scenario=scenario, phase=phase.name)
+        phase_blocks.append(phase_to_json(phase, snapshot))
+    total_requests = sum(p.requests for p in phases)
+    total_degraded = sum(p.degraded for p in phases)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": ARTIFACT_KIND,
+        "scenario": scenario,
+        "description": description,
+        "mode": mode,
+        "seed": int(seed),
+        "config": config,
+        "phases": phase_blocks,
+        "events": list(events),
+        "decisions": list(decisions),
+        "totals": {
+            "requests": total_requests,
+            "degraded": total_degraded,
+            "degraded_fraction": (total_degraded / total_requests
+                                  if total_requests else 0.0),
+            "invalid_responses": sum(p.invalid_responses for p in phases),
+            "shed": sum(p.degraded_by_reason.get("shed", 0) for p in phases),
+            "errors": sum(p.degraded_by_reason.get("error", 0)
+                          for p in phases),
+            "breaker_opens": sum(p.breaker_opens for p in phases),
+        },
+        "slo": slo_policy.evaluate(phases),
+    }
+
+
+def write_artifact(artifact: Dict[str, object], path) -> Path:
+    """Validate, then write the artifact as pretty JSON."""
+    validate_artifact(artifact)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def load_schema() -> Dict[str, object]:
+    """The checked-in artifact schema."""
+    return json.loads(SCHEMA_PATH.read_text())
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _check_schema(value, schema: Dict[str, object], path: str) -> None:
+    """Interpret the JSON-Schema subset the artifact schema uses."""
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            raise ArtifactValidationError(
+                f"{path}: expected type {expected}, "
+                f"got {type(value).__name__}")
+    if "enum" in schema and value not in schema["enum"]:
+        raise ArtifactValidationError(
+            f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        raise ArtifactValidationError(
+            f"{path}: {value} below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                raise ArtifactValidationError(f"{path}: missing key {key!r}")
+        properties = schema.get("properties", {})
+        for key, child in value.items():
+            if key in properties:
+                _check_schema(child, properties[key], f"{path}.{key}")
+            elif not schema.get("additionalProperties", True):
+                raise ArtifactValidationError(
+                    f"{path}: unexpected key {key!r}")
+        extra = schema.get("patternValues")
+        if extra is not None:   # homogeneous map: every value same schema
+            for key, child in value.items():
+                _check_schema(child, extra, f"{path}.{key}")
+    if isinstance(value, list) and "items" in schema:
+        for index, child in enumerate(value):
+            _check_schema(child, schema["items"], f"{path}[{index}]")
+
+
+def _check_histogram(phase: Dict[str, object], path: str) -> None:
+    histogram = phase["histogram_ms"]
+    bounds = histogram["upper_bounds_ms"]
+    counts = histogram["cumulative_counts"]
+    if len(bounds) != len(counts):
+        raise ArtifactValidationError(
+            f"{path}: {len(bounds)} bounds vs {len(counts)} counts")
+    finite = [b for b in bounds if b is not None]
+    if any(b is None for b in bounds[:-1]) or finite != sorted(finite):
+        raise ArtifactValidationError(
+            f"{path}: bucket bounds must be sorted with +Inf (null) last")
+    if any(b - a < 0 for a, b in zip(counts, counts[1:])):
+        raise ArtifactValidationError(
+            f"{path}: cumulative counts must be non-decreasing")
+    if counts and counts[-1] != phase["requests"]:
+        raise ArtifactValidationError(
+            f"{path}: histogram total {counts[-1]} != "
+            f"requests {phase['requests']}")
+
+
+def validate_artifact(artifact: Dict[str, object],
+                      schema: Optional[Dict[str, object]] = None) -> None:
+    """Schema check plus the semantic invariants of a load artifact.
+
+    Raises :class:`ArtifactValidationError` on the first violation;
+    returns ``None`` when the artifact is sound.
+    """
+    _check_schema(artifact, schema or load_schema(), "artifact")
+    totals = artifact["totals"]
+    requests = degraded = invalid = 0
+    for index, phase in enumerate(artifact["phases"]):
+        path = f"artifact.phases[{index}]"
+        _check_histogram(phase, path)
+        block = phase["degraded"]
+        by_reason = sum(block["by_reason"].values())
+        if by_reason != block["total"]:
+            raise ArtifactValidationError(
+                f"{path}: degraded total {block['total']} != "
+                f"per-reason sum {by_reason}")
+        if phase["requests"] and abs(
+                block["fraction"]
+                - block["total"] / phase["requests"]) > 1e-9:
+            raise ArtifactValidationError(
+                f"{path}: degraded fraction does not match total/requests")
+        if (phase["valid_responses"] + phase["invalid_responses"]
+                != phase["requests"]):
+            raise ArtifactValidationError(
+                f"{path}: valid + invalid != requests")
+        requests += phase["requests"]
+        degraded += block["total"]
+        invalid += phase["invalid_responses"]
+    checks = (("requests", requests), ("degraded", degraded),
+              ("invalid_responses", invalid))
+    for key, value in checks:
+        if totals[key] != value:
+            raise ArtifactValidationError(
+                f"artifact.totals.{key} {totals[key]} != "
+                f"phase sum {value}")
+    slo = artifact["slo"]
+    if slo["passed"] != (not slo["violations"]):
+        raise ArtifactValidationError(
+            "artifact.slo.passed inconsistent with violations list")
+
+
+def reconcile_with_registry(artifact: Dict[str, object],
+                            registry: MetricsRegistry) -> None:
+    """Assert artifact counts match the shared metrics registry.
+
+    Guards the pipeline end to end: the counts a dashboard would
+    scrape and the counts the artifact archives must be the same
+    numbers, or the perf trajectory silently forks from production
+    observability.
+    """
+    scenario = artifact["scenario"]
+    request_counter = registry.get("load_requests_total")
+    degraded_counter = registry.get("load_degraded_total")
+    histogram = registry.get("load_latency_ms")
+    if request_counter is None or histogram is None:
+        raise ArtifactValidationError(
+            "registry is missing the load_* series for reconciliation")
+    for phase in artifact["phases"]:
+        name = phase["name"]
+        counted = request_counter.labels(
+            scenario=scenario, phase=name).value
+        if int(counted) != phase["requests"]:
+            raise ArtifactValidationError(
+                f"{name}: registry counted {int(counted)} requests, "
+                f"artifact says {phase['requests']}")
+        snapshot = histogram.snapshot(scenario=scenario, phase=name)
+        cumulative = []
+        running = 0
+        for count in snapshot["counts"]:
+            running += int(count)
+            cumulative.append(running)
+        if cumulative != phase["histogram_ms"]["cumulative_counts"]:
+            raise ArtifactValidationError(
+                f"{name}: registry histogram disagrees with artifact")
+        for reason, count in phase["degraded"]["by_reason"].items():
+            registered = degraded_counter.labels(
+                scenario=scenario, phase=name, reason=reason).value
+            if int(registered) != count:
+                raise ArtifactValidationError(
+                    f"{name}: registry counted {int(registered)} "
+                    f"degraded ({reason}), artifact says {count}")

@@ -1,0 +1,96 @@
+"""Virtual time for the load harness' deterministic fast path.
+
+The open-loop driver, the resilience layer and the fault injector all
+take injectable ``clock``/``sleeper`` callables.  :class:`VirtualClock`
+implements both over a simulated timeline: ``sleep`` advances time
+instead of blocking, so a 60-second scenario replays in milliseconds
+and — because nothing depends on the host's scheduler — every latency,
+deadline breach, shed decision and breaker transition is bit-for-bit
+reproducible from the seed.
+
+:class:`ModeledLatencyService` is the missing piece between the two
+worlds: under a virtual clock the real model forward costs zero
+*virtual* time, so the wrapper advances the clock by a seeded modeled
+service duration per call.  Queueing collapse then emerges from
+arithmetic (modeled service time > arrival interval) exactly as it
+does from wall-clock physics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class VirtualClock:
+    """A monotonic simulated clock; callable like ``time.perf_counter``.
+
+    ``sleep`` advances the timeline (never blocks) and records every
+    requested delay, so scheduler tests can assert the exact waits the
+    open-loop driver asked for.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.sleeps: List[float] = []
+
+    def __call__(self) -> float:
+        return self._now
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Advance time by ``seconds`` (negative requests are a no-op)."""
+        self.sleeps.append(float(seconds))
+        if seconds > 0:
+            self._now += float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        if seconds < 0:
+            raise ValueError("cannot advance a monotonic clock backwards")
+        self._now += float(seconds)
+
+
+class ModeledLatencyService:
+    """Service shim that charges a modeled duration to a virtual clock.
+
+    Each ``handle`` advances ``clock`` by a lognormal-shaped service
+    time (``base_ms`` scaled by ``exp(sigma * N(0, 1))``) drawn from a
+    seeded RNG, then delegates to the wrapped service.  The real
+    forward still runs — predictions are the model's — but *time* is
+    simulated, which is what makes deadline/shedding/breaker dynamics
+    deterministic.
+    """
+
+    def __init__(self, service, clock: VirtualClock, base_ms: float,
+                 sigma: float = 0.2, seed: int = 0):
+        if base_ms < 0:
+            raise ValueError("base_ms must be non-negative")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.service = service
+        self.clock = clock
+        self.base_ms = base_ms
+        self.sigma = sigma
+        self._rng = np.random.default_rng(seed)
+
+    def _charge(self) -> None:
+        cost_ms = self.base_ms * float(np.exp(
+            self.sigma * self._rng.standard_normal()))
+        self.clock.advance(cost_ms / 1000.0)
+
+    def handle(self, request):
+        self._charge()
+        return self.service.handle(request)
+
+    def handle_batch(self, requests: Sequence):
+        self._charge()
+        return self.service.handle_batch(requests)
+
+    def __getattr__(self, name):
+        # Forward cache/queries_served/... to the wrapped service.
+        return getattr(self.service, name)

@@ -1,0 +1,256 @@
+"""wrk2-style open-loop constant-rate driver over an RTP service stack.
+
+Closed-loop load generators wait for each response before sending the
+next request, so a slow server quietly throttles its own load and the
+measured latency hides the queue (coordinated omission).  This driver
+is **open-loop**: request *i* of a phase is scheduled at the fixed
+wall-clock instant ``start + i / rate`` regardless of how long earlier
+requests took, and latency is measured **from the scheduled arrival
+time** — so when service time exceeds the arrival interval, the
+growing backlog shows up as monotonically climbing latencies instead
+of disappearing into an idle generator.
+
+The driver exposes its current backlog (arrivals already due but not
+yet issued) through :class:`BacklogProbe`, which duck-types the
+``pending`` attribute of :class:`~repro.service.MicroBatcher`; handing
+the probe to :class:`~repro.deploy.ResilientRTPService` makes
+admission-control shedding respond to real open-loop queue pressure.
+
+Per-phase latency histograms and degraded/shed counters are emitted
+through the shared :class:`~repro.obs.MetricsRegistry`
+(``load_*{scenario, phase}`` series), the same registry the resilience
+layer writes its ``rtp_*`` series to — one exposition tells the whole
+story of a run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..obs.metrics import MetricsRegistry
+from ..service.rtp_service import RTPResponse
+
+#: Latency histogram upper bounds (ms) — wide enough that queueing
+#: collapse (seconds of backlog) still lands in a finite bucket.
+LOAD_LATENCY_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                        500.0, 1000.0, 2000.0, 5000.0, float("inf"))
+
+#: Degradation reasons the resilience layer can stamp on a response.
+DEGRADED_REASONS = ("breaker_open", "deadline", "shed", "error")
+
+
+def percentile_summary(values_ms: List[float]) -> Dict[str, float]:
+    """``{mean, p50, p95, p99, max}`` of a latency sample (ms)."""
+    if not values_ms:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    array = np.asarray(values_ms)
+    return {
+        "mean": float(array.mean()),
+        "p50": float(np.percentile(array, 50)),
+        "p95": float(np.percentile(array, 95)),
+        "p99": float(np.percentile(array, 99)),
+        "max": float(array.max()),
+    }
+
+
+@dataclasses.dataclass
+class LoadPhase:
+    """One constant-rate segment of a scenario.
+
+    ``mutator`` reshapes each request (GPS noise, courier churn);
+    ``fault_plan`` is installed on the scenario's fault injector at
+    phase entry; ``on_enter`` runs arbitrary scenario hooks (corrupt a
+    checkpoint, start a canary).  ``slo=False`` phases (warm-up,
+    deliberate overload) are excluded from the SLO verdict but still
+    recorded in the artifact.
+    """
+
+    name: str
+    duration_s: float
+    rate: float                     # requests per second
+    slo: bool = True
+    mutator: Optional[Callable] = None      # (request, rng) -> request
+    fault_plan: Optional[object] = None     # deploy.FaultPlan
+    on_enter: Optional[Callable] = None     # (ScenarioContext) -> None
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+
+    @property
+    def num_requests(self) -> int:
+        """Arrivals scheduled for this phase (at least one)."""
+        return max(1, round(self.duration_s * self.rate))
+
+
+@dataclasses.dataclass
+class PhaseResult:
+    """Everything measured while one phase ran."""
+
+    name: str
+    rate: float
+    duration_s: float
+    slo: bool
+    requests: int = 0
+    elapsed_s: float = 0.0
+    latencies_ms: List[float] = dataclasses.field(default_factory=list)
+    service_ms: List[float] = dataclasses.field(default_factory=list)
+    degraded_by_reason: Dict[str, int] = dataclasses.field(
+        default_factory=dict)
+    valid_responses: int = 0
+    invalid_responses: int = 0
+    max_backlog: int = 0
+    breaker_opens: int = 0   # filled in by the scenario runner (delta)
+
+    @property
+    def degraded(self) -> int:
+        return sum(self.degraded_by_reason.values())
+
+    @property
+    def degraded_fraction(self) -> float:
+        return self.degraded / self.requests if self.requests else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def latency_summary(self) -> Dict[str, float]:
+        return percentile_summary(self.latencies_ms)
+
+
+class BacklogProbe:
+    """Duck-typed ``MicroBatcher.pending`` view of the driver backlog."""
+
+    def __init__(self, driver: "OpenLoopDriver"):
+        self._driver = driver
+
+    @property
+    def pending(self) -> int:
+        return self._driver.backlog
+
+
+class OpenLoopDriver:
+    """Issues requests at fixed arrival times; never self-throttles.
+
+    Parameters
+    ----------
+    handler:
+        ``handler(request) -> RTPResponse`` — typically
+        ``ResilientRTPService.handle`` or
+        ``DeploymentController.handle``.
+    scenario:
+        Label stamped on the ``load_*`` metric series.
+    clock / sleeper:
+        Injectable time source; pass a
+        :class:`~repro.load.clock.VirtualClock`'s callable and
+        ``sleep`` for the deterministic fast path.
+    registry:
+        Optional shared metrics registry for the ``load_*`` series.
+    """
+
+    def __init__(self, handler: Callable, *, scenario: str = "adhoc",
+                 clock: Callable[[], float] = time.perf_counter,
+                 sleeper: Callable[[float], None] = time.sleep,
+                 registry: Optional[MetricsRegistry] = None):
+        self.handler = handler
+        self.scenario = scenario
+        self.clock = clock
+        self.sleeper = sleeper
+        self.backlog = 0
+        self.probe = BacklogProbe(self)
+        self._registry = registry
+        if registry is not None:
+            self._m_requests = registry.counter(
+                "load_requests_total", "Requests issued by the load driver",
+                labels=("scenario", "phase"))
+            self._m_latency = registry.histogram(
+                "load_latency_ms",
+                "Intended-arrival-to-completion latency (open-loop)",
+                labels=("scenario", "phase"), buckets=LOAD_LATENCY_BUCKETS)
+            self._m_degraded = registry.counter(
+                "load_degraded_total", "Degraded responses seen by the driver",
+                labels=("scenario", "phase", "reason"))
+            self._m_backlog = registry.gauge(
+                "load_backlog_peak", "Peak due-but-unissued arrivals",
+                labels=("scenario", "phase"))
+            self._m_throughput = registry.gauge(
+                "load_throughput_rps", "Completed requests per second",
+                labels=("scenario", "phase"))
+
+    # ------------------------------------------------------------------
+    def run_phase(self, phase: LoadPhase,
+                  next_request: Callable[[], object]) -> PhaseResult:
+        """Drive one phase; returns its measurements.
+
+        Arrival times are fixed up front from the phase start — a slow
+        handler only makes the driver fall *behind schedule* (growing
+        ``backlog``), it never stretches the schedule itself.
+        """
+        result = PhaseResult(name=phase.name, rate=phase.rate,
+                             duration_s=phase.duration_s, slo=phase.slo)
+        interval = 1.0 / phase.rate
+        start = self.clock()
+        for index in range(phase.num_requests):
+            scheduled = start + index * interval
+            now = self.clock()
+            if now < scheduled:
+                self.sleeper(scheduled - now)
+                now = self.clock()
+            # Arrivals already due but not yet issued — the open-loop
+            # queue the admission controller sheds on.
+            self.backlog = int(max(0.0, now - scheduled) * phase.rate)
+            result.max_backlog = max(result.max_backlog, self.backlog)
+            request = next_request()
+            issued = self.clock()
+            response = self.handler(request)
+            done = self.clock()
+            self._record(result, phase, request, response,
+                         latency_ms=(done - scheduled) * 1000.0,
+                         service_ms=(done - issued) * 1000.0)
+        self.backlog = 0
+        result.elapsed_s = max(self.clock() - start, 0.0)
+        if self._registry is not None:
+            self._m_backlog.labels(
+                scenario=self.scenario, phase=phase.name).set(
+                result.max_backlog)
+            self._m_throughput.labels(
+                scenario=self.scenario, phase=phase.name).set(
+                result.throughput_rps)
+        return result
+
+    def _record(self, result: PhaseResult, phase: LoadPhase, request,
+                response: RTPResponse, latency_ms: float,
+                service_ms: float) -> None:
+        result.requests += 1
+        result.latencies_ms.append(latency_ms)
+        result.service_ms.append(service_ms)
+        if self._is_valid(request, response):
+            result.valid_responses += 1
+        else:
+            result.invalid_responses += 1
+        if getattr(response, "degraded", False):
+            reason = getattr(response, "degraded_reason", "") or "error"
+            result.degraded_by_reason[reason] = (
+                result.degraded_by_reason.get(reason, 0) + 1)
+        if self._registry is not None:
+            self._m_requests.labels(
+                scenario=self.scenario, phase=phase.name).inc()
+            self._m_latency.labels(
+                scenario=self.scenario, phase=phase.name).observe(latency_ms)
+            if getattr(response, "degraded", False):
+                self._m_degraded.labels(
+                    scenario=self.scenario, phase=phase.name,
+                    reason=response.degraded_reason or "error").inc()
+
+    @staticmethod
+    def _is_valid(request, response: RTPResponse) -> bool:
+        """A valid answer is a full permutation with matching ETAs."""
+        n = request.num_locations
+        return (sorted(int(i) for i in response.route) == list(range(n))
+                and len(response.eta_minutes) == n)

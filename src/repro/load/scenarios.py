@@ -1,0 +1,451 @@
+"""Composable load scenarios over the resilience and deployment stack.
+
+Each :class:`Scenario` composes the pieces the repo already has — the
+synthetic world (request pool), :class:`~repro.deploy.FaultInjector`
+(per-phase fault plans), :class:`~repro.deploy.ResilientRTPService`
+(deadline/breaker/shedding) and
+:class:`~repro.deploy.DeploymentController` (canary rollout) — into a
+phased, seeded traffic profile driven by the open-loop
+:class:`~repro.load.driver.OpenLoopDriver`:
+
+============================  =========================================
+``steady``                    constant-rate baseline; the SLO reference
+``surge``                     rush-hour 4× overload between two calm
+                              phases; shedding expected mid-surge,
+                              recovery must be clean
+``courier_churn``             every request from a never-seen courier
+``gps_dropout``               coordinate noise + stale courier fixes
+``fault_storm``               transient-error burst on the model path;
+                              the breaker must open and recover
+``checkpoint_corruption``     the on-disk checkpoint rots mid-run; the
+                              registry must refuse the reload while
+                              the in-memory model keeps serving
+``canary_surge``              a faulty candidate canaries during a
+                              surge; the controller must roll it back
+============================  =========================================
+
+Runs are deterministic at a fixed seed in ``virtual`` mode (simulated
+time; see :mod:`repro.load.clock`), which is what makes scenario
+outcomes assertable in tier-1 tests; ``wall`` mode exercises real
+wall-clock physics for benchmarks and soaks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..core import M2G4RTP, M2G4RTPConfig
+from ..core.fallback import FallbackPredictor
+from ..data import GeneratorConfig, SyntheticWorld
+from ..deploy import (DeploymentController, FaultInjector, FaultPlan,
+                      ModelRegistry, ResilienceConfig, ResilientRTPService,
+                      RolloutPolicy, corrupt_checkpoint)
+from ..deploy.registry import CheckpointIntegrityError
+from ..obs.metrics import MetricsRegistry
+from ..service.rtp_service import RTPService
+from .artifact import SLOPolicy, build_artifact
+from .clock import ModeledLatencyService, VirtualClock
+from .driver import LoadPhase, OpenLoopDriver, PhaseResult
+from .stream import (RequestStream, build_instance_pool,
+                     courier_churn_mutator, gps_noise_mutator)
+
+
+@dataclasses.dataclass
+class LoadRunConfig:
+    """Runtime knobs of one scenario run (all scenarios share these)."""
+
+    rate: float = 40.0              # base arrival rate (requests/second)
+    phase_duration_s: float = 5.0   # length of a full-weight phase
+    surge_factor: float = 4.0       # rate multiplier for surge phases
+    seed: int = 0
+    virtual: bool = True            # simulated time (deterministic)
+    model_latency_ms: float = 15.0  # modeled service time in virtual mode
+    hidden_dim: int = 16
+    pool_size: int = 24             # distinct requests in the replay pool
+    cache_size: int = 32            # service graph-cache entries
+    deadline_ms: float = 250.0
+    max_queue_depth: int = 32
+    breaker_failure_threshold: int = 3
+    breaker_recovery_s: float = 1.0
+    canary_fraction: float = 0.3
+    canary_min_requests: int = 12
+    slo: SLOPolicy = dataclasses.field(default_factory=SLOPolicy)
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.phase_duration_s <= 0:
+            raise ValueError("rate and phase_duration_s must be positive")
+        if self.surge_factor < 1.0:
+            raise ValueError("surge_factor must be >= 1")
+
+    @property
+    def mode(self) -> str:
+        return "virtual" if self.virtual else "wall"
+
+
+@dataclasses.dataclass
+class ScenarioContext:
+    """Everything a running scenario (and its hooks) can touch."""
+
+    config: LoadRunConfig
+    metrics: MetricsRegistry
+    clock: Callable[[], float]
+    sleeper: Callable[[float], None]
+    stream: RequestStream
+    injector: FaultInjector
+    driver: OpenLoopDriver
+    handler: Callable
+    primary: Optional[ResilientRTPService] = None
+    controller: Optional[DeploymentController] = None
+    registry: Optional[ModelRegistry] = None
+    breaker_watch: List[object] = dataclasses.field(default_factory=list)
+    events: List[Dict[str, str]] = dataclasses.field(default_factory=list)
+    current_phase: str = ""
+    _tempdir: Optional[tempfile.TemporaryDirectory] = None
+
+    def breaker_opens(self) -> int:
+        """Total breaker trips across every watched service."""
+        return sum(breaker.opens for breaker in self.breaker_watch)
+
+    def record_event(self, event: str, detail: str) -> None:
+        self.events.append({"phase": self.current_phase, "event": event,
+                            "detail": detail})
+
+    def close(self) -> None:
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+
+@dataclasses.dataclass
+class Scenario:
+    """A named, phased traffic profile."""
+
+    name: str
+    description: str
+    build_phases: Callable[[LoadRunConfig], List[LoadPhase]]
+    needs_registry: bool = False    # serve a registry-loaded checkpoint
+    needs_controller: bool = False  # route through DeploymentController
+
+
+@dataclasses.dataclass
+class ScenarioResult:
+    """Artifact plus the raw measurements behind it."""
+
+    scenario: str
+    artifact: Dict[str, object]
+    phases: List[PhaseResult]
+    context: ScenarioContext
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.artifact["slo"]["passed"])
+
+
+# ----------------------------------------------------------------------
+# Stack construction
+# ----------------------------------------------------------------------
+def small_model(seed: int, hidden_dim: int) -> M2G4RTP:
+    """A serving-shaped model; load testing needs shape, not accuracy."""
+    model = M2G4RTP(M2G4RTPConfig(
+        hidden_dim=hidden_dim, num_heads=2, num_encoder_layers=1,
+        continuous_embed_dim=8, discrete_embed_dim=4, position_dim=4,
+        courier_embed_dim=4, seed=seed))
+    model.eval()
+    return model
+
+
+def build_context(scenario: Scenario, config: LoadRunConfig,
+                  metrics: Optional[MetricsRegistry] = None,
+                  registry_dir: Optional[Path] = None,
+                  model: Optional[M2G4RTP] = None) -> ScenarioContext:
+    """Wire the service stack a scenario needs, ready to drive.
+
+    ``model`` overrides the default :func:`small_model` (the CLI passes
+    a trained checkpoint here).  ``registry_dir`` pins where
+    registry-backed scenarios keep their versions; by default a
+    temporary directory is used and cleaned up with the context.
+    """
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    if config.virtual:
+        virtual_clock = VirtualClock()
+        clock: Callable[[], float] = virtual_clock
+        sleeper: Callable[[float], None] = virtual_clock.sleep
+    else:
+        virtual_clock = None
+        clock = time.perf_counter
+        sleeper = time.sleep
+
+    world = SyntheticWorld(GeneratorConfig(
+        num_aois=40, num_couriers=6, num_days=4,
+        instances_per_courier_day=2, seed=config.seed))
+    pool = build_instance_pool(world, config.pool_size, seed=config.seed + 1)
+    stream = RequestStream(pool, seed=config.seed + 2)
+    injector = FaultInjector(FaultPlan(), seed=config.seed + 3,
+                             sleeper=sleeper)
+    resilience = ResilienceConfig(
+        deadline_ms=config.deadline_ms,
+        breaker_failure_threshold=config.breaker_failure_threshold,
+        breaker_recovery_seconds=config.breaker_recovery_s,
+        max_queue_depth=config.max_queue_depth)
+    fallback = FallbackPredictor()
+
+    # The driver exists before the services so its backlog probe can be
+    # the admission-control signal; the handler is attached below.
+    driver = OpenLoopDriver(None, scenario=scenario.name, clock=clock,
+                            sleeper=sleeper, registry=metrics)
+
+    def modeled(inner):
+        if virtual_clock is None:
+            return inner
+        return ModeledLatencyService(
+            inner, virtual_clock, base_ms=config.model_latency_ms,
+            seed=config.seed + 20)
+
+    context = ScenarioContext(
+        config=config, metrics=metrics, clock=clock, sleeper=sleeper,
+        stream=stream, injector=injector, driver=driver, handler=None)
+
+    model_registry: Optional[ModelRegistry] = None
+    if scenario.needs_registry or scenario.needs_controller:
+        if registry_dir is None:
+            context._tempdir = tempfile.TemporaryDirectory(
+                prefix="repro-load-registry-")
+            registry_dir = Path(context._tempdir.name)
+        model_registry = ModelRegistry(registry_dir)
+        model_registry.register(
+            model or small_model(config.seed + 10, config.hidden_dim),
+            created_at=f"load-{scenario.name}-v1", data_seed=config.seed)
+        if scenario.needs_controller:
+            model_registry.register(
+                small_model(config.seed + 11, config.hidden_dim),
+                created_at=f"load-{scenario.name}-v2",
+                data_seed=config.seed)
+        context.registry = model_registry
+
+    if scenario.needs_controller:
+        controller = DeploymentController(
+            model_registry, resilience=resilience,
+            policy=RolloutPolicy(
+                canary_fraction=config.canary_fraction,
+                min_requests=config.canary_min_requests),
+            metrics=metrics, fallback=fallback, initial="v001",
+            seed=config.seed + 4, clock=clock, batcher=driver.probe,
+            service_wrapper=lambda inner: modeled(injector.wrap(inner)))
+        context.controller = controller
+        context.primary = controller.primary
+        context.handler = controller.handle
+        context.breaker_watch.append(controller.primary.breaker)
+    else:
+        if model is not None:
+            serving_model = model
+        elif model_registry is not None:
+            serving_model, _ = model_registry.load("v001")
+        else:
+            serving_model = small_model(config.seed + 10, config.hidden_dim)
+        service = RTPService(serving_model, cache_size=config.cache_size)
+        resilient = ResilientRTPService(
+            modeled(injector.wrap(service)), fallback=fallback,
+            config=resilience, batcher=driver.probe, registry=metrics,
+            version="v001", clock=clock)
+        context.primary = resilient
+        context.handler = resilient.handle
+        context.breaker_watch.append(resilient.breaker)
+
+    driver.handler = context.handler
+    return context
+
+
+# ----------------------------------------------------------------------
+# Scenario hooks
+# ----------------------------------------------------------------------
+def _corrupt_checkpoint_hook(context: ScenarioContext) -> None:
+    """Rot the served version's checkpoint; prove the reload is refused."""
+    registry = context.registry
+    version = registry.versions()[0]
+    path = registry.checkpoint_path(version)
+    corrupt_checkpoint(path, seed=context.config.seed)
+    try:
+        registry.load(version)
+    except CheckpointIntegrityError as error:
+        context.record_event(
+            "checkpoint_corruption_rejected",
+            f"reload of {version} refused: {error}")
+    else:  # pragma: no cover - would be a registry integrity bug
+        context.record_event(
+            "checkpoint_corruption_missed",
+            f"reload of {version} succeeded on a corrupt file")
+        raise AssertionError(
+            "registry loaded a corrupt checkpoint during the "
+            "checkpoint_corruption scenario")
+
+
+def _start_faulty_canary_hook(context: ScenarioContext) -> None:
+    """Begin a canary of v002 whose model path is fault-injected."""
+    candidate_injector = FaultInjector(
+        FaultPlan(error_rate=0.7, spike_rate=0.2,
+                  latency_spike_ms=context.config.deadline_ms / 4),
+        seed=context.config.seed + 5, sleeper=context.sleeper)
+    version = context.controller.start_canary(
+        "v002", fault_injector=candidate_injector)
+    context.breaker_watch.append(context.controller.candidate.breaker)
+    context.record_event("canary_started",
+                         f"faulty candidate {version} took "
+                         f"{context.config.canary_fraction:.0%} of traffic")
+
+
+# ----------------------------------------------------------------------
+# Phase profiles
+# ----------------------------------------------------------------------
+def _steady_phases(c: LoadRunConfig) -> List[LoadPhase]:
+    return [
+        LoadPhase("warmup", 0.25 * c.phase_duration_s, c.rate, slo=False),
+        LoadPhase("steady", c.phase_duration_s, c.rate),
+    ]
+
+
+def _surge_phases(c: LoadRunConfig) -> List[LoadPhase]:
+    return [
+        LoadPhase("baseline", 0.5 * c.phase_duration_s, c.rate),
+        # Deliberate overload: excluded from the SLO verdict, but the
+        # shed/degraded mix is recorded and recovery must be clean.
+        LoadPhase("surge", c.phase_duration_s, c.rate * c.surge_factor,
+                  slo=False),
+        LoadPhase("recovery", 0.5 * c.phase_duration_s, c.rate),
+    ]
+
+
+def _churn_phases(c: LoadRunConfig) -> List[LoadPhase]:
+    return [
+        LoadPhase("stable_fleet", 0.5 * c.phase_duration_s, c.rate),
+        LoadPhase("churn", c.phase_duration_s, c.rate,
+                  mutator=courier_churn_mutator()),
+        LoadPhase("settled", 0.5 * c.phase_duration_s, c.rate),
+    ]
+
+
+def _gps_phases(c: LoadRunConfig) -> List[LoadPhase]:
+    return [
+        LoadPhase("clean_fixes", 0.5 * c.phase_duration_s, c.rate),
+        LoadPhase("gps_dropout", c.phase_duration_s, c.rate,
+                  mutator=gps_noise_mutator()),
+        LoadPhase("fixes_restored", 0.5 * c.phase_duration_s, c.rate),
+    ]
+
+
+def _fault_storm_phases(c: LoadRunConfig) -> List[LoadPhase]:
+    storm_plan = FaultPlan(error_rate=0.85, spike_rate=0.2,
+                           latency_spike_ms=c.deadline_ms / 4)
+    return [
+        LoadPhase("calm", 0.5 * c.phase_duration_s, c.rate),
+        LoadPhase("storm", c.phase_duration_s, c.rate,
+                  fault_plan=storm_plan, slo=False),
+        LoadPhase("recovery", 0.5 * c.phase_duration_s, c.rate),
+    ]
+
+
+def _checkpoint_phases(c: LoadRunConfig) -> List[LoadPhase]:
+    return [
+        LoadPhase("steady", 0.5 * c.phase_duration_s, c.rate),
+        # The corruption happens at phase entry; traffic continues on
+        # the in-memory model and must be indistinguishable from steady.
+        LoadPhase("corrupted_disk", c.phase_duration_s, c.rate,
+                  on_enter=_corrupt_checkpoint_hook),
+        LoadPhase("steady_after", 0.5 * c.phase_duration_s, c.rate),
+    ]
+
+
+def _canary_surge_phases(c: LoadRunConfig) -> List[LoadPhase]:
+    surge_rate = c.rate * max(2.0, c.surge_factor / 2.0)
+    return [
+        LoadPhase("baseline", 0.5 * c.phase_duration_s, c.rate),
+        LoadPhase("canary_surge", c.phase_duration_s, surge_rate,
+                  on_enter=_start_faulty_canary_hook, slo=False),
+        LoadPhase("recovery", 0.5 * c.phase_duration_s, c.rate),
+    ]
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario for scenario in [
+        Scenario("steady",
+                 "constant-rate steady state; the SLO reference run",
+                 _steady_phases),
+        Scenario("surge",
+                 "rush-hour 4x overload; shedding mid-surge, clean recovery",
+                 _surge_phases),
+        Scenario("courier_churn",
+                 "every request from a never-seen courier (cold caches)",
+                 _churn_phases),
+        Scenario("gps_dropout",
+                 "coordinate noise and stale courier fixes",
+                 _gps_phases),
+        Scenario("fault_storm",
+                 "transient-error burst; breaker must open and recover",
+                 _fault_storm_phases),
+        Scenario("checkpoint_corruption",
+                 "on-disk checkpoint rots mid-run; reload refused, "
+                 "serving unaffected",
+                 _checkpoint_phases, needs_registry=True),
+        Scenario("canary_surge",
+                 "faulty candidate canaries during a surge; must roll back",
+                 _canary_surge_phases, needs_registry=True,
+                 needs_controller=True),
+    ]
+}
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_scenario(name: str, config: Optional[LoadRunConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 registry_dir: Optional[Path] = None,
+                 model: Optional[M2G4RTP] = None) -> ScenarioResult:
+    """Run one named scenario end to end; returns result + artifact."""
+    if name not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {name!r}; have {sorted(SCENARIOS)}")
+    scenario = SCENARIOS[name]
+    config = config or LoadRunConfig()
+    context = build_context(scenario, config, metrics=metrics,
+                            registry_dir=registry_dir, model=model)
+    try:
+        results: List[PhaseResult] = []
+        for phase in scenario.build_phases(config):
+            context.current_phase = phase.name
+            context.injector.plan = phase.fault_plan or FaultPlan()
+            if phase.on_enter is not None:
+                phase.on_enter(context)
+            opens_before = context.breaker_opens()
+            result = context.driver.run_phase(
+                phase, lambda: context.stream.next(phase.mutator))
+            result.breaker_opens = context.breaker_opens() - opens_before
+            results.append(result)
+        decisions = []
+        if context.controller is not None:
+            decisions = [
+                {"action": d.action, "version": d.version,
+                 "reason": d.reason}
+                for d in context.controller.decisions]
+        artifact = build_artifact(
+            scenario=name, description=scenario.description,
+            mode=config.mode, seed=config.seed,
+            config={
+                "base_rate_rps": config.rate,
+                "phase_duration_s": config.phase_duration_s,
+                "surge_factor": config.surge_factor,
+                "model_latency_ms": (config.model_latency_ms
+                                     if config.virtual else None),
+                "deadline_ms": config.deadline_ms,
+                "max_queue_depth": config.max_queue_depth,
+                "hidden_dim": config.hidden_dim,
+            },
+            phases=results, slo_policy=config.slo, registry=context.metrics,
+            events=context.events, decisions=decisions)
+        return ScenarioResult(scenario=name, artifact=artifact,
+                              phases=results, context=context)
+    finally:
+        context.close()

@@ -1,0 +1,138 @@
+"""Deterministic request streams and traffic-shaping mutators.
+
+A :class:`RequestStream` replays a pool of synthetic instances as
+label-free :class:`~repro.service.RTPRequest` queries, round-robin, so
+the request sequence depends only on the pool order — never on timing.
+Scenario phases attach **mutators** that reshape each request with a
+seeded RNG:
+
+* :func:`gps_noise_mutator` — degraded positioning: jittered order
+  coordinates plus occasional full GPS dropout, where the courier's
+  reported position snaps to a stale location far from the true one;
+* :func:`courier_churn_mutator` — fleet churn: requests arrive from
+  never-seen-before couriers (fresh ids, new speed/behaviour
+  profiles), which cold-starts every per-courier signal and the graph
+  cache.
+
+Mutators copy what they perturb (``dataclasses.replace``) so the
+shared instance pool stays pristine across phases and runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.entities import Courier, RTPInstance
+from ..data.generator import NUM_AOI_TYPES
+from ..service.request import RTPRequest
+
+#: Signature of a phase mutator.
+RequestMutator = Callable[[RTPRequest, np.random.Generator], RTPRequest]
+
+
+class RequestStream:
+    """Round-robin replay of an instance pool as online requests."""
+
+    def __init__(self, instances: Sequence[RTPInstance], seed: int = 0):
+        if not instances:
+            raise ValueError("request stream needs at least one instance")
+        self.instances = list(instances)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._index = 0
+
+    def next(self, mutator: Optional[RequestMutator] = None) -> RTPRequest:
+        """The next request, optionally reshaped by ``mutator``."""
+        instance = self.instances[self._index % len(self.instances)]
+        self._index += 1
+        request = RTPRequest.from_instance(instance)
+        if mutator is not None:
+            request = mutator(request, self._rng)
+        return request
+
+    def reset(self) -> None:
+        """Rewind to the start of the deterministic sequence."""
+        self._rng = np.random.default_rng(self.seed)
+        self._index = 0
+
+
+# ----------------------------------------------------------------------
+# Mutators
+# ----------------------------------------------------------------------
+def gps_noise_mutator(dropout_rate: float = 0.3,
+                      noise_degrees: float = 0.002,
+                      stale_offset_degrees: float = 0.05) -> RequestMutator:
+    """Degraded GPS: coordinate jitter + occasional stale-fix dropout.
+
+    Every order coordinate gets ``N(0, noise_degrees)`` jitter (urban
+    canyon multipath); with probability ``dropout_rate`` the courier's
+    own fix is *stale* — offset by ``stale_offset_degrees`` (~5 km),
+    the last position the device reported before losing signal.
+    """
+    if not 0.0 <= dropout_rate <= 1.0:
+        raise ValueError("dropout_rate must be in [0, 1]")
+
+    def mutate(request: RTPRequest,
+               rng: np.random.Generator) -> RTPRequest:
+        locations = [
+            dataclasses.replace(
+                location,
+                coord=(location.coord[0] + float(rng.normal(0, noise_degrees)),
+                       location.coord[1] + float(rng.normal(0, noise_degrees))))
+            for location in request.locations
+        ]
+        position = request.courier_position
+        if float(rng.random()) < dropout_rate:
+            angle = float(rng.uniform(0.0, 2.0 * np.pi))
+            position = (position[0] + stale_offset_degrees * np.cos(angle),
+                        position[1] + stale_offset_degrees * np.sin(angle))
+        return dataclasses.replace(
+            request, locations=locations, courier_position=position)
+
+    return mutate
+
+
+def courier_churn_mutator(id_offset: int = 100_000) -> RequestMutator:
+    """Fleet churn: every request comes from a brand-new courier.
+
+    Fresh ids (offset far past the synthetic world's fleet), new
+    speed/working-hours/behaviour draws — the serving stack sees a
+    cold courier on every query, which defeats per-courier caches and
+    shifts the feature distribution the model was fitted on.
+    """
+    counter = [0]
+
+    def mutate(request: RTPRequest,
+               rng: np.random.Generator) -> RTPRequest:
+        counter[0] += 1
+        preference = tuple(int(p) for p in rng.permutation(NUM_AOI_TYPES))
+        courier = Courier(
+            courier_id=id_offset + counter[0],
+            speed=float(rng.uniform(120.0, 360.0)),
+            working_hours=float(rng.uniform(4.0, 12.0)),
+            attendance_rate=float(rng.uniform(0.6, 1.0)),
+            service_time_mean=float(rng.uniform(1.5, 6.0)),
+            aoi_type_preference=preference,
+        )
+        return dataclasses.replace(request, courier=courier)
+
+    return mutate
+
+
+def build_instance_pool(world, num_instances: int,
+                        seed: int = 0) -> List[RTPInstance]:
+    """Sample a deterministic request pool from a synthetic world."""
+    rng = np.random.default_rng(seed)
+    instances: List[RTPInstance] = []
+    offset = 0
+    for index in range(num_instances):
+        courier_index = index % len(world.couriers)
+        instance = world.generate_instance(
+            courier_index, day=index // len(world.couriers), rng=rng,
+            location_id_offset=offset)
+        offset += instance.num_locations
+        instances.append(instance)
+    return instances

@@ -322,6 +322,28 @@ class Histogram(_Instrument):
         """Total of all observations (label-less form)."""
         return self._cell(self._unlabeled())["sum"]
 
+    def snapshot(self, **labels: object) -> Dict[str, object]:
+        """Consistent copy of one cell: bounds, per-bucket counts, sum.
+
+        Taken under the instrument lock, so a concurrent ``observe``
+        can never yield a torn view (a count without its sum).  The
+        load harness reads these to build its JSON artifacts from the
+        same registry state operators scrape.
+        """
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(labels)}")
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            cell = self._cell_unlocked(key)
+            return {
+                "upper_bounds": list(self.buckets),
+                "counts": list(cell["counts"]),
+                "sum": float(cell["sum"]),
+                "count": int(cell["count"]),
+            }
+
     def _render_cell(self, key, cell) -> List[str]:
         lines = []
         cumulative = 0

@@ -1,0 +1,163 @@
+"""Every scenario's JSON artifact validates against the checked-in schema.
+
+Regression net for the machine-readable load artifacts: the schema
+file (``src/repro/load/artifact_schema.json``) is the contract that CI
+dashboards and cross-PR diffs rely on, so (a) every scenario the
+library ships must produce a conforming artifact, (b) the validator
+must actually *reject* broken artifacts (otherwise the contract is
+decorative), and (c) artifact counts must reconcile with the shared
+metrics registry the run wrote through.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.load import (ARTIFACT_KIND, SCENARIOS, SCHEMA_PATH,
+                        SCHEMA_VERSION, ArtifactValidationError,
+                        LoadRunConfig, load_schema, reconcile_with_registry,
+                        run_scenario, validate_artifact, write_artifact)
+
+CONFIG = LoadRunConfig(phase_duration_s=0.5)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One deterministic virtual-clock run of every scenario."""
+    return {name: run_scenario(name, CONFIG) for name in SCENARIOS}
+
+
+# ----------------------------------------------------------------------
+# Conformance of real artifacts
+# ----------------------------------------------------------------------
+def test_schema_file_is_checked_in():
+    schema = load_schema()
+    assert SCHEMA_PATH.name == "artifact_schema.json"
+    assert schema["properties"]["schema_version"]["enum"] == [SCHEMA_VERSION]
+    assert schema["properties"]["kind"]["enum"] == [ARTIFACT_KIND]
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_every_scenario_validates(results, name):
+    validate_artifact(results[name].artifact)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_every_scenario_reconciles_with_registry(results, name):
+    result = results[name]
+    reconcile_with_registry(result.artifact, result.context.metrics)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_histogram_buckets_are_monotone(results, name):
+    for phase in results[name].artifact["phases"]:
+        histogram = phase["histogram_ms"]
+        bounds = histogram["upper_bounds_ms"]
+        counts = histogram["cumulative_counts"]
+        assert len(bounds) == len(counts)
+        assert bounds[-1] is None            # +Inf bucket, JSON-safe
+        finite = [b for b in bounds[:-1]]
+        assert all(b is not None for b in finite)
+        assert finite == sorted(finite)
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+        assert counts[-1] == phase["requests"]
+
+
+def test_artifact_roundtrips_through_disk(results, tmp_path):
+    path = write_artifact(results["steady"].artifact,
+                          tmp_path / "steady.json")
+    reloaded = json.loads(path.read_text())
+    validate_artifact(reloaded)
+    assert reloaded == results["steady"].artifact
+
+
+# ----------------------------------------------------------------------
+# The validator must reject broken artifacts
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def artifact(results):
+    return copy.deepcopy(results["surge"].artifact)
+
+
+def _rejects(broken, match):
+    with pytest.raises(ArtifactValidationError, match=match):
+        validate_artifact(broken)
+
+
+def test_missing_required_key_rejected(artifact):
+    del artifact["totals"]
+    _rejects(artifact, "missing key")
+
+
+def test_missing_phase_key_rejected(artifact):
+    del artifact["phases"][0]["histogram_ms"]
+    _rejects(artifact, "missing key")
+
+
+def test_unexpected_phase_key_rejected(artifact):
+    artifact["phases"][0]["surprise"] = 1
+    _rejects(artifact, "unexpected key")
+
+
+def test_wrong_type_rejected(artifact):
+    artifact["phases"][0]["requests"] = "twenty"
+    _rejects(artifact, "expected type")
+
+
+def test_negative_count_rejected(artifact):
+    artifact["totals"]["shed"] = -1
+    _rejects(artifact, "below minimum")
+
+
+def test_unknown_kind_rejected(artifact):
+    artifact["kind"] = "repro.load.other"
+    _rejects(artifact, "not in")
+
+
+def test_histogram_total_must_match_requests(artifact):
+    artifact["phases"][0]["histogram_ms"]["cumulative_counts"][-1] += 1
+    _rejects(artifact, "histogram total")
+
+
+def test_histogram_monotonicity_enforced(artifact):
+    counts = artifact["phases"][1]["histogram_ms"]["cumulative_counts"]
+    counts[2], counts[3] = counts[3] + 1, counts[2]
+    _rejects(artifact, "non-decreasing|histogram total")
+
+
+def test_bucket_bound_order_enforced(artifact):
+    bounds = artifact["phases"][0]["histogram_ms"]["upper_bounds_ms"]
+    bounds[0], bounds[1] = bounds[1], bounds[0]
+    _rejects(artifact, "sorted")
+
+
+def test_degraded_reason_sum_must_match_total(artifact):
+    surge_phase = artifact["phases"][1]
+    surge_phase["degraded"]["by_reason"]["shed"] += 1
+    _rejects(artifact, "per-reason sum")
+
+
+def test_totals_must_match_phase_sums(artifact):
+    artifact["totals"]["requests"] += 5
+    _rejects(artifact, "phase sum")
+
+
+def test_valid_plus_invalid_must_cover_requests(artifact):
+    artifact["phases"][0]["valid_responses"] -= 1
+    _rejects(artifact, "valid \\+ invalid")
+
+
+def test_slo_verdict_must_match_violations(artifact):
+    artifact["slo"]["passed"] = not artifact["slo"]["passed"]
+    _rejects(artifact, "inconsistent with violations")
+
+
+def test_reconciliation_detects_registry_drift(results):
+    result = results["steady"]
+    drifted = copy.deepcopy(result.artifact)
+    drifted["phases"][0]["requests"] += 1
+    # Keep internal invariants intact so only reconciliation trips.
+    drifted["phases"][0]["valid_responses"] += 1
+    with pytest.raises(ArtifactValidationError, match="registry counted"):
+        reconcile_with_registry(drifted, result.context.metrics)
