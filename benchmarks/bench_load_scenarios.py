@@ -12,7 +12,9 @@ registry.
 (CI-sized, bit-reproducible); the default is a wall-clock run with the
 standard 5-second phases.  Outcome assertions (surge sheds and
 recovers, the fault storm trips the breaker, checkpoint corruption is
-refused, the faulty canary rolls back) hold in both modes.
+refused, the faulty canary rolls back, the silent quality drift raises
+an alarm and rolls back while every serving SLO stays green) hold in
+both modes.
 """
 
 from __future__ import annotations
@@ -57,6 +59,20 @@ def check_outcomes(result: ScenarioResult) -> None:
         actions = {d["action"] for d in artifact["decisions"]}
         assert "rollback" in actions, (
             "the faulty candidate must be rolled back")
+    elif name == "quality_drift":
+        quality = artifact["quality"]
+        assert quality["verdict"] == "drift", (
+            "the label shift must raise a drift alarm")
+        assert quality["alarms"], "at least one DriftAlarm must fire"
+        drift_rollbacks = [d for d in artifact["decisions"]
+                           if d["action"] == "rollback"
+                           and d["reason"].startswith("drift:")]
+        assert drift_rollbacks, (
+            "the controller must roll the canary back on the drift "
+            "alarm, and the reason must say so")
+        assert totals["degraded"] == 0 and artifact["slo"]["passed"], (
+            "the label shift must be invisible to serving metrics — "
+            "only the quality stream may notice")
 
 
 def run(smoke: bool = False, seed: int = 0) -> str:

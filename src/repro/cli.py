@@ -201,6 +201,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
+    if args.file is None:
+        print("obs: --file is required (or use `obs report`)",
+              file=sys.stderr)
+        return 2
     records = read_jsonl(args.file)
     if not records:
         print(f"{args.file}: empty")
@@ -215,6 +219,76 @@ def cmd_obs(args: argparse.Namespace) -> int:
     else:
         print(f"events: {len(records)} records\n")
         print(summarize_events(records))
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    """Serve a query stream, join it with ground truth, emit the
+    schema-pinned quality/drift artifact."""
+    from .obs.quality import (CompletedRoute, PageHinkleyDetector,
+                              QualityMonitor, ReferenceWindowDetector,
+                              build_quality_artifact,
+                              write_quality_artifact)
+    if args.data:
+        instances = list(read_csv(args.data))
+        source = str(args.data)
+    else:
+        world = SyntheticWorld(GeneratorConfig(
+            num_aois=40, num_couriers=6, num_days=4,
+            instances_per_courier_day=2, seed=args.seed))
+        instances = list(
+            RTPDataset(world.generate()).filter_paper_scope())
+        source = "synthetic"
+    if not instances:
+        print("obs report: no instances to serve", file=sys.stderr)
+        return 1
+    if args.model:
+        model = _load_model(Path(args.model))
+    else:
+        model = M2G4RTP(M2G4RTPConfig(seed=args.seed, hidden_dim=16,
+                                      num_heads=2, num_encoder_layers=1))
+        model.eval()
+    service = RTPService(model)
+    registry = MetricsRegistry()
+    shift = float(args.shift_minutes)
+    monitor = QualityMonitor(
+        registry, window=args.window,
+        page_hinkley=PageHinkleyDetector(
+            delta=20.0, threshold=max(shift / 2.0, 60.0), min_samples=8),
+        reference_window=ReferenceWindowDetector(
+            reference_size=24, window_size=12,
+            ks_threshold=0.75, psi_threshold=3.0))
+    for index in range(args.queries):
+        instance = instances[index % len(instances)]
+        response = service.handle(RTPRequest.from_instance(instance))
+        actual = np.asarray(instance.arrival_times, dtype=float)
+        if args.shift_after is not None and index >= args.shift_after:
+            actual = actual + shift
+        monitor.record(CompletedRoute(
+            predicted_route=[int(i) for i in response.route],
+            actual_route=[int(i) for i in instance.route],
+            predicted_eta_minutes=[float(v) for v in response.eta_minutes],
+            actual_arrival_minutes=actual,
+            labels={"weather": str(instance.weather),
+                    "courier": str(instance.courier.courier_id),
+                    "model_version": "cli"}))
+    artifact = build_quality_artifact(monitor, source=source,
+                                      seed=args.seed)
+    write_quality_artifact(artifact, args.out)
+    rollup = artifact["segments"].get("all", {}).get("all", {})
+    print(f"quality report: {artifact['observations']} routes, "
+          f"verdict {artifact['verdict']}")
+    if rollup:
+        print(f"  windowed: krc {rollup['route_krc']:.3f} "
+              f"lsd {rollup['route_lsd']:.2f} "
+              f"eta_mae {rollup['eta_mae']:.2f} min "
+              f"eta_mape {rollup['eta_mape']:.3f}")
+    for alarm in artifact["alarms"]:
+        print(f"  alarm: {alarm['detector']} on {alarm['metric']} at "
+              f"route {alarm['observations']} "
+              f"(statistic {alarm['statistic']:.1f} > "
+              f"{alarm['threshold']:.1f})")
+    print(f"wrote {args.out}")
     return 0
 
 
@@ -484,12 +558,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(func=cmd_serve)
 
     obs = sub.add_parser(
-        "obs", help="summarise a trace/event JSONL from train or serve")
-    obs.add_argument("--file", required=True,
+        "obs", help="summarise a trace/event JSONL, or emit a quality "
+                    "report (obs report)")
+    obs.add_argument("--file",
                      help="JSONL written by --trace or --events")
     obs.add_argument("--show-trees", type=int, default=1,
                      help="number of span trees to print for traces")
     obs.set_defaults(func=cmd_obs)
+    obs_sub = obs.add_subparsers(dest="obs_command")
+    obs_report = obs_sub.add_parser(
+        "report", help="serve queries against ground truth and emit the "
+                       "schema-pinned quality/drift JSON artifact")
+    obs_report.add_argument("--data",
+                            help="dataset CSV (default: synthetic pool)")
+    obs_report.add_argument("--model",
+                            help="trained checkpoint (default: untrained "
+                                 "serving-shaped model)")
+    obs_report.add_argument("--out", default="obs_quality.json",
+                            help="artifact path (default: %(default)s)")
+    obs_report.add_argument("--queries", type=int, default=96,
+                            help="routes to serve (default: %(default)s)")
+    obs_report.add_argument("--window", type=int, default=32,
+                            help="quality rollup window "
+                                 "(default: %(default)s)")
+    obs_report.add_argument("--shift-after", type=int, default=None,
+                            help="inject a label shift after this many "
+                                 "routes (default: no shift)")
+    obs_report.add_argument("--shift-minutes", type=float, default=480.0,
+                            help="size of the injected shift "
+                                 "(default: %(default)s)")
+    obs_report.add_argument("--seed", type=int, default=0)
+    obs_report.set_defaults(func=cmd_obs_report)
 
     deploy = sub.add_parser(
         "deploy", help="model registry and canary/shadow rollout")

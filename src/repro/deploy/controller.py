@@ -228,6 +228,30 @@ class DeploymentController:
         self._clear_candidate()
         return decision
 
+    def on_drift_alarm(self, alarm) -> Optional[RolloutDecision]:
+        """React to a quality-drift alarm; returns the rollback, if any.
+
+        Designed as a :meth:`QualityMonitor.on_alarm` subscriber:
+        ``alarm`` is duck-typed (``metric`` / ``detector`` /
+        ``statistic`` / ``threshold`` attributes).  A drifting quality
+        stream during a canary is the strongest rollback signal there
+        is — the latency/degraded verdict may still look healthy while
+        the model is quietly wrong — so the candidate is dropped
+        immediately.  Outside a canary the alarm is only counted: the
+        primary has nothing to roll back to.
+        """
+        self.metrics.counter(
+            "rtp_drift_alarms_total",
+            "Quality-drift alarms seen by the deployment controller",
+            labels=("metric", "detector")).labels(
+            metric=str(getattr(alarm, "metric", "unknown")),
+            detector=str(getattr(alarm, "detector", "unknown"))).inc()
+        if self.mode != "canary" or self.candidate is None:
+            return None
+        return self.rollback(reason=(
+            f"drift: {alarm.metric} {alarm.detector} statistic "
+            f"{alarm.statistic:.3f} > {alarm.threshold:.3f}"))
+
     def _clear_candidate(self) -> None:
         self.candidate = None
         self.mode = None

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..obs.metrics import MetricsRegistry
+from ..obs.schema import check_schema
 from .driver import LOAD_LATENCY_BUCKETS, PhaseResult, percentile_summary
 
 SCHEMA_PATH = Path(__file__).resolve().parent / "artifact_schema.json"
@@ -165,9 +166,15 @@ def build_artifact(*, scenario: str, description: str, mode: str, seed: int,
                    slo_policy: SLOPolicy,
                    registry: Optional[MetricsRegistry] = None,
                    events: Sequence[Dict[str, str]] = (),
-                   decisions: Sequence[Dict[str, str]] = ()
+                   decisions: Sequence[Dict[str, str]] = (),
+                   quality: Optional[Dict[str, object]] = None
                    ) -> Dict[str, object]:
-    """Assemble the full artifact for one scenario run."""
+    """Assemble the full artifact for one scenario run.
+
+    ``quality`` is the optional prediction-quality block (windowed
+    segment metrics plus drift alarms) produced by a
+    :class:`~repro.obs.quality.QualityMonitor` attached to the run.
+    """
     phase_blocks = []
     for phase in phases:
         snapshot = None
@@ -179,7 +186,7 @@ def build_artifact(*, scenario: str, description: str, mode: str, seed: int,
         phase_blocks.append(phase_to_json(phase, snapshot))
     total_requests = sum(p.requests for p in phases)
     total_degraded = sum(p.degraded for p in phases)
-    return {
+    artifact: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "kind": ARTIFACT_KIND,
         "scenario": scenario,
@@ -203,6 +210,9 @@ def build_artifact(*, scenario: str, description: str, mode: str, seed: int,
         },
         "slo": slo_policy.evaluate(phases),
     }
+    if quality is not None:
+        artifact["quality"] = quality
+    return artifact
 
 
 def write_artifact(artifact: Dict[str, object], path) -> Path:
@@ -221,52 +231,9 @@ def load_schema() -> Dict[str, object]:
     """The checked-in artifact schema."""
     return json.loads(SCHEMA_PATH.read_text())
 
-_TYPE_CHECKS = {
-    "object": lambda v: isinstance(v, dict),
-    "array": lambda v: isinstance(v, list),
-    "string": lambda v: isinstance(v, str),
-    "number": lambda v: isinstance(v, (int, float))
-    and not isinstance(v, bool),
-    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
-    "boolean": lambda v: isinstance(v, bool),
-    "null": lambda v: v is None,
-}
-
-
 def _check_schema(value, schema: Dict[str, object], path: str) -> None:
     """Interpret the JSON-Schema subset the artifact schema uses."""
-    expected = schema.get("type")
-    if expected is not None:
-        types = expected if isinstance(expected, list) else [expected]
-        if not any(_TYPE_CHECKS[t](value) for t in types):
-            raise ArtifactValidationError(
-                f"{path}: expected type {expected}, "
-                f"got {type(value).__name__}")
-    if "enum" in schema and value not in schema["enum"]:
-        raise ArtifactValidationError(
-            f"{path}: {value!r} not in {schema['enum']}")
-    if "minimum" in schema and isinstance(value, (int, float)) \
-            and not isinstance(value, bool) and value < schema["minimum"]:
-        raise ArtifactValidationError(
-            f"{path}: {value} below minimum {schema['minimum']}")
-    if isinstance(value, dict):
-        for key in schema.get("required", ()):
-            if key not in value:
-                raise ArtifactValidationError(f"{path}: missing key {key!r}")
-        properties = schema.get("properties", {})
-        for key, child in value.items():
-            if key in properties:
-                _check_schema(child, properties[key], f"{path}.{key}")
-            elif not schema.get("additionalProperties", True):
-                raise ArtifactValidationError(
-                    f"{path}: unexpected key {key!r}")
-        extra = schema.get("patternValues")
-        if extra is not None:   # homogeneous map: every value same schema
-            for key, child in value.items():
-                _check_schema(child, extra, f"{path}.{key}")
-    if isinstance(value, list) and "items" in schema:
-        for index, child in enumerate(value):
-            _check_schema(child, schema["items"], f"{path}[{index}]")
+    check_schema(value, schema, path, error_cls=ArtifactValidationError)
 
 
 def _check_histogram(phase: Dict[str, object], path: str) -> None:

@@ -32,7 +32,12 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import span
 from ..service.rtp_service import RTPResponse
+
+#: Tail exemplars retained per (scenario, phase) latency cell — enough
+#: to cover the handful of observations above p99 in a smoke run.
+LATENCY_EXEMPLARS = 8
 
 #: Latency histogram upper bounds (ms) — wide enough that queueing
 #: collapse (seconds of backlog) still lands in a finite bucket.
@@ -152,18 +157,25 @@ class OpenLoopDriver:
         ``sleep`` for the deterministic fast path.
     registry:
         Optional shared metrics registry for the ``load_*`` series.
+    recorder:
+        Optional flight recorder (anything with
+        ``record(trace_id, payload)``); when tracing is enabled each
+        request's payload is keyed by its ``load.request`` trace id, so
+        a latency exemplar resolves back to the offending request.
     """
 
     def __init__(self, handler: Callable, *, scenario: str = "adhoc",
                  clock: Callable[[], float] = time.perf_counter,
                  sleeper: Callable[[float], None] = time.sleep,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 recorder=None):
         self.handler = handler
         self.scenario = scenario
         self.clock = clock
         self.sleeper = sleeper
         self.backlog = 0
         self.probe = BacklogProbe(self)
+        self.recorder = recorder
         self._registry = registry
         if registry is not None:
             self._m_requests = registry.counter(
@@ -172,7 +184,8 @@ class OpenLoopDriver:
             self._m_latency = registry.histogram(
                 "load_latency_ms",
                 "Intended-arrival-to-completion latency (open-loop)",
-                labels=("scenario", "phase"), buckets=LOAD_LATENCY_BUCKETS)
+                labels=("scenario", "phase"), buckets=LOAD_LATENCY_BUCKETS,
+                exemplars=LATENCY_EXEMPLARS)
             self._m_degraded = registry.counter(
                 "load_degraded_total", "Degraded responses seen by the driver",
                 labels=("scenario", "phase", "reason"))
@@ -208,11 +221,19 @@ class OpenLoopDriver:
             result.max_backlog = max(result.max_backlog, self.backlog)
             request = next_request()
             issued = self.clock()
-            response = self.handler(request)
+            with span("load.request", scenario=self.scenario,
+                      phase=phase.name, index=index) as active:
+                response = self.handler(request)
             done = self.clock()
+            trace_id = active.trace_id
+            if self.recorder is not None and trace_id is not None:
+                self.recorder.record(trace_id, {
+                    "phase": phase.name, "index": index,
+                    "request": request, "response": response})
             self._record(result, phase, request, response,
                          latency_ms=(done - scheduled) * 1000.0,
-                         service_ms=(done - issued) * 1000.0)
+                         service_ms=(done - issued) * 1000.0,
+                         trace_id=trace_id)
         self.backlog = 0
         result.elapsed_s = max(self.clock() - start, 0.0)
         if self._registry is not None:
@@ -226,7 +247,8 @@ class OpenLoopDriver:
 
     def _record(self, result: PhaseResult, phase: LoadPhase, request,
                 response: RTPResponse, latency_ms: float,
-                service_ms: float) -> None:
+                service_ms: float,
+                trace_id: Optional[str] = None) -> None:
         result.requests += 1
         result.latencies_ms.append(latency_ms)
         result.service_ms.append(service_ms)
@@ -242,7 +264,8 @@ class OpenLoopDriver:
             self._m_requests.labels(
                 scenario=self.scenario, phase=phase.name).inc()
             self._m_latency.labels(
-                scenario=self.scenario, phase=phase.name).observe(latency_ms)
+                scenario=self.scenario, phase=phase.name).observe(
+                latency_ms, trace_id=trace_id)
             if getattr(response, "degraded", False):
                 self._m_degraded.labels(
                     scenario=self.scenario, phase=phase.name,

@@ -22,6 +22,11 @@ phased, seeded traffic profile driven by the open-loop
                               the in-memory model keeps serving
 ``canary_surge``              a faulty candidate canaries during a
                               surge; the controller must roll it back
+``quality_drift``             ground-truth labels shift mid-canary; the
+                              quality monitor's drift detectors must
+                              alarm and the controller must roll the
+                              candidate back on the alarm — serving
+                              metrics alone never notice
 ============================  =========================================
 
 Runs are deterministic at a fixed seed in ``virtual`` mode (simulated
@@ -38,6 +43,8 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from ..core import M2G4RTP, M2G4RTPConfig
 from ..core.fallback import FallbackPredictor
 from ..data import GeneratorConfig, SyntheticWorld
@@ -46,6 +53,10 @@ from ..deploy import (DeploymentController, FaultInjector, FaultPlan,
                       RolloutPolicy, corrupt_checkpoint)
 from ..deploy.registry import CheckpointIntegrityError
 from ..obs.metrics import MetricsRegistry
+from ..obs.quality import (CompletedRoute, FlightRecorder,
+                           PageHinkleyDetector, QualityMonitor,
+                           ReferenceWindowDetector)
+from ..obs.tracing import current_trace_id
 from ..service.rtp_service import RTPService
 from .artifact import SLOPolicy, build_artifact
 from .clock import ModeledLatencyService, VirtualClock
@@ -73,6 +84,11 @@ class LoadRunConfig:
     breaker_recovery_s: float = 1.0
     canary_fraction: float = 0.3
     canary_min_requests: int = 12
+    #: Minutes added to every actual arrival during the label-shift
+    #: phase of ``quality_drift`` — deliberately enormous (couriers
+    #: suddenly hours late) so the detectors separate the shifted
+    #: stream from baseline variation by a wide deterministic margin.
+    quality_shift_minutes: float = 480.0
     slo: SLOPolicy = dataclasses.field(default_factory=SLOPolicy)
 
     def __post_init__(self) -> None:
@@ -104,6 +120,12 @@ class ScenarioContext:
     breaker_watch: List[object] = dataclasses.field(default_factory=list)
     events: List[Dict[str, str]] = dataclasses.field(default_factory=list)
     current_phase: str = ""
+    quality: Optional[QualityMonitor] = None
+    recorder: Optional[FlightRecorder] = None
+    # Mutable cell so phase hooks can shift the ground-truth labels the
+    # quality feed sees (the handler closure reads it per request).
+    eta_shift: Dict[str, float] = dataclasses.field(
+        default_factory=lambda: {"minutes": 0.0})
     _tempdir: Optional[tempfile.TemporaryDirectory] = None
 
     def breaker_opens(self) -> int:
@@ -129,6 +151,7 @@ class Scenario:
     build_phases: Callable[[LoadRunConfig], List[LoadPhase]]
     needs_registry: bool = False    # serve a registry-loaded checkpoint
     needs_controller: bool = False  # route through DeploymentController
+    attach_quality: bool = False    # feed a QualityMonitor ground truth
 
 
 @dataclasses.dataclass
@@ -256,7 +279,79 @@ def build_context(scenario: Scenario, config: LoadRunConfig,
         context.breaker_watch.append(resilient.breaker)
 
     driver.handler = context.handler
+    if scenario.attach_quality:
+        _attach_quality(context)
     return context
+
+
+def _attach_quality(context: ScenarioContext) -> None:
+    """Join the request/response stream with its ground truth.
+
+    Every non-degraded response is paired with the pool instance that
+    produced its request (``stream.last_instance`` — the replay pool
+    carries the actual route and arrival times as labels), fed to a
+    :class:`QualityMonitor`, and the monitor's alarms are forwarded to
+    the deployment controller.  A :class:`FlightRecorder` is attached
+    to the driver so latency exemplars resolve to request payloads.
+
+    Detector tuning: the baseline ETA-error stream is a deterministic
+    periodic replay, so thresholds sit far above its wander yet far
+    below the ~:attr:`LoadRunConfig.quality_shift_minutes` jump a label
+    shift causes — the alarm is separated by orders of magnitude, never
+    marginal.
+    """
+    shift = context.config.quality_shift_minutes
+    monitor = QualityMonitor(
+        context.metrics, window=32, clock=context.clock,
+        page_hinkley=PageHinkleyDetector(
+            delta=20.0, threshold=shift / 2.0, min_samples=8),
+        reference_window=ReferenceWindowDetector(
+            reference_size=24, window_size=12,
+            ks_threshold=0.75, psi_threshold=3.0))
+    context.quality = monitor
+    context.recorder = FlightRecorder(capacity=128)
+    context.driver.recorder = context.recorder
+    inner = context.handler
+
+    def forward_alarm(alarm) -> None:
+        context.record_event(
+            "drift_alarm",
+            f"{alarm.detector} on {alarm.metric}: statistic "
+            f"{alarm.statistic:.1f} > {alarm.threshold:.1f} after "
+            f"{alarm.observations} routes")
+        if context.controller is not None:
+            decision = context.controller.on_drift_alarm(alarm)
+            if decision is not None:
+                context.record_event(
+                    "drift_rollback",
+                    f"{decision.version} rolled back: {decision.reason}")
+
+    monitor.on_alarm(forward_alarm)
+
+    def handler(request):
+        response = inner(request)
+        instance = context.stream.last_instance
+        if instance is not None and not getattr(response, "degraded",
+                                                False):
+            actual = (np.asarray(instance.arrival_times, dtype=float)
+                      + context.eta_shift["minutes"])
+            monitor.record(CompletedRoute(
+                predicted_route=[int(i) for i in response.route],
+                actual_route=[int(i) for i in instance.route],
+                predicted_eta_minutes=[float(v)
+                                       for v in response.eta_minutes],
+                actual_arrival_minutes=actual,
+                labels={
+                    "weather": str(instance.weather),
+                    "courier": str(instance.courier.courier_id),
+                    "model_version": str(
+                        getattr(response, "model_version", "") or ""),
+                },
+                trace_id=current_trace_id()))
+        return response
+
+    context.handler = handler
+    context.driver.handler = handler
 
 
 # ----------------------------------------------------------------------
@@ -281,6 +376,33 @@ def _corrupt_checkpoint_hook(context: ScenarioContext) -> None:
         raise AssertionError(
             "registry loaded a corrupt checkpoint during the "
             "checkpoint_corruption scenario")
+
+
+def _start_label_shift_hook(context: ScenarioContext) -> None:
+    """Start a clean canary, then silently corrupt the ground truth.
+
+    The candidate is healthy on every serving metric (no faults, normal
+    latency), and the canary verdict is disabled by an unreachable
+    ``min_requests`` — so if the candidate gets rolled back, it can only
+    have been the quality monitor's drift alarm that did it.  The label
+    shift itself models couriers arriving hours late while predictions
+    are unchanged: invisible to latency/degraded series, glaring in the
+    ETA-error stream.
+    """
+    controller = context.controller
+    controller.policy = dataclasses.replace(
+        controller.policy, min_requests=10 ** 9)
+    version = controller.start_canary("v002")
+    context.breaker_watch.append(controller.candidate.breaker)
+    context.record_event(
+        "canary_started",
+        f"healthy candidate {version} took "
+        f"{controller.policy.canary_fraction:.0%} of traffic")
+    context.eta_shift["minutes"] = context.config.quality_shift_minutes
+    context.record_event(
+        "label_shift",
+        f"actual arrivals shifted by "
+        f"{context.config.quality_shift_minutes:.0f} minutes")
 
 
 def _start_faulty_canary_hook(context: ScenarioContext) -> None:
@@ -368,6 +490,18 @@ def _canary_surge_phases(c: LoadRunConfig) -> List[LoadPhase]:
     ]
 
 
+def _quality_drift_phases(c: LoadRunConfig) -> List[LoadPhase]:
+    return [
+        LoadPhase("baseline", 0.5 * c.phase_duration_s, c.rate),
+        # Latency physics are untouched — the phase is excluded from
+        # the SLO verdict only because the canary split changes the
+        # serving path, not because degradation is expected.
+        LoadPhase("label_shift", c.phase_duration_s, c.rate,
+                  on_enter=_start_label_shift_hook, slo=False),
+        LoadPhase("post_rollback", 0.5 * c.phase_duration_s, c.rate),
+    ]
+
+
 SCENARIOS: Dict[str, Scenario] = {
     scenario.name: scenario for scenario in [
         Scenario("steady",
@@ -393,6 +527,11 @@ SCENARIOS: Dict[str, Scenario] = {
                  "faulty candidate canaries during a surge; must roll back",
                  _canary_surge_phases, needs_registry=True,
                  needs_controller=True),
+        Scenario("quality_drift",
+                 "ground-truth labels shift mid-canary; drift alarm must "
+                 "fire and roll the candidate back",
+                 _quality_drift_phases, needs_registry=True,
+                 needs_controller=True, attach_quality=True),
     ]
 }
 
@@ -430,6 +569,17 @@ def run_scenario(name: str, config: Optional[LoadRunConfig] = None,
                 {"action": d.action, "version": d.version,
                  "reason": d.reason}
                 for d in context.controller.decisions]
+        quality_block = None
+        if context.quality is not None:
+            monitor = context.quality
+            quality_block = {
+                "observations": int(monitor.observations),
+                "drift_metric": monitor.drift_metric,
+                "window": int(monitor.window),
+                "segments": monitor.segment_summary(),
+                "alarms": [alarm.to_dict() for alarm in monitor.alarms],
+                "verdict": "drift" if monitor.alarms else "stable",
+            }
         artifact = build_artifact(
             scenario=name, description=scenario.description,
             mode=config.mode, seed=config.seed,
@@ -444,7 +594,8 @@ def run_scenario(name: str, config: Optional[LoadRunConfig] = None,
                 "hidden_dim": config.hidden_dim,
             },
             phases=results, slo_policy=config.slo, registry=context.metrics,
-            events=context.events, decisions=decisions)
+            events=context.events, decisions=decisions,
+            quality=quality_block)
         return ScenarioResult(scenario=name, artifact=artifact,
                               phases=results, context=context)
     finally:

@@ -43,10 +43,15 @@ class RequestStream:
         self.seed = seed
         self._rng = np.random.default_rng(seed)
         self._index = 0
+        #: The instance behind the most recent request — the ground
+        #: truth (actual route / arrival times) a quality feed pairs
+        #: with the response served for it.
+        self.last_instance: Optional[RTPInstance] = None
 
     def next(self, mutator: Optional[RequestMutator] = None) -> RTPRequest:
         """The next request, optionally reshaped by ``mutator``."""
         instance = self.instances[self._index % len(self.instances)]
+        self.last_instance = instance
         self._index += 1
         request = RTPRequest.from_instance(instance)
         if mutator is not None:
@@ -57,6 +62,7 @@ class RequestStream:
         """Rewind to the start of the deterministic sequence."""
         self._rng = np.random.default_rng(self.seed)
         self._index = 0
+        self.last_instance = None
 
 
 # ----------------------------------------------------------------------

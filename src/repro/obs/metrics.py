@@ -33,16 +33,26 @@ Concurrency contract:
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from .tracing import current_trace_id
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Summary", "MetricsRegistry",
-    "DEFAULT_HISTOGRAM_BUCKETS",
+    "DEFAULT_HISTOGRAM_BUCKETS", "DEFAULT_MAX_LABEL_SETS",
+    "OVERFLOW_LABEL_VALUE",
 ]
 
 #: Generic latency-shaped default buckets (milliseconds).
 DEFAULT_HISTOGRAM_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
                              float("inf"))
+
+#: Label-set cardinality cap per instrument (see ``max_label_sets``).
+DEFAULT_MAX_LABEL_SETS = 256
+
+#: Label value every clamped (over-the-cap) label set collapses into.
+OVERFLOW_LABEL_VALUE = "__overflow__"
 
 
 def _format_value(value: float) -> str:
@@ -62,15 +72,31 @@ def _format_labels(names: Sequence[str], values: Sequence[str],
 
 
 class _Instrument:
-    """Base class: name, help text, label names, per-labelset state."""
+    """Base class: name, help text, label names, per-labelset state.
+
+    ``max_label_sets`` caps the number of distinct label sets one
+    instrument can hold (default :data:`DEFAULT_MAX_LABEL_SETS`).
+    Unbounded label values — per-courier quality segments, user ids —
+    would otherwise grow the registry without limit; past the cap every
+    *new* label set is clamped into a single ``__overflow__`` child (a
+    one-time :class:`RuntimeWarning` is emitted).  Existing label sets
+    keep updating normally.
+    """
 
     kind = "untyped"
 
     def __init__(self, name: str, help_text: str = "",
-                 labels: Sequence[str] = ()):
+                 labels: Sequence[str] = (),
+                 max_label_sets: Optional[int] = None):
         self.name = name
         self.help = help_text
         self.label_names = tuple(labels)
+        self.max_label_sets = (DEFAULT_MAX_LABEL_SETS
+                               if max_label_sets is None
+                               else int(max_label_sets))
+        if self.max_label_sets < 1:
+            raise ValueError("max_label_sets must be >= 1")
+        self._overflow_warned = False
         self._values: Dict[Tuple[str, ...], object] = {}
         self._lock = threading.Lock()
 
@@ -91,11 +117,31 @@ class _Instrument:
                 "use .labels(...) to select a child")
         return ()
 
+    def _admit_unlocked(self, key: Tuple[str, ...]) -> Tuple[str, ...]:
+        """Cardinality guard: clamp new over-the-cap label sets."""
+        if not key or len(self._values) < self.max_label_sets:
+            return key
+        overflow = (OVERFLOW_LABEL_VALUE,) * len(self.label_names)
+        if key == overflow:
+            return key
+        if not self._overflow_warned:
+            self._overflow_warned = True
+            warnings.warn(
+                f"{self.name}: label cardinality reached the cap of "
+                f"{self.max_label_sets} label sets; new label sets are "
+                f"clamped to {OVERFLOW_LABEL_VALUE!r} (raise "
+                f"max_label_sets if this segmentation is intended)",
+                RuntimeWarning, stacklevel=4)
+        return overflow
+
     def _cell_unlocked(self, key: Tuple[str, ...]):
         cell = self._values.get(key)
         if cell is None:
-            cell = self._new_cell()
-            self._values[key] = cell
+            key = self._admit_unlocked(key)
+            cell = self._values.get(key)
+            if cell is None:
+                cell = self._new_cell()
+                self._values[key] = cell
         return cell
 
     def _cell(self, key: Tuple[str, ...]):
@@ -155,8 +201,12 @@ class _Bound:
     def set(self, value: float) -> None:
         self._instrument._set(self._key, value)
 
-    def observe(self, value: float) -> None:
-        self._instrument._observe(self._key, value)
+    def observe(self, value: float,
+                trace_id: Optional[str] = None) -> None:
+        if trace_id is None:
+            self._instrument._observe(self._key, value)
+        else:
+            self._instrument._observe(self._key, value, trace_id=trace_id)
 
     @property
     def value(self) -> float:
@@ -279,29 +329,54 @@ class Summary(_Instrument):
 
 
 class Histogram(_Instrument):
-    """Bucketed distribution with cumulative Prometheus rendering."""
+    """Bucketed distribution with cumulative Prometheus rendering.
+
+    ``exemplars=K`` (default 0: off) keeps, per label set, the K
+    *largest* observations seen together with the trace id active when
+    each was recorded — the join from a p99 spike in the exposition to
+    the exact trace (and, via a flight recorder, the request payload)
+    that caused it.  Pass ``trace_id=`` to :meth:`observe` explicitly
+    or let it auto-capture
+    :func:`~repro.obs.tracing.current_trace_id`; observations with no
+    trace id never become exemplars.
+    """
 
     kind = "histogram"
 
     def __init__(self, name: str, help_text: str = "",
                  labels: Sequence[str] = (),
-                 buckets: Sequence[float] = DEFAULT_HISTOGRAM_BUCKETS):
-        super().__init__(name, help_text, labels)
+                 buckets: Sequence[float] = DEFAULT_HISTOGRAM_BUCKETS,
+                 exemplars: int = 0,
+                 max_label_sets: Optional[int] = None):
+        super().__init__(name, help_text, labels,
+                         max_label_sets=max_label_sets)
         buckets = tuple(float(b) for b in buckets)
         if list(buckets) != sorted(buckets):
             raise ValueError("histogram buckets must be sorted")
         if not buckets or buckets[-1] != float("inf"):
             buckets = buckets + (float("inf"),)
         self.buckets = buckets
+        if exemplars < 0:
+            raise ValueError("exemplars must be >= 0")
+        self.max_exemplars = int(exemplars)
+        self._exemplar_seq = 0
 
     def _new_cell(self):
-        return {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+        cell = {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+        if self.max_exemplars:
+            cell["exemplars"] = []
+        return cell
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                trace_id: Optional[str] = None) -> None:
         """Record one observation (label-less form)."""
-        self._observe(self._unlabeled(), value)
+        self._observe(self._unlabeled(), value, trace_id=trace_id)
 
-    def _observe(self, key, value: float) -> None:
+    def _observe(self, key, value: float,
+                 trace_id: Optional[str] = None) -> None:
+        if self.max_exemplars and trace_id is None:
+            trace_id = current_trace_id()
+
         def update(cell):
             cell["sum"] += float(value)
             cell["count"] += 1
@@ -309,8 +384,34 @@ class Histogram(_Instrument):
                 if value <= bound:
                     cell["counts"][index] += 1
                     break
+            if self.max_exemplars and trace_id is not None:
+                self._exemplar_seq += 1
+                entries = cell["exemplars"]
+                entries.append({"value": float(value),
+                                "trace_id": trace_id,
+                                "seq": self._exemplar_seq})
+                if len(entries) > self.max_exemplars:
+                    # Keep the K largest; among equals, evict the oldest.
+                    smallest = min(
+                        range(len(entries)),
+                        key=lambda i: (entries[i]["value"],
+                                       entries[i]["seq"]))
+                    entries.pop(smallest)
 
         self._mutate(key, update)
+
+    def exemplars(self, **labels: object) -> List[Dict[str, object]]:
+        """Tail exemplars of one cell, largest value first."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(labels)}")
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            cell = self._cell_unlocked(key)
+            entries = [dict(e) for e in cell.get("exemplars", ())]
+        return sorted(entries,
+                      key=lambda e: (-e["value"], -e["seq"]))
 
     @property
     def count(self) -> int:
@@ -337,12 +438,16 @@ class Histogram(_Instrument):
         key = tuple(str(labels[name]) for name in self.label_names)
         with self._lock:
             cell = self._cell_unlocked(key)
-            return {
+            snapshot = {
                 "upper_bounds": list(self.buckets),
                 "counts": list(cell["counts"]),
                 "sum": float(cell["sum"]),
                 "count": int(cell["count"]),
             }
+            if self.max_exemplars:
+                snapshot["exemplars"] = [dict(e)
+                                         for e in cell["exemplars"]]
+            return snapshot
 
     def _render_cell(self, key, cell) -> List[str]:
         lines = []
@@ -385,27 +490,40 @@ class MetricsRegistry:
             return instrument
 
     def counter(self, name: str, help_text: str = "",
-                labels: Sequence[str] = ()) -> Counter:
+                labels: Sequence[str] = (),
+                max_label_sets: Optional[int] = None) -> Counter:
         """Get or create a :class:`Counter`."""
-        return self._get_or_create(Counter, name, help_text, labels)
+        return self._get_or_create(Counter, name, help_text, labels,
+                                   max_label_sets=max_label_sets)
 
     def gauge(self, name: str, help_text: str = "",
-              labels: Sequence[str] = ()) -> Gauge:
+              labels: Sequence[str] = (),
+              max_label_sets: Optional[int] = None) -> Gauge:
         """Get or create a :class:`Gauge`."""
-        return self._get_or_create(Gauge, name, help_text, labels)
+        return self._get_or_create(Gauge, name, help_text, labels,
+                                   max_label_sets=max_label_sets)
 
     def summary(self, name: str, help_text: str = "",
-                labels: Sequence[str] = ()) -> Summary:
+                labels: Sequence[str] = (),
+                max_label_sets: Optional[int] = None) -> Summary:
         """Get or create a :class:`Summary`."""
-        return self._get_or_create(Summary, name, help_text, labels)
+        return self._get_or_create(Summary, name, help_text, labels,
+                                   max_label_sets=max_label_sets)
 
     def histogram(self, name: str, help_text: str = "",
                   labels: Sequence[str] = (),
                   buckets: Sequence[float] = DEFAULT_HISTOGRAM_BUCKETS,
-                  ) -> Histogram:
-        """Get or create a :class:`Histogram` with ``buckets``."""
+                  exemplars: int = 0,
+                  max_label_sets: Optional[int] = None) -> Histogram:
+        """Get or create a :class:`Histogram` with ``buckets``.
+
+        Construction kwargs (``buckets``/``exemplars``/
+        ``max_label_sets``) apply on first registration only; later
+        get-or-create calls return the existing instrument unchanged.
+        """
         return self._get_or_create(Histogram, name, help_text, labels,
-                                   buckets=buckets)
+                                   buckets=buckets, exemplars=exemplars,
+                                   max_label_sets=max_label_sets)
 
     # ------------------------------------------------------------------
     def get(self, name: str) -> Optional[_Instrument]:

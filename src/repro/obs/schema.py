@@ -1,0 +1,77 @@
+"""Self-contained JSON-Schema-subset interpreter for pinned artifacts.
+
+Machine-readable artifacts in this repo (the load harness's run
+artifact, the observability layer's quality/drift report) are pinned by
+checked-in schema files so their shape cannot silently drift across
+PRs.  Third-party validators are out of bounds (the repo is
+stdlib+numpy only), so this module interprets the subset of JSON Schema
+those files actually use:
+
+``type`` (including type lists), ``enum``, ``minimum``, ``required``,
+``properties``, ``additionalProperties: false``, ``items``, and the
+local extension ``patternValues`` (a homogeneous map: every value of
+the object validates against one schema).
+
+:func:`check_schema` raises ``error_cls`` (default
+:class:`SchemaValidationError`) on the first violation, with a JSON
+path pinpointing it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+__all__ = ["SchemaValidationError", "check_schema"]
+
+
+class SchemaValidationError(ValueError):
+    """The value violates the schema."""
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def check_schema(value, schema: Dict[str, object], path: str,
+                 error_cls: Type[Exception] = SchemaValidationError) -> None:
+    """Validate ``value`` against the schema subset described above."""
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            raise error_cls(
+                f"{path}: expected type {expected}, "
+                f"got {type(value).__name__}")
+    if "enum" in schema and value not in schema["enum"]:
+        raise error_cls(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        raise error_cls(
+            f"{path}: {value} below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                raise error_cls(f"{path}: missing key {key!r}")
+        properties = schema.get("properties", {})
+        for key, child in value.items():
+            if key in properties:
+                check_schema(child, properties[key], f"{path}.{key}",
+                             error_cls)
+            elif not schema.get("additionalProperties", True):
+                raise error_cls(f"{path}: unexpected key {key!r}")
+        extra = schema.get("patternValues")
+        if extra is not None:   # homogeneous map: every value same schema
+            for key, child in value.items():
+                check_schema(child, extra, f"{path}.{key}", error_cls)
+    if isinstance(value, list) and "items" in schema:
+        for index, child in enumerate(value):
+            check_schema(child, schema["items"], f"{path}[{index}]",
+                         error_cls)

@@ -20,6 +20,13 @@ instrumentation permanently in hot paths.  Enable it process-wide with
 Thread-locality: each thread has its own active-span stack inside the
 collector, so concurrent requests produce separate root trees instead
 of interleaving.
+
+Identity: every span collected by a :class:`TraceCollector` carries a
+``trace_id`` (shared by the whole tree it belongs to) and a unique
+``span_id``.  The ids let histogram exemplars point back at the trace
+of a tail observation (:mod:`repro.obs.metrics`) and let spans created
+on other threads or shipped from other processes be stitched under
+their logical parent (:mod:`repro.obs.propagate`).
 """
 
 from __future__ import annotations
@@ -32,21 +39,25 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence
 __all__ = [
     "Span", "TraceCollector", "enable_tracing", "disable_tracing",
     "tracing_enabled", "get_collector", "span", "current_span",
-    "summarize_spans", "format_span_record",
+    "current_trace_id", "summarize_spans", "format_span_record",
 ]
 
 
 class Span:
     """One timed, named section of work; may own child spans."""
 
-    __slots__ = ("name", "attrs", "children", "_start", "_end")
+    __slots__ = ("name", "attrs", "children", "trace_id", "span_id",
+                 "_start", "_end", "_frozen_ms")
 
     def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
         self.name = name
         self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
         self.children: List["Span"] = []
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
         self._start: Optional[float] = None
         self._end: Optional[float] = None
+        self._frozen_ms: Optional[float] = None
 
     # ------------------------------------------------------------------
     def start(self) -> "Span":
@@ -62,9 +73,16 @@ class Span:
     @property
     def duration_ms(self) -> float:
         """Wall time between :meth:`start` and :meth:`finish`, in ms."""
+        if self._frozen_ms is not None:
+            return self._frozen_ms
         if self._start is None or self._end is None:
             return 0.0
         return (self._end - self._start) * 1000.0
+
+    def freeze(self, duration_ms: float) -> "Span":
+        """Pin ``duration_ms`` directly (spans rebuilt from exports)."""
+        self._frozen_ms = float(duration_ms)
+        return self
 
     def set_attr(self, key: str, value: Any) -> None:
         """Attach an attribute (must be JSON-serialisable for export)."""
@@ -77,6 +95,10 @@ class Span:
             "name": self.name,
             "duration_ms": round(self.duration_ms, 6),
         }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            record["span_id"] = self.span_id
         if epoch is not None and self._start is not None:
             record["start_ms"] = round((self._start - epoch) * 1000.0, 6)
         if self.attrs:
@@ -84,6 +106,20 @@ class Span:
         if self.children:
             record["children"] = [c.to_dict(epoch) for c in self.children]
         return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "Span":
+        """Rebuild a span tree from its :meth:`to_dict` export.
+
+        Durations are frozen to the exported values; ids are *not*
+        restored — the adopting collector assigns fresh ones so ids
+        from another process can never collide with local ids.
+        """
+        span_obj = cls(record["name"], record.get("attrs"))
+        span_obj.freeze(float(record.get("duration_ms", 0.0)))
+        for child in record.get("children", ()):
+            span_obj.children.append(cls.from_dict(child))
+        return span_obj
 
     def iter_spans(self) -> Iterator["Span"]:
         """Yield this span and every descendant, depth-first."""
@@ -98,14 +134,16 @@ class Span:
 class _ActiveSpan:
     """Context manager binding a span to a collector's thread stack."""
 
-    __slots__ = ("_collector", "_span")
+    __slots__ = ("_collector", "_span", "_parent_id")
 
-    def __init__(self, collector: "TraceCollector", span_obj: Span):
+    def __init__(self, collector: "TraceCollector", span_obj: Span,
+                 parent_id: Optional[str] = None):
         self._collector = collector
         self._span = span_obj
+        self._parent_id = parent_id
 
     def __enter__(self) -> Span:
-        self._collector._push(self._span)
+        self._collector._push(self._span, parent_id=self._parent_id)
         self._span.start()
         return self._span
 
@@ -121,6 +159,8 @@ class _NullSpan:
     __slots__ = ()
 
     duration_ms = 0.0
+    trace_id = None
+    span_id = None
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -136,13 +176,22 @@ _NULL_SPAN = _NullSpan()
 
 
 class TraceCollector:
-    """Collects span trees; one active-span stack per thread."""
+    """Collects span trees; one active-span stack per thread.
+
+    Structural mutation (attaching a span to its parent or the root
+    list) and serialisation (:meth:`render` / :meth:`to_jsonl`) both
+    run under the collector lock, so exporting a trace while other
+    threads are actively opening spans never observes a torn tree.
+    """
 
     def __init__(self):
         self._epoch = time.perf_counter()
         self._local = threading.local()
         self._lock = threading.Lock()
         self.roots: List[Span] = []
+        self._by_id: Dict[str, Span] = {}
+        self._trace_counter = 0
+        self._span_counter = 0
 
     # ------------------------------------------------------------------
     def _stack(self) -> List[Span]:
@@ -152,13 +201,31 @@ class TraceCollector:
             self._local.stack = stack
         return stack
 
-    def _push(self, span_obj: Span) -> None:
+    def _assign_ids_unlocked(self, span_obj: Span,
+                             trace_id: Optional[str]) -> None:
+        if trace_id is None:
+            self._trace_counter += 1
+            trace_id = f"t{self._trace_counter:06d}"
+        self._span_counter += 1
+        span_obj.trace_id = trace_id
+        span_obj.span_id = f"s{self._span_counter:06d}"
+        self._by_id[span_obj.span_id] = span_obj
+        for child in span_obj.children:
+            self._assign_ids_unlocked(child, trace_id)
+
+    def _push(self, span_obj: Span,
+              parent_id: Optional[str] = None) -> None:
         stack = self._stack()
-        if stack:
-            stack[-1].children.append(span_obj)
-        else:
-            span_obj.attrs.setdefault("thread", threading.current_thread().name)
-            with self._lock:
+        with self._lock:
+            parent = (self._by_id.get(parent_id) if parent_id is not None
+                      else (stack[-1] if stack else None))
+            if parent is not None:
+                self._assign_ids_unlocked(span_obj, parent.trace_id)
+                parent.children.append(span_obj)
+            else:
+                span_obj.attrs.setdefault(
+                    "thread", threading.current_thread().name)
+                self._assign_ids_unlocked(span_obj, None)
                 self.roots.append(span_obj)
         stack.append(span_obj)
 
@@ -172,34 +239,78 @@ class TraceCollector:
         """Open a span under this collector (instance-level API)."""
         return _ActiveSpan(self, Span(name, attrs))
 
+    def span_under(self, context, name: str, **attrs: Any) -> _ActiveSpan:
+        """Open a span parented by id rather than the thread stack.
+
+        ``context`` is anything with a ``span_id`` attribute (a
+        :class:`Span` or a :class:`~repro.obs.propagate.SpanContext`)
+        or a raw span-id string.  This is the cross-thread stitch: a
+        flush thread can attach work under the submitting request's
+        span.  An unknown parent id starts a fresh root trace.
+        """
+        parent_id = getattr(context, "span_id", context)
+        return _ActiveSpan(self, Span(name, attrs), parent_id=parent_id)
+
+    def attach(self, span_obj: Span,
+               parent_id: Optional[str] = None) -> Span:
+        """Adopt an externally built (finished) span tree.
+
+        Used for spans shipped back from worker processes
+        (:mod:`repro.obs.propagate`): fresh local ids are assigned to
+        the whole tree and it is appended under ``parent_id`` when that
+        span is known here, else as a new root.
+        """
+        with self._lock:
+            parent = self._by_id.get(parent_id) if parent_id else None
+            self._assign_ids_unlocked(
+                span_obj, parent.trace_id if parent is not None else None)
+            if parent is not None:
+                parent.children.append(span_obj)
+            else:
+                self.roots.append(span_obj)
+        return span_obj
+
     def current(self) -> Optional[Span]:
         """The innermost active span on this thread, if any."""
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def find(self, span_id: str) -> Optional[Span]:
+        """Look a span up by id (exemplar / flight-recorder joins)."""
+        with self._lock:
+            return self._by_id.get(span_id)
+
+    def trace_roots(self, trace_id: str) -> List[Span]:
+        """All root spans belonging to ``trace_id``."""
+        with self._lock:
+            return [root for root in self.roots
+                    if root.trace_id == trace_id]
+
     def clear(self) -> None:
         """Drop all collected root spans."""
         with self._lock:
             self.roots.clear()
+            self._by_id.clear()
 
     # ------------------------------------------------------------------
     def render(self, max_roots: Optional[int] = None) -> str:
         """Flame-style text tree of the collected spans."""
-        with self._lock:
-            roots = list(self.roots)
-        if max_roots is not None:
-            roots = roots[:max_roots]
         lines: List[str] = []
-        for root in roots:
-            _render_span(root, "", True, lines, is_root=True)
+        # Serialise fully under the lock: children lists are appended
+        # under the same lock, so a concurrent push cannot tear the walk.
+        with self._lock:
+            roots = self.roots if max_roots is None else \
+                self.roots[:max_roots]
+            for root in roots:
+                _render_span(root, "", True, lines, is_root=True)
         return "\n".join(lines)
 
     def to_jsonl(self) -> str:
         """One JSON object per root span (nested children), one per line."""
         with self._lock:
-            roots = list(self.roots)
-        return "\n".join(
-            json.dumps(root.to_dict(self._epoch)) for root in roots)
+            return "\n".join(
+                json.dumps(root.to_dict(self._epoch))
+                for root in self.roots)
 
     def write_jsonl(self, path) -> int:
         """Write :meth:`to_jsonl` to ``path``; returns the root count."""
@@ -277,6 +388,19 @@ def current_span() -> Optional[Span]:
     """The innermost active span on this thread, or ``None``."""
     collector = _ACTIVE_COLLECTOR
     return collector.current() if collector is not None else None
+
+
+def current_trace_id() -> Optional[str]:
+    """Trace id of the innermost active span, or ``None``.
+
+    This is what histogram exemplars capture: the id linking a tail
+    observation back to its full trace.
+    """
+    collector = _ACTIVE_COLLECTOR
+    if collector is None:
+        return None
+    active = collector.current()
+    return active.trace_id if active is not None else None
 
 
 # ----------------------------------------------------------------------

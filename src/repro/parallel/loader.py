@@ -37,6 +37,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.propagate import capture_context, merge_worker_spans
 from ..obs.tracing import span
 from .worker import default_start_method, loader_worker_main
 
@@ -182,7 +183,8 @@ class ParallelDataLoader:
             worker_id = sequence % self.num_workers
             outstanding[sequence] = worker_id
             self._task_queues[worker_id].put(
-                ("chunk", (generation, sequence), chunks[sequence]))
+                ("chunk", (generation, sequence), chunks[sequence],
+                 capture_context()))
 
         while next_submit < len(chunks) and next_submit < self.prefetch:
             submit(next_submit)
@@ -209,6 +211,10 @@ class ParallelDataLoader:
             if chunk_generation != generation:
                 continue            # abandoned iteration's leftovers
             outstanding.pop(sequence, None)
+            if len(message) > 4:
+                # Spans the worker opened for this chunk, stitched under
+                # whatever span is consuming the iterator here.
+                merge_worker_spans(message[4], capture_context())
             if kind == "chunk_error":
                 raise RuntimeError(
                     f"loader worker {message[1]} failed on batch "

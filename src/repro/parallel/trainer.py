@@ -38,6 +38,7 @@ dispatch/collect/apply in ``parallel.*`` tracing spans.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -186,13 +187,25 @@ class DataParallelTrainer(Trainer):
                         self._param_version
                 else:
                     params_for[worker_id] = None
+            step_started = time.perf_counter()
             with span("parallel.step", step=self._step_id,
-                      instances=len(micro), workers=len(shards)):
+                      instances=len(micro), workers=len(shards)) \
+                    as step_span:
                 pool.dispatch(self._step_id, shards, scale, sample_prob,
                               self._current_epoch, params_for)
                 result = pool.collect(self._step_id, shards,
                                       parallel.deadline_s,
                                       parallel.min_shards)
+            if self.registry is not None:
+                # Exemplars link a slow step straight to its trace — the
+                # span has already exited, so its trace id is passed
+                # explicitly rather than auto-captured.
+                self.registry.histogram(
+                    "rtp_train_step_ms",
+                    "Distributed step wall time (dispatch to collect)",
+                    exemplars=5).observe(
+                    (time.perf_counter() - step_started) * 1000.0,
+                    trace_id=step_span.trace_id)
             # A respawned worker starts from current coordinator
             # parameters — its copy is up to date by construction.
             for worker_id, _ in result.errors:

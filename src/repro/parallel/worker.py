@@ -16,14 +16,26 @@ parameter name and therefore identical in every process.
 
 Message glossary (coordinator → gradient worker)::
 
-    ("step", step_id, indices, scale, sample_prob, epoch, params|None)
+    ("step", step_id, indices, scale, sample_prob, epoch, params|None,
+     trace_ctx|None)
     ("stop",)
 
 and (gradient worker → coordinator)::
 
     ("heartbeat", worker_id, step_id)                    # step received
-    ("result", worker_id, step_id, loss_sum, count, grads, seconds)
-    ("error", worker_id, step_id, message, seconds)      # shard lost
+    ("result", worker_id, step_id, loss_sum, count, grads, seconds,
+     spans)
+    ("error", worker_id, step_id, message, seconds, spans)  # shard lost
+
+``trace_ctx`` is the coordinator's span context in wire form
+(:func:`~repro.obs.propagate.capture_context`), and ``spans`` is the
+list of span records the worker opened while serving the task
+(:meth:`~repro.obs.propagate.worker_span_session.export`).  Spans
+opened inside a worker process land in that process's collector, which
+dies with it — shipping them back with the result and stitching them
+under the dispatching span on collect is the only way they survive.
+Both fields are empty (``None`` / ``[]``) when tracing is off, so the
+steady-state wire cost is two constant-size slots per message.
 
 Fault injection: each worker may own a seeded
 :class:`~repro.deploy.faults.FaultInjector`.  ``should_crash`` kills the
@@ -45,6 +57,8 @@ import numpy as np
 
 from ..core.model import M2G4RTP, M2G4RTPConfig
 from ..deploy.faults import FaultInjector, FaultPlan, TransientServiceError
+from ..obs.propagate import capture_context, merge_worker_spans, \
+    worker_span_session
 from ..obs.tracing import span
 
 __all__ = [
@@ -88,22 +102,28 @@ def loader_worker_main(worker_id: int, items: Sequence, transform,
         message = task_queue.get()
         if message[0] == "stop":
             break
-        _, chunk_id, indices = message
-        try:
-            samples = []
-            for index in indices:
-                item = items[index]
-                if transform is None:
-                    samples.append(item)
-                elif wants_rng:
-                    samples.append(
-                        transform(item, np.random.default_rng((seed, index))))
-                else:
-                    samples.append(transform(item))
-            result_queue.put(("chunk", worker_id, chunk_id, samples))
-        except Exception as exc:  # ship the failure, keep serving
-            result_queue.put(("chunk_error", worker_id, chunk_id,
-                              f"{type(exc).__name__}: {exc}"))
+        _, chunk_id, indices, trace_ctx = message
+        with worker_span_session(trace_ctx) as session:
+            try:
+                samples = []
+                with span("parallel.loader.chunk", worker=worker_id,
+                          items=len(indices)):
+                    for index in indices:
+                        item = items[index]
+                        if transform is None:
+                            samples.append(item)
+                        elif wants_rng:
+                            samples.append(transform(
+                                item,
+                                np.random.default_rng((seed, index))))
+                        else:
+                            samples.append(transform(item))
+                result_queue.put(("chunk", worker_id, chunk_id, samples,
+                                  session.export()))
+            except Exception as exc:  # ship the failure, keep serving
+                result_queue.put(("chunk_error", worker_id, chunk_id,
+                                  f"{type(exc).__name__}: {exc}",
+                                  session.export()))
 
 
 # ----------------------------------------------------------------------
@@ -141,42 +161,47 @@ def gradient_worker_main(worker_id: int, model_config: M2G4RTPConfig,
         message = task_queue.get()
         if message[0] == "stop":
             break
-        _, step_id, indices, scale, sample_prob, epoch, params = message
+        (_, step_id, indices, scale, sample_prob, epoch, params,
+         trace_ctx) = message
         result_queue.put(("heartbeat", worker_id, step_id))
         started = time.perf_counter()
-        try:
-            if injector is not None:
-                if injector.should_crash():
-                    # A crash is the process vanishing, not an error
-                    # message: exit without flushing anything.
-                    os._exit(23)
-                injector.before_call()
-            if params is not None:
-                for parameter, value in zip(parameters, params):
-                    parameter.data[...] = value
-            for parameter in parameters:
-                parameter.zero_grad()
-            loss_sum = 0.0
-            with span("parallel.worker.step", worker=worker_id,
-                      instances=len(indices)):
-                for index in indices:
-                    rng = (_instance_rng(sample_seed, epoch, index)
-                           if sample_prob > 0.0 else None)
-                    output = model(graphs[index], targets[index],
-                                   sample_prob=sample_prob, rng=rng)
-                    (output.total_loss * scale).backward()
-                    loss_sum += float(output.total_loss.data)
-            grads = [parameter.grad for parameter in parameters]
-            result_queue.put(("result", worker_id, step_id, loss_sum,
-                              len(indices), grads,
-                              time.perf_counter() - started))
-        except TransientServiceError as exc:
-            result_queue.put(("error", worker_id, step_id, str(exc),
-                              time.perf_counter() - started))
-        except Exception as exc:
-            result_queue.put(("error", worker_id, step_id,
-                              f"{type(exc).__name__}: {exc}",
-                              time.perf_counter() - started))
+        with worker_span_session(trace_ctx) as session:
+            try:
+                if injector is not None:
+                    if injector.should_crash():
+                        # A crash is the process vanishing, not an error
+                        # message: exit without flushing anything.
+                        os._exit(23)
+                    injector.before_call()
+                if params is not None:
+                    for parameter, value in zip(parameters, params):
+                        parameter.data[...] = value
+                for parameter in parameters:
+                    parameter.zero_grad()
+                loss_sum = 0.0
+                with span("parallel.worker.step", worker=worker_id,
+                          step=step_id, instances=len(indices)):
+                    for index in indices:
+                        rng = (_instance_rng(sample_seed, epoch, index)
+                               if sample_prob > 0.0 else None)
+                        output = model(graphs[index], targets[index],
+                                       sample_prob=sample_prob, rng=rng)
+                        (output.total_loss * scale).backward()
+                        loss_sum += float(output.total_loss.data)
+                grads = [parameter.grad for parameter in parameters]
+                result_queue.put(("result", worker_id, step_id, loss_sum,
+                                  len(indices), grads,
+                                  time.perf_counter() - started,
+                                  session.export()))
+            except TransientServiceError as exc:
+                result_queue.put(("error", worker_id, step_id, str(exc),
+                                  time.perf_counter() - started,
+                                  session.export()))
+            except Exception as exc:
+                result_queue.put(("error", worker_id, step_id,
+                                  f"{type(exc).__name__}: {exc}",
+                                  time.perf_counter() - started,
+                                  session.export()))
 
 
 # ----------------------------------------------------------------------
@@ -304,10 +329,11 @@ class GradientWorkerPool:
         if resubmit and worker_id in self._last_task:
             # The fresh worker started from current coordinator
             # parameters, so resend the task without a params payload.
-            kind, step_id, indices, scale, sample_prob, epoch, _ = (
-                self._last_task[worker_id])
+            (kind, step_id, indices, scale, sample_prob, epoch, _,
+             trace_ctx) = self._last_task[worker_id]
             self._task_queues[worker_id].put(
-                (kind, step_id, indices, scale, sample_prob, epoch, None))
+                (kind, step_id, indices, scale, sample_prob, epoch, None,
+                 trace_ctx))
 
     def alive_workers(self) -> int:
         return sum(1 for process in self._processes
@@ -333,10 +359,14 @@ class GradientWorkerPool:
 
         ``params_for[w]`` carries the current parameter arrays for
         workers whose copy is stale (``None`` for up-to-date ones).
+        The caller's span context (if tracing is on) rides along so the
+        workers' spans can be stitched under it at collect time.
         """
+        trace_ctx = capture_context()
         for worker_id, indices in shards.items():
             task = ("step", step_id, list(map(int, indices)), scale,
-                    sample_prob, epoch, params_for.get(worker_id))
+                    sample_prob, epoch, params_for.get(worker_id),
+                    trace_ctx)
             self._last_task[worker_id] = task
             self._tasks_sent[worker_id] = \
                 self._tasks_sent.get(worker_id, 0) + 1
@@ -389,7 +419,8 @@ class GradientWorkerPool:
                                 "was closed", message[1])
                     continue
                 if kind == "result":
-                    _, worker_id, _, loss_sum, count, grads, seconds = message
+                    (_, worker_id, _, loss_sum, count, grads, seconds,
+                     spans) = message
                     if worker_id in pending:
                         result.loss_sum += loss_sum
                         result.arrived += count
@@ -398,14 +429,18 @@ class GradientWorkerPool:
                         arrived_shards += 1
                         del pending[worker_id]
                         self._last_heartbeat[worker_id] = time.monotonic()
+                        # Stitch the worker's spans under whatever span
+                        # is collecting (e.g. ``parallel.step``).
+                        merge_worker_spans(spans, capture_context())
                     continue
                 if kind == "error":
-                    _, worker_id, _, text, seconds = message
+                    _, worker_id, _, text, seconds, spans = message
                     if worker_id in pending:
                         result.errors.append((worker_id, text))
                         result.worker_seconds[worker_id] = seconds
                         del pending[worker_id]
                         self._last_heartbeat[worker_id] = time.monotonic()
+                        merge_worker_spans(spans, capture_context())
                     continue
                 continue
             # No message this tick: check liveness of pending workers.

@@ -22,6 +22,8 @@ import struct
 import time
 from typing import Callable, List, Optional, Tuple
 
+from ..obs import tracing
+from ..obs.propagate import current_context
 from .request import RTPRequest
 
 
@@ -139,13 +141,20 @@ class GraphCache:
 
 
 class BatchTicket:
-    """Handle for one queued request; resolved when its batch flushes."""
+    """Handle for one queued request; resolved when its batch flushes.
 
-    __slots__ = ("request", "enqueued_at", "_response")
+    ``trace_ctx`` snapshots the submitter's span context (when tracing
+    is on): the flush may run on another thread or much later, so the
+    batching hop is stitched back under the submitting trace from this
+    captured identity, not from whatever span is active at flush time.
+    """
+
+    __slots__ = ("request", "enqueued_at", "trace_ctx", "_response")
 
     def __init__(self, request: RTPRequest, enqueued_at: float):
         self.request = request
         self.enqueued_at = enqueued_at
+        self.trace_ctx = current_context()
         self._response = None
 
     @property
@@ -210,9 +219,43 @@ class MicroBatcher:
         if not self._queue:
             return 0
         tickets, self._queue = self._queue, []
-        responses = self.service.handle_batch([t.request for t in tickets])
+        flushed_at = self.clock()
+        with tracing.span("rtp.batch.flush", batch=len(tickets)) \
+                as flush_span:
+            responses = self.service.handle_batch(
+                [t.request for t in tickets])
         for ticket, response in zip(tickets, responses):
             ticket._response = response
+        self._stitch_hops(tickets, flush_span, flushed_at)
         self.batches_flushed += 1
         self.requests_flushed += len(tickets)
         return len(tickets)
+
+    def _stitch_hops(self, tickets, flush_span, flushed_at: float) -> None:
+        """Graft a ``service.batch.hop`` span into each submitter's trace.
+
+        The flush serves requests from many traces at once, so one
+        span cannot be a child of all of them; instead every submitting
+        trace receives a frozen hop span (duration = its queue wait)
+        that points at the shared flush span, and the flush span lists
+        the traces it served.
+        """
+        if flush_span.trace_id is None:
+            return
+        collector = tracing.get_collector()
+        if collector is None:
+            return
+        linked = []
+        for ticket in tickets:
+            if ticket.trace_ctx is None:
+                continue
+            wait_ms = max(flushed_at - ticket.enqueued_at, 0.0) * 1000.0
+            hop = tracing.Span("service.batch.hop", {
+                "wait_ms": round(wait_ms, 3),
+                "flush_span": flush_span.span_id,
+            })
+            hop.freeze(wait_ms)
+            collector.attach(hop, parent_id=ticket.trace_ctx.span_id)
+            linked.append(ticket.trace_ctx.trace_id)
+        if linked:
+            flush_span.attrs["linked_traces"] = linked

@@ -75,9 +75,12 @@ class ServiceMonitor:
             "rtp_queries_total", "Requests handled")
         self._errors = self.registry.counter(
             "rtp_errors_total", "Requests that raised (per enqueued request)")
+        # Exemplars: when tracing is on, tail observations keep the
+        # trace id of the request that produced them (auto-captured
+        # from the active span at observe time).
         self._latency = self.registry.histogram(
             "rtp_latency_ms", "End-to-end request latency",
-            buckets=self.buckets)
+            buckets=self.buckets, exemplars=8)
         self._build = self.registry.summary(
             "rtp_build_ms", "Graph-building (feature extraction) time")
         self._infer = self.registry.summary(

@@ -258,7 +258,8 @@ class TestScenarios:
     def test_library_is_complete(self):
         assert set(SCENARIOS) == {
             "steady", "surge", "courier_churn", "gps_dropout",
-            "fault_storm", "checkpoint_corruption", "canary_surge"}
+            "fault_storm", "checkpoint_corruption", "canary_surge",
+            "quality_drift"}
 
     def test_surge_profile_composition(self):
         phases = SCENARIOS["surge"].build_phases(FAST)

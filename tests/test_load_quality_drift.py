@@ -1,0 +1,124 @@
+"""End-to-end quality_drift scenario: a silent accuracy regression
+(shifted ground-truth arrivals, healthy latency) must be caught by the
+quality stream alone and roll the canary back.
+
+The scenario runs on the virtual clock with seeded RNGs, so the run —
+including the alarm's firing observation and statistic — is asserted
+to be bit-reproducible.  The tail-diagnostics test closes the loop the
+tentpole promises: p99 latency exemplar → trace id → full request
+trace in the collector → original request payload in the flight
+recorder.
+"""
+
+import json
+
+import pytest
+
+from repro.load import LoadRunConfig, run_scenario, validate_artifact
+from repro.obs import disable_tracing, enable_tracing
+
+SMOKE = dict(phase_duration_s=1.0, virtual=True, seed=0)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+@pytest.fixture(scope="module")
+def drift_result():
+    return run_scenario("quality_drift", LoadRunConfig(**SMOKE))
+
+
+class TestQualityDriftScenario:
+    def test_alarm_raised_and_canary_rolled_back(self, drift_result):
+        artifact = drift_result.artifact
+        validate_artifact(artifact)
+        quality = artifact["quality"]
+        assert quality["verdict"] == "drift"
+        assert quality["alarms"], "the label shift must raise an alarm"
+        first = quality["alarms"][0]
+        assert first["metric"] == "eta_mae"
+        assert first["statistic"] > first["threshold"]
+
+        rollbacks = [d for d in artifact["decisions"]
+                     if d["action"] == "rollback"]
+        assert len(rollbacks) == 1
+        assert rollbacks[0]["version"] == "v002"
+        assert rollbacks[0]["reason"].startswith("drift:")
+
+        events = [e["event"] for e in drift_result.context.events]
+        for expected in ("canary_started", "label_shift",
+                         "drift_alarm", "drift_rollback"):
+            assert expected in events
+        # The rollback is causally after the shift and the alarm.
+        assert events.index("label_shift") < events.index("drift_alarm") \
+            < events.index("drift_rollback")
+
+    def test_serving_metrics_stay_green(self, drift_result):
+        """The whole point: latency/degraded SLOs never notice."""
+        artifact = drift_result.artifact
+        assert artifact["slo"]["passed"]
+        assert artifact["totals"]["degraded"] == 0
+        assert artifact["totals"]["errors"] == 0
+
+    def test_quality_gauges_registered(self, drift_result):
+        rendered = drift_result.context.metrics.render()
+        assert "rtp_quality_eta_mae" in rendered
+        assert "rtp_quality_route_krc" in rendered
+        assert "rtp_quality_drift_alarms_total" in rendered
+        assert 'segment="all"' in rendered
+        assert 'segment="model_version"' in rendered
+
+    def test_alarm_counter_matches_artifact(self, drift_result):
+        artifact = drift_result.artifact
+        counter = drift_result.context.metrics.get(
+            "rtp_quality_drift_alarms_total")
+        total = sum(
+            counter.labels(metric=a["metric"], detector=a["detector"],
+                           segment=a["segment"], key=a["key"]).value
+            for a in {(a["metric"], a["detector"], a["segment"],
+                       a["key"]): a
+                      for a in artifact["quality"]["alarms"]}.values())
+        assert total == len(artifact["quality"]["alarms"])
+
+    def test_bit_reproducible(self, drift_result):
+        repeat = run_scenario("quality_drift", LoadRunConfig(**SMOKE))
+        assert json.dumps(repeat.artifact, sort_keys=True) == \
+            json.dumps(drift_result.artifact, sort_keys=True)
+
+
+class TestTailDiagnostics:
+    def test_p99_exemplar_resolves_to_trace_and_payload(self):
+        collector = enable_tracing()
+        result = run_scenario("quality_drift", LoadRunConfig(**SMOKE))
+        histogram = result.context.metrics.get("load_latency_ms")
+        resolved = 0
+        for phase in result.artifact["phases"]:
+            entries = histogram.exemplars(scenario="quality_drift",
+                                          phase=phase["name"])
+            assert entries, f"{phase['name']}: tail exemplars expected"
+            for entry in entries:
+                trace_id = entry["trace_id"]
+                roots = collector.trace_roots(trace_id)
+                assert roots, "exemplar must resolve to a collected trace"
+                assert roots[0].name == "load.request"
+                payload = result.context.recorder.lookup(trace_id)
+                if payload is None:
+                    continue  # evicted by the bounded recorder — fine
+                assert payload["request"] is not None
+                assert payload["phase"] == phase["name"]
+                resolved += 1
+        # The recorder is bounded, not useless: recent tails resolve.
+        assert resolved > 0
+
+    def test_recorder_captures_every_traced_request(self):
+        enable_tracing()
+        result = run_scenario("quality_drift", LoadRunConfig(**SMOKE))
+        recorder = result.context.recorder
+        assert len(recorder) <= recorder.capacity
+        # Under capacity nothing is evicted: one entry per request.
+        assert len(recorder) == min(result.artifact["totals"]["requests"],
+                                    recorder.capacity)

@@ -281,3 +281,50 @@ class TestCLI:
         empty.write_text("")
         assert main(["obs", "--file", str(empty)]) == 1
         assert "empty" in capsys.readouterr().out
+
+    def test_obs_without_file_or_subcommand_errors(self, capsys):
+        assert main(["obs"]) == 2
+        assert "obs report" in capsys.readouterr().err
+
+    def test_obs_report_detects_injected_shift(self, workspace, capsys):
+        from repro.obs import validate_quality_artifact
+        root, csv, model = workspace
+        out = root / "quality_drift.json"
+        assert main(["obs", "report", "--data", str(csv),
+                     "--model", str(model), "--queries", "64",
+                     "--window", "16", "--shift-after", "32",
+                     "--shift-minutes", "480", "--out", str(out),
+                     "--seed", "3"]) == 0
+        printed = capsys.readouterr().out
+        assert "verdict drift" in printed
+        artifact = json.loads(out.read_text())
+        validate_quality_artifact(artifact)
+        assert artifact["verdict"] == "drift"
+        assert artifact["observations"] == 64
+        assert artifact["alarms"]
+        assert artifact["alarms"][0]["observations"] > 32
+
+    def test_obs_report_stable_without_shift(self, workspace, capsys):
+        from repro.obs import validate_quality_artifact
+        root, csv, model = workspace
+        out = root / "quality_stable.json"
+        assert main(["obs", "report", "--data", str(csv),
+                     "--model", str(model), "--queries", "48",
+                     "--window", "16", "--out", str(out),
+                     "--seed", "3"]) == 0
+        assert "verdict stable" in capsys.readouterr().out
+        artifact = json.loads(out.read_text())
+        validate_quality_artifact(artifact)
+        assert artifact["alarms"] == []
+
+    def test_obs_report_deterministic(self, workspace, capsys):
+        root, csv, model = workspace
+        first = root / "quality_a.json"
+        second = root / "quality_b.json"
+        for out in (first, second):
+            assert main(["obs", "report", "--data", str(csv),
+                         "--model", str(model), "--queries", "48",
+                         "--window", "16", "--shift-after", "24",
+                         "--out", str(out), "--seed", "7"]) == 0
+        capsys.readouterr()
+        assert first.read_text() == second.read_text()

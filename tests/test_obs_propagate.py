@@ -1,0 +1,294 @@
+"""Cross-process/thread trace propagation and collector concurrency.
+
+Covers the wire protocol (:mod:`repro.obs.propagate`), the worker-side
+span session and coordinator-side stitch, the micro-batcher's
+thread-hop grafting, end-to-end span shipping from real parallel
+training workers, and the :class:`TraceCollector` concurrency contract
+(N threads opening nested spans while another thread renders).
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.core import M2G4RTP, M2G4RTPConfig
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    SpanContext,
+    TraceCollector,
+    capture_context,
+    current_context,
+    disable_tracing,
+    enable_tracing,
+    merge_worker_spans,
+    worker_span_session,
+)
+from repro.obs import tracing
+from repro.parallel import DataParallelTrainer, ParallelConfig
+from repro.service.batching import MicroBatcher
+from repro.training import TrainerConfig
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+# ----------------------------------------------------------------------
+class TestSpanContext:
+    def test_wire_round_trip(self):
+        context = SpanContext("t000001", "s000042")
+        assert context.to_wire() == ("t000001", "s000042")
+        assert SpanContext.from_wire(context.to_wire()) == context
+
+    def test_none_passes_through(self):
+        assert SpanContext.from_wire(None) is None
+
+    def test_current_context_requires_active_span(self):
+        assert current_context() is None
+        assert capture_context() is None
+        collector = enable_tracing()
+        assert current_context() is None  # tracing on, no span open
+        with collector.span("work") as active:
+            context = current_context()
+            assert context == SpanContext(active.trace_id, active.span_id)
+            assert capture_context() == (active.trace_id, active.span_id)
+        assert current_context() is None
+
+
+class TestWorkerSpanSession:
+    def test_inactive_without_context_or_tracing(self):
+        with worker_span_session(None) as session:
+            assert not session.active
+            with tracing.span("worker.step"):
+                pass
+            assert session.export() == []
+
+    def test_active_with_shipped_context(self):
+        with worker_span_session(("t000001", "s000001")) as session:
+            assert session.active
+            with tracing.span("worker.step", shard=3):
+                with tracing.span("worker.inner"):
+                    pass
+            records = session.export()
+        assert len(records) == 1
+        assert records[0]["name"] == "worker.step"
+        assert records[0]["attrs"]["shard"] == 3
+        assert records[0]["children"][0]["name"] == "worker.inner"
+        # Session torn down: process-wide tracing is off again.
+        assert tracing.get_collector() is None
+
+    def test_fork_inherited_collector_is_shielded_and_restored(self):
+        inherited = enable_tracing()
+        with worker_span_session(None) as session:
+            assert session.active
+            with tracing.span("worker.step"):
+                pass
+            assert session.export()
+        # The inherited collector is restored untouched: worker spans
+        # must ship via export(), never leak into the parent's tree.
+        assert tracing.get_collector() is inherited
+        assert inherited.roots == []
+
+    def test_merge_attaches_under_dispatching_span(self):
+        with worker_span_session(("t", "s")) as session:
+            with tracing.span("worker.step"):
+                pass
+            records = session.export()
+        collector = enable_tracing()
+        with collector.span("parallel.step") as step_span:
+            wire = (step_span.trace_id, step_span.span_id)
+            merged = merge_worker_spans(records, wire)
+        assert merged == 1
+        [root] = collector.roots
+        [child] = root.children
+        assert child.name == "worker.step"
+        # Adopted into the dispatching trace with fresh local ids.
+        assert child.trace_id == step_span.trace_id
+        assert child.span_id != records[0]["span_id"]
+        # Shipped durations preserved verbatim.
+        assert child.duration_ms == records[0]["duration_ms"]
+
+    def test_merge_unknown_parent_becomes_root(self):
+        collector = enable_tracing()
+        record = Span("worker.step").freeze(1.5).to_dict()
+        assert merge_worker_spans([record], ("tX", "sX")) == 1
+        assert [r.name for r in collector.roots] == ["worker.step"]
+
+    def test_merge_noop_when_tracing_off_or_empty(self):
+        record = Span("worker.step").freeze(1.0).to_dict()
+        assert merge_worker_spans([record], ("t", "s")) == 0
+        enable_tracing()
+        assert merge_worker_spans([], ("t", "s")) == 0
+
+
+# ----------------------------------------------------------------------
+class _EchoService:
+    """Stand-in service: handle_batch returns one token per request."""
+
+    def handle_batch(self, requests):
+        return [f"response-{id(r)}" for r in requests]
+
+
+class TestMicroBatcherHop:
+    def test_flush_grafts_hop_into_each_submitting_trace(self):
+        collector = enable_tracing()
+        clock = iter(x / 10.0 for x in range(100))
+        batcher = MicroBatcher(_EchoService(), max_batch_size=8,
+                               clock=lambda: next(clock))
+        tickets = []
+        request_spans = []
+        for index in range(2):
+            with collector.span(f"request_{index}") as request_span:
+                tickets.append(batcher.submit(object()))
+                request_spans.append(request_span)
+        batcher.flush()
+        assert all(t.done for t in tickets)
+
+        flush_roots = [r for r in collector.roots
+                       if r.name == "rtp.batch.flush"]
+        assert len(flush_roots) == 1
+        flush_span = flush_roots[0]
+        assert sorted(flush_span.attrs["linked_traces"]) == \
+            sorted(s.trace_id for s in request_spans)
+        for request_span in request_spans:
+            [hop] = [c for c in request_span.children
+                     if c.name == "service.batch.hop"]
+            assert hop.trace_id == request_span.trace_id
+            assert hop.attrs["flush_span"] == flush_span.span_id
+            # Hop duration is the queue wait measured on the clock.
+            assert hop.duration_ms == pytest.approx(
+                hop.attrs["wait_ms"])
+            assert hop.duration_ms > 0
+
+    def test_untraced_submissions_flush_without_stitching(self):
+        batcher = MicroBatcher(_EchoService(), max_batch_size=2)
+        first = batcher.submit(object())
+        second = batcher.submit(object())  # auto-flush at capacity
+        assert first.done and second.done
+        assert first.trace_ctx is None
+
+
+# ----------------------------------------------------------------------
+class TestCollectorConcurrency:
+    THREADS = 8
+    TRACES_PER_THREAD = 40
+
+    def _worker(self, collector, tag, failures):
+        try:
+            for index in range(self.TRACES_PER_THREAD):
+                with collector.span(f"root_{tag}", iteration=index):
+                    with collector.span(f"mid_{tag}"):
+                        with collector.span(f"leaf_{tag}"):
+                            pass
+        except Exception as error:  # pragma: no cover
+            failures.append(error)
+
+    def test_nesting_correct_under_contention(self):
+        collector = TraceCollector()
+        failures = []
+        threads = [
+            threading.Thread(target=self._worker,
+                             args=(collector, tag, failures))
+            for tag in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert len(collector.roots) == self.THREADS * self.TRACES_PER_THREAD
+        trace_ids = set()
+        for root in collector.roots:
+            tag = root.name.split("_")[1]
+            [mid] = root.children
+            [leaf] = mid.children
+            # Thread-local stacks: never a child from another thread.
+            assert mid.name == f"mid_{tag}"
+            assert leaf.name == f"leaf_{tag}"
+            assert {s.trace_id for s in root.iter_spans()} == \
+                {root.trace_id}
+            trace_ids.add(root.trace_id)
+        assert len(trace_ids) == len(collector.roots)
+
+    def test_render_and_jsonl_never_tear_during_writes(self):
+        collector = TraceCollector()
+        stop = threading.Event()
+        failures = []
+
+        def serialise_loop():
+            try:
+                while not stop.is_set():
+                    collector.render(max_roots=10)
+                    for line in collector.to_jsonl().splitlines():
+                        record = json.loads(line)  # every line valid JSON
+                        assert "name" in record
+            except Exception as error:  # pragma: no cover
+                failures.append(error)
+
+        reader = threading.Thread(target=serialise_loop)
+        reader.start()
+        writers = [
+            threading.Thread(target=self._worker,
+                             args=(collector, tag, failures))
+            for tag in range(self.THREADS)
+        ]
+        for thread in writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        reader.join()
+        assert not failures
+        # Final serialisation sees the complete forest.
+        assert len(collector.to_jsonl().splitlines()) == \
+            self.THREADS * self.TRACES_PER_THREAD
+
+
+# ----------------------------------------------------------------------
+class TestParallelWorkerSpans:
+    def test_worker_spans_shipped_and_stitched(self, splits):
+        """Spans opened inside worker processes land in the
+        coordinator's collector, nested under the dispatching step."""
+        train, _, _ = splits
+        collector = enable_tracing()
+        registry = MetricsRegistry()
+        model = M2G4RTP(M2G4RTPConfig(
+            hidden_dim=16, num_heads=2, num_encoder_layers=1, seed=5))
+        trainer = DataParallelTrainer(
+            model, TrainerConfig(epochs=1, batch_size=4, patience=10),
+            ParallelConfig(num_workers=2), registry=registry)
+        trainer.fit(train[:8])
+
+        forest = [span_obj for root in collector.roots
+                  for span_obj in root.iter_spans()]
+        step_spans = [s for s in forest if s.name == "parallel.step"]
+        assert step_spans, "the coordinator must open parallel.step spans"
+        worker_spans = [
+            child
+            for step in step_spans
+            for child in step.iter_spans()
+            if child.name == "parallel.worker.step"
+        ]
+        assert worker_spans, \
+            "worker-process spans must ship back and be stitched in"
+        workers_seen = {s.attrs["worker"] for s in worker_spans}
+        assert workers_seen == {0, 1}
+        for span_obj in worker_spans:
+            parent_step = next(s for s in step_spans
+                               if span_obj in list(s.iter_spans()))
+            # Adopted spans join the dispatching step's trace.
+            assert span_obj.trace_id == parent_step.trace_id
+            assert span_obj.duration_ms > 0
+
+        # The step-time histogram's exemplars resolve to those traces.
+        histogram = registry.get("rtp_train_step_ms")
+        entries = histogram.exemplars()
+        assert entries
+        step_trace_ids = {s.trace_id for s in step_spans}
+        assert entries[0]["trace_id"] in step_trace_ids
+        assert collector.trace_roots(entries[0]["trace_id"])
