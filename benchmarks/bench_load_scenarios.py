@@ -23,8 +23,8 @@ import argparse
 import pathlib
 
 from repro.load import (LoadRunConfig, SCENARIOS, ScenarioResult,
-                        reconcile_with_registry, run_scenario,
-                        validate_artifact, write_artifact)
+                        reconcile_shards, reconcile_with_registry,
+                        run_scenario, validate_artifact, write_artifact)
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
@@ -73,6 +73,24 @@ def check_outcomes(result: ScenarioResult) -> None:
         assert totals["degraded"] == 0 and artifact["slo"]["passed"], (
             "the label shift must be invisible to serving metrics — "
             "only the quality stream may notice")
+    elif name == "shard_soak":
+        assert phases["diurnal"]["degraded"]["by_reason"].get(
+            "shed", 0) > 0, (
+            "the diurnal peak must push admission control into shedding")
+        assert phases["steady"]["degraded"]["total"] == 0, (
+            "the steady tail after the diurnal cycle must be clean")
+        assert result.passed, "shard_soak must end SLO-green"
+        shards = artifact["shards"]
+        assert len(shards) >= 2, "the soak must actually run >= 2 shards"
+        assert sum(s["shed"] for s in shards) == totals["shed"], (
+            "per-shard shed counts must reconcile with the run total")
+    elif name == "shard_kill":
+        events = [e["event"] for e in artifact["events"]]
+        assert "shard_killed" in events and "shard_respawned" in events, (
+            "the kill must be recorded and the router must respawn")
+        assert sum(s["respawns"] for s in artifact["shards"]) >= 1
+        assert result.passed and totals["degraded"] == 0, (
+            "losing one shard of N must not break the SLO")
 
 
 def run(smoke: bool = False, seed: int = 0) -> str:
@@ -95,6 +113,8 @@ def run(smoke: bool = False, seed: int = 0) -> str:
         artifact = result.artifact
         validate_artifact(artifact)
         reconcile_with_registry(artifact, result.context.metrics)
+        if "shards" in artifact:
+            reconcile_shards(artifact, result.context.metrics)
         check_outcomes(result)
         write_artifact(artifact, RESULTS_DIR / f"load_{name}{suffix}.json")
         totals = artifact["totals"]

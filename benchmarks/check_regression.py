@@ -83,6 +83,37 @@ def compare_artifact(name: str, current: Dict, baseline: Dict,
             f"{name}: deployment decisions changed "
             f"{want_actions} -> {got_actions}")
 
+    # The (phase, event) sequence is pinned: shed onsets, shard kills,
+    # respawns, corruption rejections and drift rollbacks must fire in
+    # the same phase and order every run (details carry free text like
+    # tempdir paths and are not compared).
+    got_events = [(e["phase"], e["event"])
+                  for e in current.get("events", [])]
+    want_events = [(e["phase"], e["event"])
+                   for e in baseline.get("events", [])]
+    if got_events != want_events:
+        errors.append(
+            f"{name}: event sequence changed "
+            f"{want_events} -> {got_events}")
+
+    got_shards = current.get("shards")
+    want_shards = baseline.get("shards")
+    if (got_shards is None) != (want_shards is None):
+        errors.append(f"{name}: shards block "
+                      f"{'appeared' if want_shards is None else 'vanished'}")
+    elif got_shards is not None:
+        got_counts = [{k: s[k] for k in ("shard", "requests", "shed",
+                                         "respawns", "swaps")}
+                      for s in got_shards]
+        want_counts = [{k: s[k] for k in ("shard", "requests", "shed",
+                                          "respawns", "swaps")}
+                       for s in want_shards]
+        if got_counts != want_counts:
+            errors.append(
+                f"{name}: per-shard counters changed "
+                f"{want_counts} -> {got_counts} (placement, shedding "
+                f"and respawn behaviour must stay deterministic)")
+
     got_quality = current.get("quality")
     want_quality = baseline.get("quality")
     if (got_quality is None) != (want_quality is None):

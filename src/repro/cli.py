@@ -153,8 +153,53 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_sharded(args: argparse.Namespace) -> int:
+    """``serve --shards N``: replay through the multi-process tier."""
+    from .serving_shard import ShardConfig, ShardRouter
+
+    dataset = read_csv(args.data)
+    _, _, test = dataset.split_by_day()
+    model = _load_model(Path(args.model))
+    registry = MetricsRegistry()
+    collector = enable_tracing() if args.trace else None
+    router = ShardRouter(
+        model, version="v001",
+        config=ShardConfig(num_shards=args.shards),
+        metrics=registry, inline=False)
+    served = 0
+    try:
+        for instance in list(test)[: args.queries]:
+            request = RTPRequest.from_instance(instance)
+            shard = router.place(request)
+            response = router.handle(request)
+            served += 1
+            flag = " (degraded)" if response.degraded else ""
+            print(f"courier {request.courier.courier_id} -> shard {shard}: "
+                  f"{request.num_locations} orders, "
+                  f"{response.latency_ms:6.1f} ms, "
+                  f"version {response.model_version}{flag}")
+        print(f"\nserved {served} queries over {args.shards} shards:")
+        for entry in router.shard_stats():
+            print(f"  shard {entry['shard']}: {entry['requests']:4d} "
+                  f"requests, {entry['shed']} shed, "
+                  f"p99 {entry['p99_ms']:.1f} ms")
+    finally:
+        router.shutdown()
+        if collector is not None:
+            disable_tracing()
+    if collector is not None:
+        count = collector.write_jsonl(args.trace)
+        print(f"wrote {count} trace roots to {args.trace}")
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(registry.render() + "\n")
+        print(f"wrote metrics exposition to {args.metrics_out}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     _select_kernels(args)
+    if args.shards > 0:
+        return _serve_sharded(args)
     dataset = read_csv(args.data)
     _, _, test = dataset.split_by_day()
     model = _load_model(Path(args.model))
@@ -428,6 +473,7 @@ def cmd_load(args: argparse.Namespace) -> int:
         seed=args.seed, virtual=virtual,
         deadline_ms=args.deadline_ms,
         max_queue_depth=args.max_queue_depth,
+        num_shards=args.shards,
         slo=load_harness.SLOPolicy(
             p99_ms=args.slo_p99_ms,
             max_degraded_fraction=args.slo_max_degraded))
@@ -547,6 +593,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable tracing; write span JSONL here")
     serve.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write Prometheus exposition here after serving")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="serve through N worker-process shards "
+                            "(0 = single in-process service)")
     serve.add_argument("--profile-ops", action="store_true",
                        help="profile autodiff ops and print the top-k table")
     serve.add_argument("--top-ops", type=int, default=10,
@@ -671,6 +720,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="artifact path (default load_<scenario>.json)")
     load_cmd.add_argument("--deadline-ms", type=float, default=250.0)
     load_cmd.add_argument("--max-queue-depth", type=int, default=32)
+    load_cmd.add_argument("--shards", type=int, default=2,
+                          help="shard count for shard_* scenarios")
     load_cmd.add_argument("--slo-p99-ms", type=float, default=250.0)
     load_cmd.add_argument("--slo-max-degraded", type=float, default=0.2)
     load_cmd.add_argument("--enforce-slo", action="store_true",

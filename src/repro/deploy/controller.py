@@ -274,21 +274,32 @@ class DeploymentController:
     # Request routing
     # ------------------------------------------------------------------
     def handle(self, request: RTPRequest) -> RTPResponse:
-        """Route one request according to the current rollout mode."""
-        if self.mode == "canary" and self.candidate is not None:
+        """Route one request according to the current rollout mode.
+
+        ``mode``/``candidate``/``primary`` are read once into locals:
+        a concurrent :meth:`promote` / :meth:`rollback` must never
+        yank the service out from under an in-flight request — the
+        request completes against the services it was admitted to, and
+        its ``model_version`` stamp stays coherent.
+        """
+        mode = self.mode
+        candidate = self.candidate
+        primary = self.primary
+        if mode == "canary" and candidate is not None:
             if float(self._rng.random()) < self.policy.canary_fraction:
-                response = self.candidate.handle(request)
+                response = candidate.handle(request)
                 self._maybe_decide()
                 return response
-            return self.primary.handle(request)
-        if self.mode == "shadow" and self.candidate is not None:
-            response = self.primary.handle(request)
-            self._shadow(request, response)
+            return primary.handle(request)
+        if mode == "shadow" and candidate is not None:
+            response = primary.handle(request)
+            self._shadow(candidate, request, response)
             return response
-        return self.primary.handle(request)
+        return primary.handle(request)
 
-    def _shadow(self, request: RTPRequest, primary: RTPResponse) -> None:
-        shadow = self.candidate.handle(request)  # resilient: cannot raise
+    def _shadow(self, candidate: ResilientRTPService, request: RTPRequest,
+                primary: RTPResponse) -> None:
+        shadow = candidate.handle(request)  # resilient: cannot raise
         self.shadow_stats.requests += 1
         if shadow.degraded:
             self.shadow_stats.degraded_candidate += 1

@@ -43,6 +43,34 @@ from ..service.rtp_service import RTPResponse
 BREAKER_STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
 
 
+def degraded_response(fallback: FallbackPredictor, request: RTPRequest,
+                      reason: str, latency_ms: float = 0.0,
+                      version: str = "") -> RTPResponse:
+    """A valid-but-degraded answer from the cheap fallback predictor.
+
+    The single construction point for every degraded response in the
+    repo: :class:`ResilientRTPService` uses it for its own fallback
+    path, and the shard router (:mod:`repro.serving_shard`) for
+    load-shedding decisions made before a request ever reaches a
+    worker.  Sharing it keeps the degraded-answer contract (full route
+    permutation, matching ETA vector, ``degraded_reason`` stamp) in one
+    place.
+    """
+    prediction = fallback.predict(request)
+    return RTPResponse(
+        route=prediction.route,
+        eta_minutes=prediction.eta_minutes,
+        aoi_route=None,
+        aoi_eta_minutes=None,
+        latency_ms=latency_ms,
+        build_ms=0.0,
+        infer_ms=latency_ms,
+        degraded=True,
+        degraded_reason=reason,
+        model_version=version,
+    )
+
+
 class CircuitBreaker:
     """Consecutive-failure breaker with a timed half-open recovery.
 
@@ -208,7 +236,6 @@ class ResilientRTPService:
 
     def _degraded_response(self, request: RTPRequest, reason: str,
                            started: float) -> RTPResponse:
-        prediction = self.fallback.predict(request)
         latency_ms = (self.clock() - started) * 1000.0
         # "degraded" and its reason advance together under one lock
         # hold, so the per-reason sum always reconciles with the total.
@@ -217,18 +244,8 @@ class ResilientRTPService:
             self._m_degraded.labels(version=self.version, reason=reason).inc()
             self._m_degraded_responses.labels(version=self.version).inc()
         self._publish_breaker()
-        return RTPResponse(
-            route=prediction.route,
-            eta_minutes=prediction.eta_minutes,
-            aoi_route=None,
-            aoi_eta_minutes=None,
-            latency_ms=latency_ms,
-            build_ms=0.0,
-            infer_ms=latency_ms,
-            degraded=True,
-            degraded_reason=reason,
-            model_version=self.version,
-        )
+        return degraded_response(self.fallback, request, reason,
+                                 latency_ms=latency_ms, version=self.version)
 
     def _stamp(self, response: RTPResponse) -> RTPResponse:
         response.model_version = self.version
@@ -287,8 +304,59 @@ class ResilientRTPService:
         raise AssertionError("unreachable")  # pragma: no cover
 
     def handle_batch(self, requests: Sequence[RTPRequest]) -> List[RTPResponse]:
-        """Batched variant: one failed batch degrades its members."""
-        return [self.handle(request) for request in requests]
+        """Batched variant: one failed batch degrades its members.
+
+        Batches of two or more take a true batched fast path (one
+        ``service.handle_batch`` call, so a padded multi-request
+        forward stays a single forward).  Admission, breaker state and
+        the deadline are evaluated once for the whole flush — every
+        member waited for the same batch, so they share one wall-clock
+        fate — and a failed batch degrades each member individually
+        through the fallback.  The batched path does not retry;
+        retry-once remains a single-request affordance.
+        """
+        if len(requests) <= 1 or not hasattr(self.service, "handle_batch"):
+            return [self.handle(request) for request in requests]
+        started = self.clock()
+        with self._counts_lock:
+            self.counts["requests"] += len(requests)
+        if self._registry is not None:
+            self._m_requests.labels(version=self.version).inc(len(requests))
+        with span("rtp.resilient.batch", version=self.version,
+                  batch=len(requests)):
+            if (self.batcher is not None
+                    and self.batcher.pending >= self.config.max_queue_depth):
+                return [self._degraded_response(request, "shed", started)
+                        for request in requests]
+            if not self.breaker.allow():
+                return [self._degraded_response(
+                    request, "breaker_open", started)
+                    for request in requests]
+            try:
+                responses = self.service.handle_batch(list(requests))
+            except Exception:
+                self._count("errors")
+                self.breaker.record_failure()
+                if self._registry is not None:
+                    self._m_errors.labels(version=self.version).inc()
+                return [self._degraded_response(request, "error", started)
+                        for request in requests]
+            elapsed_ms = (self.clock() - started) * 1000.0
+            if elapsed_ms > self.config.deadline_ms:
+                self.breaker.record_failure()
+                return [self._degraded_response(request, "deadline", started)
+                        for request in requests]
+            self.breaker.record_success()
+            with self._counts_lock:
+                self.counts["model"] += len(requests)
+                self._latency_sum_ms += elapsed_ms * len(requests)
+                self._latency_count += len(requests)
+            if self._registry is not None:
+                for _ in requests:
+                    self._m_latency.labels(
+                        version=self.version).observe(elapsed_ms)
+            self._publish_breaker()
+            return [self._stamp(response) for response in responses]
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, int]:

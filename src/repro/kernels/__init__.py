@@ -27,7 +27,7 @@ from .dispatch import (
     require,
     use,
 )
-from .workspace import Workspace, get_workspace
+from .workspace import Workspace, get_workspace, workspace_scope
 
 __all__ = [
     "BACKENDS",
@@ -43,4 +43,5 @@ __all__ = [
     "get_workspace",
     "require",
     "use",
+    "workspace_scope",
 ]

@@ -10,13 +10,29 @@ Buffers are *not* zeroed on reuse (callers overwrite them fully, or
 request :meth:`Workspace.zeros` explicitly).  Workspaces are
 thread-local: two threads running fused inference concurrently never
 share a buffer, so no locking is needed.
+
+Two lifecycle rules keep the implicit pool safe for multi-process
+serving (:mod:`repro.serving_shard`):
+
+* **fork safety** — the lazily created thread-local workspace records
+  the pid that created it; a forked child that inherited the parent's
+  pool discards it on first use and starts fresh, so a parent and its
+  shard workers never reuse (copy-on-write aliased) scratch buffers.
+* **explicit ownership** — :func:`workspace_scope` pins an explicit
+  :class:`Workspace` for a dynamic extent.  Shard runtimes that share
+  one thread (the deterministic inline mode of the load scenarios)
+  each enter their own scope around request processing, so the fused
+  kernels draw from *that shard's* pool instead of the ambient
+  thread-local one.
 """
 
 from __future__ import annotations
 
+import contextlib
+import os
 import threading
 from collections import OrderedDict
-from typing import Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 
@@ -76,9 +92,39 @@ _local = threading.local()
 
 
 def get_workspace() -> Workspace:
-    """The calling thread's workspace (created on first use)."""
+    """The active workspace for the calling thread.
+
+    Resolution order: the innermost :func:`workspace_scope` override,
+    else the thread-local default (created on first use, re-created
+    after a fork so child processes never inherit the parent's pool).
+    """
+    pid = os.getpid()
+    stack = getattr(_local, "scope_stack", None)
+    if stack and getattr(_local, "scope_pid", None) == pid:
+        return stack[-1]
     workspace = getattr(_local, "workspace", None)
-    if workspace is None:
+    if workspace is None or getattr(_local, "owner_pid", None) != pid:
         workspace = Workspace()
         _local.workspace = workspace
+        _local.owner_pid = pid
     return workspace
+
+
+@contextlib.contextmanager
+def workspace_scope(workspace: Workspace) -> Iterator[Workspace]:
+    """Pin ``workspace`` as the active pool for the enclosed extent.
+
+    Scopes nest (innermost wins) and are per-thread; a scope opened
+    before a fork is ignored in the child.
+    """
+    pid = os.getpid()
+    stack = getattr(_local, "scope_stack", None)
+    if stack is None or getattr(_local, "scope_pid", None) != pid:
+        stack = []
+        _local.scope_stack = stack
+        _local.scope_pid = pid
+    stack.append(workspace)
+    try:
+        yield workspace
+    finally:
+        stack.pop()

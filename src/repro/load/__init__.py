@@ -14,7 +14,7 @@ stimuli.  The pieces:
   mutators (GPS dropout, courier churn);
 * :mod:`~repro.load.scenarios` — the composable scenario library
   (steady, surge, courier_churn, gps_dropout, fault_storm,
-  checkpoint_corruption, canary_surge);
+  checkpoint_corruption, canary_surge, shard_soak, shard_kill);
 * :mod:`~repro.load.artifact` — machine-readable JSON run artifacts
   with per-phase histograms, an SLO verdict, schema validation and
   metrics-registry reconciliation.
@@ -30,6 +30,7 @@ from .artifact import (
     SLOPolicy,
     build_artifact,
     load_schema,
+    reconcile_shards,
     reconcile_with_registry,
     validate_artifact,
     write_artifact,
@@ -42,6 +43,7 @@ from .driver import (
     LoadPhase,
     OpenLoopDriver,
     PhaseResult,
+    diurnal_rate,
     percentile_summary,
 )
 from .scenarios import (
@@ -64,11 +66,12 @@ from .stream import (
 __all__ = [
     "ARTIFACT_KIND", "SCHEMA_PATH", "SCHEMA_VERSION",
     "ArtifactValidationError", "SLOPolicy", "build_artifact",
-    "load_schema", "reconcile_with_registry", "validate_artifact",
-    "write_artifact",
+    "load_schema", "reconcile_shards", "reconcile_with_registry",
+    "validate_artifact", "write_artifact",
     "ModeledLatencyService", "VirtualClock",
     "DEGRADED_REASONS", "LOAD_LATENCY_BUCKETS", "BacklogProbe",
-    "LoadPhase", "OpenLoopDriver", "PhaseResult", "percentile_summary",
+    "LoadPhase", "OpenLoopDriver", "PhaseResult", "diurnal_rate",
+    "percentile_summary",
     "SCENARIOS", "LoadRunConfig", "Scenario", "ScenarioContext",
     "ScenarioResult", "build_context", "run_scenario", "small_model",
     "RequestStream", "build_instance_pool", "courier_churn_mutator",

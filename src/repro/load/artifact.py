@@ -135,8 +135,13 @@ def _histogram_json(latencies_ms: Sequence[float],
 def phase_to_json(phase: PhaseResult,
                   snapshot: Optional[Dict[str, object]] = None
                   ) -> Dict[str, object]:
-    """Serialise one phase's measurements."""
-    return {
+    """Serialise one phase's measurements.
+
+    ``rate_profile`` is emitted only for non-constant phases so
+    constant-rate artifacts (and their checked-in baselines) keep their
+    exact historical bytes.
+    """
+    block: Dict[str, object] = {
         "name": phase.name,
         "rate_rps": float(phase.rate),
         "duration_s": float(phase.duration_s),
@@ -158,6 +163,9 @@ def phase_to_json(phase: PhaseResult,
         "max_backlog": int(phase.max_backlog),
         "breaker_opens": int(phase.breaker_opens),
     }
+    if phase.rate_profile != "constant":
+        block["rate_profile"] = phase.rate_profile
+    return block
 
 
 def build_artifact(*, scenario: str, description: str, mode: str, seed: int,
@@ -167,13 +175,18 @@ def build_artifact(*, scenario: str, description: str, mode: str, seed: int,
                    registry: Optional[MetricsRegistry] = None,
                    events: Sequence[Dict[str, str]] = (),
                    decisions: Sequence[Dict[str, str]] = (),
-                   quality: Optional[Dict[str, object]] = None
+                   quality: Optional[Dict[str, object]] = None,
+                   shards: Optional[Sequence[Dict[str, object]]] = None
                    ) -> Dict[str, object]:
     """Assemble the full artifact for one scenario run.
 
     ``quality`` is the optional prediction-quality block (windowed
     segment metrics plus drift alarms) produced by a
     :class:`~repro.obs.quality.QualityMonitor` attached to the run.
+    ``shards`` is the optional per-shard block emitted by sharded
+    serving scenarios (one entry per shard of the
+    :class:`~repro.serving_shard.ShardRouter`, reconciled against the
+    ``rtp_shard_*`` registry series by :func:`reconcile_shards`).
     """
     phase_blocks = []
     for phase in phases:
@@ -212,6 +225,8 @@ def build_artifact(*, scenario: str, description: str, mode: str, seed: int,
     }
     if quality is not None:
         artifact["quality"] = quality
+    if shards is not None:
+        artifact["shards"] = [dict(entry) for entry in shards]
     return artifact
 
 
@@ -298,6 +313,17 @@ def validate_artifact(artifact: Dict[str, object],
     if slo["passed"] != (not slo["violations"]):
         raise ArtifactValidationError(
             "artifact.slo.passed inconsistent with violations list")
+    shards = artifact.get("shards")
+    if shards is not None:
+        if [s["shard"] for s in shards] != list(range(len(shards))):
+            raise ArtifactValidationError(
+                "artifact.shards must list shards 0..N-1 in order")
+        routed = sum(s["requests"] + s["shed"] for s in shards)
+        if routed != totals["requests"]:
+            raise ArtifactValidationError(
+                f"artifact.shards: routed + shed {routed} != "
+                f"totals.requests {totals['requests']} (every request "
+                f"must be placed on exactly one shard or shed there)")
 
 
 def reconcile_with_registry(artifact: Dict[str, object],
@@ -340,3 +366,42 @@ def reconcile_with_registry(artifact: Dict[str, object],
                 raise ArtifactValidationError(
                     f"{name}: registry counted {int(registered)} "
                     f"degraded ({reason}), artifact says {count}")
+
+
+def reconcile_shards(artifact: Dict[str, object],
+                     registry: MetricsRegistry) -> None:
+    """Assert the per-shard block matches the ``rtp_shard_*`` series.
+
+    The router and the artifact builder account independently (router
+    counters at placement time, artifact block from the router's final
+    stats snapshot); this pins them to the same numbers a dashboard
+    scraping the shared registry would show.
+    """
+    shards = artifact.get("shards")
+    if shards is None:
+        raise ArtifactValidationError(
+            "artifact has no shards block to reconcile")
+    counters = {
+        "requests": registry.get("rtp_shard_requests_total"),
+        "shed": registry.get("rtp_shard_shed_total"),
+        "respawns": registry.get("rtp_shard_respawns_total"),
+        "swaps": registry.get("rtp_shard_swaps_total"),
+    }
+    histogram = registry.get("rtp_shard_latency_ms")
+    if any(c is None for c in counters.values()) or histogram is None:
+        raise ArtifactValidationError(
+            "registry is missing the rtp_shard_* series for reconciliation")
+    for entry in shards:
+        label = str(entry["shard"])
+        for key, counter in counters.items():
+            registered = int(counter.labels(shard=label).value)
+            if registered != entry[key]:
+                raise ArtifactValidationError(
+                    f"shard {label}: registry counted {registered} "
+                    f"{key}, artifact says {entry[key]}")
+        snapshot = histogram.snapshot(shard=label)
+        observed = int(sum(snapshot["counts"]))
+        if observed != entry["requests"]:
+            raise ArtifactValidationError(
+                f"shard {label}: latency histogram holds {observed} "
+                f"observations, artifact says {entry['requests']} requests")

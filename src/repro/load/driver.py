@@ -26,6 +26,7 @@ story of a run.
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -62,9 +63,31 @@ def percentile_summary(values_ms: List[float]) -> Dict[str, float]:
     }
 
 
+def diurnal_rate(base: float, amplitude: float = 0.5,
+                 period_s: float = 60.0,
+                 phase_rad: float = 0.0) -> Callable[[float], float]:
+    """Sine-modulated arrival rate: ``base * (1 + A·sin(2πt/T + φ))``.
+
+    A compressed diurnal traffic curve — the morning/evening peaks of
+    an instant-delivery platform squeezed into ``period_s`` seconds of
+    load-test time.  ``amplitude`` must stay below 1 so the rate never
+    reaches zero; pass the result as :attr:`LoadPhase.rate_profile`.
+    """
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be in [0, 1)")
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+
+    def rate(t: float) -> float:
+        return base * (1.0 + amplitude
+                       * math.sin(2.0 * math.pi * t / period_s + phase_rad))
+
+    return rate
+
+
 @dataclasses.dataclass
 class LoadPhase:
-    """One constant-rate segment of a scenario.
+    """One constant- or profiled-rate segment of a scenario.
 
     ``mutator`` reshapes each request (GPS noise, courier churn);
     ``fault_plan`` is installed on the scenario's fault injector at
@@ -72,25 +95,62 @@ class LoadPhase:
     checkpoint, start a canary).  ``slo=False`` phases (warm-up,
     deliberate overload) are excluded from the SLO verdict but still
     recorded in the artifact.
+
+    ``rate_profile`` makes the arrival rate time-varying: a callable
+    mapping seconds-since-phase-start to instantaneous requests per
+    second (see :func:`diurnal_rate`).  The schedule is deterministic —
+    each arrival is placed ``1/rate(t)`` after the previous one — so a
+    profiled phase is exactly as reproducible as a constant one.
+    ``profile_name`` labels the shape in the artifact ("constant" is
+    omitted so existing artifacts are unchanged byte for byte).
     """
 
     name: str
     duration_s: float
-    rate: float                     # requests per second
+    rate: float                     # requests per second (base rate)
     slo: bool = True
     mutator: Optional[Callable] = None      # (request, rng) -> request
     fault_plan: Optional[object] = None     # deploy.FaultPlan
     on_enter: Optional[Callable] = None     # (ScenarioContext) -> None
+    rate_profile: Optional[Callable[[float], float]] = None
+    profile_name: str = "constant"
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
         if self.rate <= 0:
             raise ValueError("rate must be positive")
+        if self.rate_profile is not None and self.profile_name == "constant":
+            self.profile_name = "profiled"
+
+    def arrival_offsets(self) -> Optional[List[float]]:
+        """Arrival times (s since phase start), or ``None`` if constant.
+
+        Constant-rate phases keep the streaming ``index / rate``
+        schedule (bit-identical to the original arithmetic); profiled
+        phases precompute the variable-spacing schedule here.
+        """
+        if self.rate_profile is None:
+            return None
+        offsets: List[float] = [0.0]
+        t = 0.0
+        while True:
+            rate = self.rate_profile(t)
+            if rate <= 0:
+                raise ValueError(
+                    f"rate_profile must stay positive (got {rate!r} "
+                    f"at t={t:.3f}s of phase {self.name!r})")
+            t += 1.0 / rate
+            if t >= self.duration_s:
+                return offsets
+            offsets.append(t)
 
     @property
     def num_requests(self) -> int:
         """Arrivals scheduled for this phase (at least one)."""
+        offsets = self.arrival_offsets()
+        if offsets is not None:
+            return len(offsets)
         return max(1, round(self.duration_s * self.rate))
 
 
@@ -102,6 +162,7 @@ class PhaseResult:
     rate: float
     duration_s: float
     slo: bool
+    rate_profile: str = "constant"
     requests: int = 0
     elapsed_s: float = 0.0
     latencies_ms: List[float] = dataclasses.field(default_factory=list)
@@ -206,18 +267,26 @@ class OpenLoopDriver:
         ``backlog``), it never stretches the schedule itself.
         """
         result = PhaseResult(name=phase.name, rate=phase.rate,
-                             duration_s=phase.duration_s, slo=phase.slo)
+                             duration_s=phase.duration_s, slo=phase.slo,
+                             rate_profile=phase.profile_name)
         interval = 1.0 / phase.rate
+        offsets = phase.arrival_offsets()
+        count = phase.num_requests if offsets is None else len(offsets)
         start = self.clock()
-        for index in range(phase.num_requests):
-            scheduled = start + index * interval
+        for index in range(count):
+            if offsets is None:
+                scheduled = start + index * interval
+                instant_rate = phase.rate
+            else:
+                scheduled = start + offsets[index]
+                instant_rate = phase.rate_profile(offsets[index])
             now = self.clock()
             if now < scheduled:
                 self.sleeper(scheduled - now)
                 now = self.clock()
             # Arrivals already due but not yet issued — the open-loop
             # queue the admission controller sheds on.
-            self.backlog = int(max(0.0, now - scheduled) * phase.rate)
+            self.backlog = int(max(0.0, now - scheduled) * instant_rate)
             result.max_backlog = max(result.max_backlog, self.backlog)
             request = next_request()
             issued = self.clock()

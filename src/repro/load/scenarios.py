@@ -27,6 +27,12 @@ phased, seeded traffic profile driven by the open-loop
                               alarm and the controller must roll the
                               candidate back on the alarm — serving
                               metrics alone never notice
+``shard_soak``                diurnal (sine) arrivals over N serving
+                              shards; admission control sheds the peak
+                              and the steady tail must be SLO-clean
+``shard_kill``                a serving shard dies mid-run; the router
+                              respawns it from current weights without
+                              breaking the SLO
 ============================  =========================================
 
 Runs are deterministic at a fixed seed in ``virtual`` mode (simulated
@@ -58,9 +64,10 @@ from ..obs.quality import (CompletedRoute, FlightRecorder,
                            ReferenceWindowDetector)
 from ..obs.tracing import current_trace_id
 from ..service.rtp_service import RTPService
+from ..serving_shard import ShardConfig, ShardRouter
 from .artifact import SLOPolicy, build_artifact
 from .clock import ModeledLatencyService, VirtualClock
-from .driver import LoadPhase, OpenLoopDriver, PhaseResult
+from .driver import LoadPhase, OpenLoopDriver, PhaseResult, diurnal_rate
 from .stream import (RequestStream, build_instance_pool,
                      courier_churn_mutator, gps_noise_mutator)
 
@@ -84,6 +91,7 @@ class LoadRunConfig:
     breaker_recovery_s: float = 1.0
     canary_fraction: float = 0.3
     canary_min_requests: int = 12
+    num_shards: int = 2             # shards in needs_shards scenarios
     #: Minutes added to every actual arrival during the label-shift
     #: phase of ``quality_drift`` — deliberately enormous (couriers
     #: suddenly hours late) so the detectors separate the shifted
@@ -117,6 +125,7 @@ class ScenarioContext:
     primary: Optional[ResilientRTPService] = None
     controller: Optional[DeploymentController] = None
     registry: Optional[ModelRegistry] = None
+    router: Optional[ShardRouter] = None
     breaker_watch: List[object] = dataclasses.field(default_factory=list)
     events: List[Dict[str, str]] = dataclasses.field(default_factory=list)
     current_phase: str = ""
@@ -137,6 +146,8 @@ class ScenarioContext:
                             "detail": detail})
 
     def close(self) -> None:
+        if self.router is not None:
+            self.router.shutdown()   # no-op in inline mode
         if self._tempdir is not None:
             self._tempdir.cleanup()
             self._tempdir = None
@@ -152,6 +163,7 @@ class Scenario:
     needs_registry: bool = False    # serve a registry-loaded checkpoint
     needs_controller: bool = False  # route through DeploymentController
     attach_quality: bool = False    # feed a QualityMonitor ground truth
+    needs_shards: bool = False      # route through a ShardRouter
 
 
 @dataclasses.dataclass
@@ -249,7 +261,10 @@ def build_context(scenario: Scenario, config: LoadRunConfig,
                 data_seed=config.seed)
         context.registry = model_registry
 
-    if scenario.needs_controller:
+    if scenario.needs_shards:
+        _attach_shards(context, scenario, config, resilience,
+                       virtual_clock, model)
+    elif scenario.needs_controller:
         controller = DeploymentController(
             model_registry, resilience=resilience,
             policy=RolloutPolicy(
@@ -282,6 +297,72 @@ def build_context(scenario: Scenario, config: LoadRunConfig,
     if scenario.attach_quality:
         _attach_quality(context)
     return context
+
+
+def _attach_shards(context: ScenarioContext, scenario: Scenario,
+                   config: LoadRunConfig, resilience: ResilienceConfig,
+                   virtual_clock: Optional[VirtualClock],
+                   model: Optional[M2G4RTP]) -> None:
+    """Route the scenario through a :class:`ShardRouter`.
+
+    Virtual runs use inline shards on the shared virtual clock — one
+    deterministic timeline, so shed/respawn/swap outcomes are
+    assertable bit-for-bit (capacity does *not* scale with shard count
+    here; the wall-mode soak bench is where real-process scaling
+    shows).  Wall runs fork real worker processes.  Each shard's inner
+    service gets its own seeded :class:`ModeledLatencyService` in
+    virtual mode so latency draws differ across shards but replay
+    exactly.
+    """
+    serving_model = model or small_model(config.seed + 10,
+                                         config.hidden_dim)
+
+    def shard_wrapper(shard_id: int) -> Callable:
+        def wrap(inner):
+            return ModeledLatencyService(
+                inner, virtual_clock, base_ms=config.model_latency_ms,
+                seed=config.seed + 20 + shard_id)
+        return wrap
+
+    def note_respawn(shard: int) -> None:
+        context.record_event(
+            "shard_respawned",
+            f"shard {shard} rebuilt from version "
+            f"{context.router.version}")
+
+    shed_phases: set = set()
+
+    def note_shed(shard: int) -> None:
+        if context.current_phase not in shed_phases:
+            shed_phases.add(context.current_phase)
+            context.record_event(
+                "shard_shed",
+                f"admission control began shedding on shard {shard}")
+
+    router = ShardRouter(
+        serving_model, version="v001",
+        config=ShardConfig(
+            num_shards=config.num_shards,
+            # Each shard owns an equal slice of the global queue
+            # budget: admission must trip when one shard's share is
+            # exhausted, not when the whole fleet's worth piles up on
+            # a single placement.
+            max_queue_depth=max(4, config.max_queue_depth
+                                // config.num_shards),
+            cache_size=config.cache_size,
+            seed=config.seed + 6),
+        resilience=resilience, metrics=context.metrics,
+        inline=config.virtual, clock=context.clock,
+        service_wrapper=shard_wrapper if config.virtual else None,
+        backlog_probe=context.driver.probe,
+        on_respawn=note_respawn, on_shed=note_shed)
+    context.router = router
+    context.handler = router.handle
+    context.breaker_watch.extend(router.breakers)
+    context.events.append({
+        "phase": "setup", "event": "shards_started",
+        "detail": f"{config.num_shards} shards serving v001 in "
+                  f"{'inline' if config.virtual else 'process'} mode"})
 
 
 def _attach_quality(context: ScenarioContext) -> None:
@@ -490,6 +571,44 @@ def _canary_surge_phases(c: LoadRunConfig) -> List[LoadPhase]:
     ]
 
 
+def _kill_shard_hook(context: ScenarioContext) -> None:
+    """Terminate one shard; the router must respawn it on demand."""
+    victim = 1 if context.router.num_shards > 1 else 0
+    context.router.kill_shard(victim)
+    context.record_event("shard_killed",
+                         f"shard {victim} terminated mid-phase")
+
+
+def _shard_soak_phases(c: LoadRunConfig) -> List[LoadPhase]:
+    # One full diurnal cycle squeezed into the phase.  The peak
+    # (base·(1+A)) deliberately exceeds the modeled single-timeline
+    # capacity so admission control must shed, while the cycle mean
+    # stays below it so the backlog fully drains in the trough and the
+    # closing steady phase is judged clean.
+    period = 2.0 * c.phase_duration_s
+    diurnal_base = 1.375 * c.rate
+    return [
+        LoadPhase("warmup", 0.25 * c.phase_duration_s, c.rate, slo=False),
+        LoadPhase("diurnal", period, diurnal_base,
+                  rate_profile=diurnal_rate(diurnal_base, amplitude=0.9,
+                                            period_s=period),
+                  profile_name="diurnal", slo=False),
+        LoadPhase("steady", c.phase_duration_s, c.rate),
+    ]
+
+
+def _shard_kill_phases(c: LoadRunConfig) -> List[LoadPhase]:
+    # Every phase counts toward the SLO: losing one shard of N must
+    # not break the tail because the router respawns it on the next
+    # request placed there (zero virtual-time cost, bounded wall cost).
+    return [
+        LoadPhase("steady", 0.5 * c.phase_duration_s, c.rate),
+        LoadPhase("kill", c.phase_duration_s, c.rate,
+                  on_enter=_kill_shard_hook),
+        LoadPhase("recovered", 0.5 * c.phase_duration_s, c.rate),
+    ]
+
+
 def _quality_drift_phases(c: LoadRunConfig) -> List[LoadPhase]:
     return [
         LoadPhase("baseline", 0.5 * c.phase_duration_s, c.rate),
@@ -532,6 +651,14 @@ SCENARIOS: Dict[str, Scenario] = {
                  "fire and roll the candidate back",
                  _quality_drift_phases, needs_registry=True,
                  needs_controller=True, attach_quality=True),
+        Scenario("shard_soak",
+                 "diurnal arrivals over N shards; admission sheds the "
+                 "peak, steady tail must be SLO-clean",
+                 _shard_soak_phases, needs_shards=True),
+        Scenario("shard_kill",
+                 "a shard dies mid-run; the router respawns it without "
+                 "breaking the SLO",
+                 _shard_kill_phases, needs_shards=True),
     ]
 }
 
@@ -580,22 +707,29 @@ def run_scenario(name: str, config: Optional[LoadRunConfig] = None,
                 "alarms": [alarm.to_dict() for alarm in monitor.alarms],
                 "verdict": "drift" if monitor.alarms else "stable",
             }
+        config_block = {
+            "base_rate_rps": config.rate,
+            "phase_duration_s": config.phase_duration_s,
+            "surge_factor": config.surge_factor,
+            "model_latency_ms": (config.model_latency_ms
+                                 if config.virtual else None),
+            "deadline_ms": config.deadline_ms,
+            "max_queue_depth": config.max_queue_depth,
+            "hidden_dim": config.hidden_dim,
+        }
+        shards_block = None
+        if context.router is not None:
+            # Key present only for sharded scenarios so earlier
+            # baselines keep their exact bytes.
+            config_block["num_shards"] = config.num_shards
+            shards_block = context.router.shard_stats()
         artifact = build_artifact(
             scenario=name, description=scenario.description,
             mode=config.mode, seed=config.seed,
-            config={
-                "base_rate_rps": config.rate,
-                "phase_duration_s": config.phase_duration_s,
-                "surge_factor": config.surge_factor,
-                "model_latency_ms": (config.model_latency_ms
-                                     if config.virtual else None),
-                "deadline_ms": config.deadline_ms,
-                "max_queue_depth": config.max_queue_depth,
-                "hidden_dim": config.hidden_dim,
-            },
+            config=config_block,
             phases=results, slo_policy=config.slo, registry=context.metrics,
             events=context.events, decisions=decisions,
-            quality=quality_block)
+            quality=quality_block, shards=shards_block)
         return ScenarioResult(scenario=name, artifact=artifact,
                               phases=results, context=context)
     finally:

@@ -1,0 +1,106 @@
+"""Registry-driven rollout control for the sharded serving tier.
+
+:class:`ShardDeploymentController` is the sharded sibling of
+:class:`~repro.deploy.DeploymentController`: versions come out of the
+same integrity-checked :class:`~repro.deploy.ModelRegistry`, rollout
+verdicts use the same :class:`~repro.deploy.RolloutPolicy` /
+:class:`~repro.deploy.RolloutDecision` vocabulary, and a promote still
+persists ACTIVE in the registry — but traffic moves through a
+:class:`~repro.serving_shard.ShardRouter`, so every action is a
+*broadcast* that each shard applies behind its in-flight work:
+
+* :meth:`swap` — load a version from the registry, broadcast its
+  weights to every shard, activate it in the registry once all shards
+  acked.  In-flight requests drain on the old version (FIFO queues);
+  nothing is dropped.
+* :meth:`start_canary` / :meth:`promote` / :meth:`rollback` — the
+  router splits traffic by the policy's canary fraction; promote makes
+  the candidate the primary lane everywhere *and* the version future
+  respawns boot with; rollback drains the candidate lane per shard and
+  reverts routing without touching the registry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..deploy.controller import RolloutDecision, RolloutPolicy
+from ..deploy.registry import ModelRegistry
+from .router import ShardRouter
+
+
+class ShardDeploymentController:
+    """Drives hot swaps and canary rollouts across a shard router."""
+
+    def __init__(self, registry: ModelRegistry, router: ShardRouter,
+                 policy: Optional[RolloutPolicy] = None):
+        self.registry = registry
+        self.router = router
+        self.policy = policy or RolloutPolicy()
+        self.candidate_version: Optional[str] = None
+        self.decisions: List[RolloutDecision] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def active_version(self) -> str:
+        """The version every shard's primary lane is serving."""
+        return self.router.version
+
+    def swap(self, ref: str) -> str:
+        """Hot-swap all shards to ``ref``; activates it in the registry.
+
+        The registry ACTIVE pointer moves only after every live shard
+        has acknowledged the new weights, so a crash mid-swap leaves
+        the registry pointing at a version the fleet actually serves.
+        """
+        model, manifest = self.registry.load(ref)
+        self.router.swap_to(manifest.version, model)
+        self.registry.activate(manifest.version)
+        return manifest.version
+
+    # ------------------------------------------------------------------
+    def start_canary(self, ref: str,
+                     fraction: Optional[float] = None) -> str:
+        """Install ``ref`` as the canary lane on every shard."""
+        if self.candidate_version is not None:
+            raise RuntimeError("a canary rollout is already in progress")
+        model, manifest = self.registry.load(ref)
+        self.router.start_canary(
+            manifest.version, model,
+            self.policy.canary_fraction if fraction is None else fraction)
+        self.candidate_version = manifest.version
+        return manifest.version
+
+    def promote(self, reason: str = "manual") -> RolloutDecision:
+        """Promote the canary to primary fleet-wide and persist ACTIVE."""
+        if self.candidate_version is None:
+            raise RuntimeError("no candidate to promote")
+        decision = self._decision("promote", reason)
+        self.router.stop_canary(promote=True)
+        self.registry.activate(self.candidate_version)
+        self.candidate_version = None
+        return decision
+
+    def rollback(self, reason: str = "manual") -> RolloutDecision:
+        """Drain and drop the canary lane; the primary keeps serving."""
+        if self.candidate_version is None:
+            raise RuntimeError("no candidate to roll back")
+        decision = self._decision("rollback", reason)
+        self.router.stop_canary(promote=False)
+        self.candidate_version = None
+        return decision
+
+    # ------------------------------------------------------------------
+    def _decision(self, action: str, reason: str) -> RolloutDecision:
+        stats = self.router.shard_stats()
+        candidate_requests = sum(entry["requests"] for entry in stats)
+        latencies = [entry["p99_ms"] for entry in stats
+                     if entry["requests"] > 0]
+        p99 = max(latencies) if latencies else 0.0
+        decision = RolloutDecision(
+            action=action, version=self.candidate_version or "",
+            reason=reason, candidate_requests=candidate_requests,
+            candidate_degraded_rate=0.0, candidate_latency_ms=p99,
+            primary_latency_ms=p99)
+        self.decisions.append(decision)
+        return decision

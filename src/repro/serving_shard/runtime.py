@@ -1,0 +1,351 @@
+"""Per-shard serving engine: one batched model stack per shard.
+
+A :class:`ShardRuntime` is everything one serving shard owns — rebuilt
+from plain data (model config dict + state-dict arrays) so the same
+class backs both deployment modes of the
+:class:`~repro.serving_shard.ShardRouter`:
+
+* **process mode** — :func:`shard_worker_main` constructs the runtime
+  *inside* the worker process from the spec message, so nothing built
+  in the router process (model, caches, buffer pools) is ever shared
+  through ``fork``;
+* **inline mode** — the router holds N runtimes in-process (the
+  deterministic virtual-clock path of the load scenarios); each enters
+  its own :func:`~repro.kernels.workspace_scope` around request work
+  so the fused kernels draw from per-shard scratch pools even on a
+  shared thread.
+
+Per shard, the stack is the full single-process serving story:
+:class:`~repro.service.RTPService` (own :class:`~repro.service.GraphCache`)
+under a :class:`~repro.service.MicroBatcher` (drained request messages
+flush as one padded batched forward), wrapped by
+:class:`~repro.deploy.ResilientRTPService` (deadline/breaker/fallback,
+fixed ``model_version`` stamp per installed version).  Hot model swap
+and canary install/stop arrive as queue messages; FIFO ordering is
+what makes a swap *drain* — every request enqueued before the swap
+message is answered by the old version, every one after by the new,
+and no request is ever dropped.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import M2G4RTP, M2G4RTPConfig
+from ..core.fallback import FallbackPredictor
+from ..deploy.resilience import ResilienceConfig, ResilientRTPService
+from ..kernels import Workspace, workspace_scope
+from ..obs import tracing
+from ..obs.propagate import worker_span_session
+from ..service import MicroBatcher, RTPService
+
+#: Exit code a worker uses for injected crashes (mirrors repro.parallel).
+CRASH_EXIT_CODE = 23
+
+#: Seconds a worker waits for a message before emitting a heartbeat.
+DEFAULT_HEARTBEAT_S = 0.25
+
+
+def build_model(model_config: Dict[str, object],
+                state: Dict[str, np.ndarray]) -> M2G4RTP:
+    """Rebuild an eval-mode model from its config dict + state dict.
+
+    This is the "weights distributed once per version" half of the
+    serving tier: the router serialises ``dataclasses.asdict(config)``
+    and ``model.state_dict()`` exactly once per version and broadcasts
+    them; every shard rebuilds locally.
+    """
+    model = M2G4RTP(M2G4RTPConfig(**model_config))
+    model.load_state_dict(state)
+    model.eval()
+    return model
+
+
+class _BatcherFrontend:
+    """Service facade routing every call through a :class:`MicroBatcher`.
+
+    ``handle_batch`` submits all members then flushes once, so a
+    drained multi-request message batch becomes a single padded
+    forward through :meth:`RTPService.handle_batch`.
+    """
+
+    def __init__(self, batcher: MicroBatcher):
+        self.batcher = batcher
+
+    def handle(self, request):
+        ticket = self.batcher.submit(request)
+        self.batcher.flush()
+        return ticket.result()
+
+    def handle_batch(self, requests: Sequence) -> List:
+        tickets = [self.batcher.submit(request) for request in requests]
+        self.batcher.flush()
+        return [ticket.result() for ticket in tickets]
+
+
+class SleepLatencyService:
+    """Wall-clock modeled-latency shim around an inner service.
+
+    The real tiny model's forward is a few CPU-bound milliseconds, so
+    on a small host N worker processes cannot beat one process on
+    compute alone.  Real serving cost is dominated by I/O-shaped time
+    (feature fetches, map services); this shim models it as a seeded
+    lognormal *sleep*, which overlaps across processes — the wall-mode
+    soak bench measures the sharded tier's actual concurrency win.
+    One cost is charged per call (batched or not), mirroring
+    :class:`~repro.load.clock.ModeledLatencyService`; unlike that
+    class this one is built *inside* the worker from plain spec data
+    (``sleep_latency_ms``), so it crosses the fork as numbers, not
+    closures.
+    """
+
+    def __init__(self, inner, base_ms: float, seed: int = 0,
+                 sigma: float = 0.25, sleeper=time.sleep):
+        self.inner = inner
+        self.base_ms = float(base_ms)
+        self.sigma = float(sigma)
+        self.sleeper = sleeper
+        self.rng = np.random.default_rng(seed)
+
+    def _charge(self) -> None:
+        jitter = float(self.rng.lognormal(mean=0.0, sigma=self.sigma))
+        self.sleeper(self.base_ms * jitter / 1000.0)
+
+    def handle(self, request):
+        self._charge()
+        return self.inner.handle(request)
+
+    def handle_batch(self, requests: Sequence) -> List:
+        self._charge()
+        return self.inner.handle_batch(list(requests))
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class _Lane:
+    """One installed model version: service + batcher + resilient wrap."""
+
+    def __init__(self, version: str, model: M2G4RTP, *,
+                 cache_size: int, max_batch_size: int,
+                 resilience: ResilienceConfig,
+                 fallback: FallbackPredictor,
+                 clock: Callable[[], float],
+                 service_wrapper: Optional[Callable] = None):
+        self.version = version
+        self.service = RTPService(model, cache_size=cache_size)
+        inner = (service_wrapper(self.service) if service_wrapper is not None
+                 else self.service)
+        self.batcher = MicroBatcher(inner, max_batch_size=max_batch_size,
+                                    max_wait_ms=0.0, clock=clock)
+        self.resilient = ResilientRTPService(
+            _BatcherFrontend(self.batcher), fallback=fallback,
+            config=resilience, batcher=self.batcher, version=version,
+            clock=clock)
+
+
+class ShardRuntime:
+    """The complete serving stack of one shard.
+
+    Parameters mirror what fits in a picklable spec message: the model
+    arrives as ``(model_config, state)`` plain data, never as a live
+    object.  ``service_wrapper`` (inline mode only — closures do not
+    cross process boundaries) wraps the inner service per lane, which
+    is how the load scenarios install fault injection and
+    modeled-latency shims per shard.
+    """
+
+    def __init__(self, shard_id: int, model_config: Dict[str, object],
+                 state: Dict[str, np.ndarray], version: str, *,
+                 resilience: Optional[ResilienceConfig] = None,
+                 cache_size: int = 32,
+                 max_batch_size: int = 8,
+                 clock: Callable[[], float] = time.perf_counter,
+                 service_wrapper: Optional[Callable] = None,
+                 sleep_latency_ms: float = 0.0):
+        self.shard_id = int(shard_id)
+        self.clock = clock
+        self.cache_size = cache_size
+        self.max_batch_size = max_batch_size
+        self.resilience = resilience or ResilienceConfig()
+        if service_wrapper is None and sleep_latency_ms > 0.0:
+            # Spec-data path for process workers: the shim is built here,
+            # post-fork, from plain numbers (see SleepLatencyService).
+            service_wrapper = (
+                lambda inner: SleepLatencyService(
+                    inner, sleep_latency_ms, seed=1000 + self.shard_id))
+        self.service_wrapper = service_wrapper
+        self.fallback = FallbackPredictor()
+        #: Per-shard scratch pool for the fused kernels; entered via
+        #: workspace_scope around every request so two inline shards
+        #: never alias buffers.
+        self.workspace = Workspace()
+        self.alive = True
+        self.requests = 0
+        self.swaps = 0
+        self.primary = self._make_lane(model_config, state, version)
+        self.candidate: Optional[_Lane] = None
+
+    # ------------------------------------------------------------------
+    def _make_lane(self, model_config: Dict[str, object],
+                   state: Dict[str, np.ndarray], version: str) -> _Lane:
+        return _Lane(version, build_model(model_config, state),
+                     cache_size=self.cache_size,
+                     max_batch_size=self.max_batch_size,
+                     resilience=self.resilience, fallback=self.fallback,
+                     clock=self.clock,
+                     service_wrapper=self.service_wrapper)
+
+    def _lane(self, name: str) -> _Lane:
+        if name == "candidate" and self.candidate is not None:
+            return self.candidate
+        return self.primary
+
+    # ------------------------------------------------------------------
+    # Message protocol (plain picklable tuples, repro.parallel style)
+    # ------------------------------------------------------------------
+    def process(self, message: Tuple) -> List[Tuple]:
+        """Handle one control or request message; returns replies."""
+        kind = message[0]
+        if kind == "request":
+            return self.process_requests([message])
+        if kind == "swap":
+            _, swap_id, version, model_config, state = message
+            self.primary = self._make_lane(model_config, state, version)
+            self.swaps += 1
+            return [("swapped", self.shard_id, swap_id, version)]
+        if kind == "canary_start":
+            _, version, model_config, state = message
+            self.candidate = self._make_lane(model_config, state, version)
+            return [("canary_ready", self.shard_id, version)]
+        if kind == "canary_stop":
+            _, promote = message
+            stopped = self.candidate.version if self.candidate else ""
+            if promote and self.candidate is not None:
+                self.primary = self.candidate
+                self.swaps += 1
+            self.candidate = None
+            return [("canary_stopped", self.shard_id, stopped,
+                     self.primary.version)]
+        if kind == "ping":
+            return [("pong", self.shard_id, message[1], self.stats())]
+        if kind == "crash":  # fault injection for respawn tests
+            os._exit(CRASH_EXIT_CODE)
+        raise ValueError(f"shard {self.shard_id}: unknown message "
+                         f"kind {kind!r}")
+
+    def process_requests(self, messages: Sequence[Tuple]) -> List[Tuple]:
+        """Serve a drained batch of request messages.
+
+        Messages are grouped by lane (primary vs canary candidate) and
+        each group flushes as one micro-batch; reply order matches
+        message order.  Worker-side spans are captured under a session
+        keyed by the first message that shipped a trace context and
+        returned with that message's reply (one flush serves many
+        traces; the router stitches the shipped tree under its own
+        dispatch span).
+        """
+        ctx_index = next((i for i, m in enumerate(messages)
+                          if m[4] is not None), 0)
+        session = worker_span_session(messages[ctx_index][4])
+        with session, workspace_scope(self.workspace):
+            with tracing.span("shard.serve", shard=self.shard_id,
+                              batch=len(messages)):
+                responses: Dict[int, object] = {}
+                groups: Dict[str, List[int]] = {"primary": [],
+                                                "candidate": []}
+                for index, message in enumerate(messages):
+                    lane = ("candidate" if (message[3] == "candidate"
+                                            and self.candidate is not None)
+                            else "primary")
+                    groups[lane].append(index)
+                for lane_name, indices in groups.items():
+                    if not indices:
+                        continue
+                    answers = self._lane(lane_name).resilient.handle_batch(
+                        [messages[i][2] for i in indices])
+                    for index, answer in zip(indices, answers):
+                        responses[index] = answer
+            spans = session.export()
+        self.requests += len(messages)
+        replies = []
+        for index, message in enumerate(messages):
+            shipped = spans if index == ctx_index else []
+            replies.append(("response", self.shard_id, message[1],
+                            responses[index], shipped))
+        return replies
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Plain-data snapshot of the shard's internal accounting."""
+        cache = self.primary.service.cache
+        return {
+            "shard": self.shard_id,
+            "pid": os.getpid(),
+            "version": self.primary.version,
+            "candidate": (self.candidate.version
+                          if self.candidate is not None else None),
+            "requests": self.requests,
+            "swaps": self.swaps,
+            "batches_flushed": self.primary.batcher.batches_flushed,
+            "requests_flushed": self.primary.batcher.requests_flushed,
+            "cache_hits": cache.hits if cache is not None else 0,
+            "cache_misses": cache.misses if cache is not None else 0,
+            "resilient": self.primary.resilient.snapshot(),
+        }
+
+
+def shard_worker_main(shard_id: int, spec: Dict[str, object],
+                      task_queue, result_queue) -> None:
+    """Entry point of one shard worker process.
+
+    Builds the runtime from the plain-data ``spec`` (model config,
+    state arrays, knobs) *after* the fork, announces readiness, then
+    loops: drain up to ``max_batch_size`` consecutive request messages
+    per wake-up (they flush as one padded batch), answer control
+    messages in arrival order, emit a heartbeat when idle.  ``stop``
+    exits the loop cleanly.
+    """
+    runtime = ShardRuntime(
+        shard_id, spec["model_config"], spec["state"], spec["version"],
+        resilience=spec.get("resilience"),
+        cache_size=spec.get("cache_size", 32),
+        max_batch_size=spec.get("max_batch_size", 8),
+        sleep_latency_ms=spec.get("sleep_latency_ms", 0.0))
+    heartbeat_s = spec.get("heartbeat_s", DEFAULT_HEARTBEAT_S)
+    result_queue.put(("ready", shard_id, os.getpid()))
+    held: Optional[Tuple] = None
+    while True:
+        if held is not None:
+            message, held = held, None
+        else:
+            try:
+                message = task_queue.get(timeout=heartbeat_s)
+            except queue.Empty:
+                result_queue.put(("heartbeat", shard_id, time.monotonic()))
+                continue
+        if message[0] == "stop":
+            result_queue.put(("stopped", shard_id))
+            return
+        if message[0] == "request":
+            batch = [message]
+            while len(batch) < runtime.max_batch_size:
+                try:
+                    nxt = task_queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt[0] == "request":
+                    batch.append(nxt)
+                else:
+                    held = nxt  # control messages keep FIFO order
+                    break
+            replies = runtime.process_requests(batch)
+        else:
+            replies = runtime.process(message)
+        for reply in replies:
+            result_queue.put(reply)
