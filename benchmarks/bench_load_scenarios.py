@@ -13,8 +13,9 @@ registry.
 standard 5-second phases.  Outcome assertions (surge sheds and
 recovers, the fault storm trips the breaker, checkpoint corruption is
 refused, the faulty canary rolls back, the silent quality drift raises
-an alarm and rolls back while every serving SLO stays green) hold in
-both modes.
+an alarm and rolls back, storm weather builds queueing, the continual
+drift retrains and canary-promotes a student, and every serving SLO
+stays green) hold in both modes.
 """
 
 from __future__ import annotations
@@ -91,6 +92,39 @@ def check_outcomes(result: ScenarioResult) -> None:
         assert sum(s["respawns"] for s in artifact["shards"]) >= 1
         assert result.passed and totals["degraded"] == 0, (
             "losing one shard of N must not break the SLO")
+    elif name == "weather_slowdown":
+        if artifact["mode"] == "virtual":
+            assert (phases["storm"]["service_ms"]["p99"]
+                    > phases["clear"]["service_ms"]["p99"]), (
+                "storm weather must inflate the modeled service time")
+            assert (phases["storm"]["latency_ms"]["p99"]
+                    > 2.0 * phases["clear"]["latency_ms"]["p99"]), (
+                "the weather-coupled slowdown must build visible queueing")
+        assert phases["clearing"]["degraded"]["total"] == 0, (
+            "light weather after the storm must serve cleanly")
+    elif name == "continual_drift":
+        events = [e["event"] for e in artifact["events"]]
+        for needed in ("label_shift", "drift_alarm",
+                       "online_retrain_started",
+                       "online_candidate_registered",
+                       "online_canary_started"):
+            assert needed in events, (
+                f"continual_drift: missing {needed!r} in the event log")
+        assert events.index("drift_alarm") < events.index(
+            "online_retrain_started") < events.index(
+            "online_candidate_registered") < events.index(
+            "online_canary_started"), (
+            "the loop must run alarm -> retrain -> register -> canary")
+        if artifact["mode"] == "virtual":
+            actions = [d["action"] for d in artifact["decisions"]]
+            assert actions == ["promote"], (
+                "the gated student must canary-promote exactly once")
+            by_version = artifact["quality"]["segments"]["model_version"]
+            parent, student = sorted(by_version)[:2]
+            assert (by_version[student]["eta_mae"]
+                    < 0.5 * by_version[parent]["eta_mae"]), (
+                "the promoted student must at least halve the parent's "
+                "windowed ETA MAE on the shifted stream")
 
 
 def run(smoke: bool = False, seed: int = 0) -> str:

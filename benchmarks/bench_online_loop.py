@@ -1,0 +1,149 @@
+"""Online continual-learning loop, end to end, with a pinned outcome.
+
+Drives the ``continual_drift`` load scenario — a persistent storm
+regime that both slows the modeled service *and* shifts every actual
+arrival by ``quality_shift_minutes`` (+ weather-coupled delays) — and
+asserts the full self-rollout arc:
+
+1. the quality stream raises drift alarms while serving SLOs stay
+   green (the shift is invisible to latency metrics);
+2. the :class:`repro.online.RetrainPolicy` arms on the alarm quorum,
+   waits for post-shift experiences, and triggers exactly one retrain;
+3. the :class:`repro.online.OnlineTrainer` fine-tunes the serving
+   parent on the experience window and registers the student with full
+   lineage (parent version, trigger, window span, gate verdict);
+4. the :class:`repro.online.AntiRegressionGate` passes the student on
+   the held-out slice, the student canaries, and the quality-gated
+   rollout policy promotes it on windowed ETA MAE;
+5. post-promotion the student's windowed ETA MAE on the shifted stream
+   is a fraction of the frozen parent's.
+
+The run is virtual-clock and bit-reproducible; the JSON artifact is
+schema-validated, reconciled against the live metrics registry, and
+written to ``benchmarks/results/load_continual_drift_smoke.json`` in
+smoke mode so ``check_regression.py`` pins the drift → retrain →
+promote event sequence against the blessed baseline.
+
+``--smoke`` is the CI-sized run (1-second nominal phases; the scenario
+floors them so the loop always completes); the default uses the
+standard 5-second phases.  A second pass with ``--closed-loop`` would
+hide the storm's queueing (coordinated omission) — the comparison mode
+lives in ``repro-rtp load --closed-loop``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from repro.load import (LoadRunConfig, reconcile_with_registry,
+                        run_scenario, validate_artifact, write_artifact)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: The (event) arc the loop must produce, in order.  ``drift_alarm``
+#: may repeat; the online_* milestones must each fire exactly once.
+PINNED_SEQUENCE = ("label_shift", "drift_alarm", "online_retrain_started",
+                   "online_candidate_registered", "online_canary_started")
+
+
+def check_loop_outcome(artifact: dict) -> None:
+    """The acceptance invariants of the continual-learning loop."""
+    events = [e["event"] for e in artifact["events"]]
+    cursor = -1
+    for needed in PINNED_SEQUENCE:
+        assert needed in events, f"missing {needed!r} in event log"
+        index = events.index(needed)
+        assert index > cursor, (
+            f"{needed!r} fired out of order: event log {events}")
+        cursor = index
+    for milestone in PINNED_SEQUENCE[2:]:
+        assert events.count(milestone) == 1, (
+            f"{milestone!r} must fire exactly once (cooldown/hysteresis)")
+
+    actions = [d["action"] for d in artifact["decisions"]]
+    assert actions == ["promote"], (
+        f"the student must canary-promote exactly once, got {actions}")
+    assert artifact["decisions"][0]["reason"].startswith("quality:"), (
+        "promotion must be the quality-gated verdict, not request count")
+
+    assert artifact["quality"]["verdict"] == "drift"
+    by_version = artifact["quality"]["segments"]["model_version"]
+    assert len(by_version) == 2, (
+        f"expected parent + student segments, got {sorted(by_version)}")
+    parent, student = sorted(by_version)
+    improvement = (by_version[student]["eta_mae"]
+                   / by_version[parent]["eta_mae"])
+    assert improvement < 0.5, (
+        f"student/parent windowed ETA MAE ratio {improvement:.3f} must "
+        f"be < 0.5 after adapting to the shift")
+
+    assert artifact["slo"]["passed"], (
+        "the label shift and retrain must never break serving SLOs")
+    assert artifact["totals"]["invalid_responses"] == 0
+
+
+def run(smoke: bool = False, seed: int = 0) -> str:
+    config = LoadRunConfig(
+        phase_duration_s=1.0 if smoke else 5.0, virtual=True, seed=seed)
+    result = run_scenario("continual_drift", config)
+    artifact = result.artifact
+    validate_artifact(artifact)
+    reconcile_with_registry(artifact, result.context.metrics)
+    check_loop_outcome(artifact)
+
+    suffix = "_smoke" if smoke else ""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_artifact(artifact,
+                   RESULTS_DIR / f"load_continual_drift{suffix}.json")
+
+    by_version = artifact["quality"]["segments"]["model_version"]
+    parent, student = sorted(by_version)
+    events = [e["event"] for e in artifact["events"]]
+    alarms = events.count("drift_alarm")
+    decision = artifact["decisions"][0]
+    lines = [
+        "Online continual-learning loop" + (" (smoke)" if smoke else ""),
+        f"  scenario continual_drift, clock {config.mode}, "
+        f"seed {config.seed}",
+        "",
+        f"  drift alarms raised         {alarms}",
+        f"  retrains triggered          {events.count('online_retrain_started')}",
+        f"  candidate                   {decision['version']} "
+        f"(parent {parent})",
+        f"  decision                    {decision['action']} — "
+        f"{decision['reason']}",
+        "",
+        "  windowed ETA MAE on the shifted stream:",
+        f"    frozen parent {parent:8s} "
+        f"{by_version[parent]['eta_mae']:8.1f} min "
+        f"({by_version[parent]['routes']:.0f} routes)",
+        f"    student       {student:8s} "
+        f"{by_version[student]['eta_mae']:8.1f} min "
+        f"({by_version[student]['routes']:.0f} routes)",
+        f"    ratio                    "
+        f"{by_version[student]['eta_mae'] / by_version[parent]['eta_mae']:8.3f}",
+        "",
+        "  serving SLO " + ("PASS" if artifact["slo"]["passed"] else "FAIL")
+        + f" (p99 {artifact['slo']['p99_ms']:.1f} ms on gated phases)",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized deterministic run")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    report = run(smoke=args.smoke, seed=args.seed)
+    suffix = "_smoke" if args.smoke else ""
+    out = RESULTS_DIR / f"online_loop{suffix}.txt"
+    out.write_text(report + "\n")
+    print(report)
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -474,6 +474,7 @@ def cmd_load(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline_ms,
         max_queue_depth=args.max_queue_depth,
         num_shards=args.shards,
+        closed_loop=args.closed_loop,
         slo=load_harness.SLOPolicy(
             p99_ms=args.slo_p99_ms,
             max_degraded_fraction=args.slo_max_degraded))
@@ -516,6 +517,71 @@ def cmd_load(args: argparse.Namespace) -> int:
     if args.enforce_slo and not slo["passed"]:
         return 1
     return 0
+
+
+def cmd_online(args: argparse.Namespace) -> int:
+    from . import load as load_harness
+    from .online import load_loop_state
+
+    registry_dir = Path(args.registry)
+
+    if args.online_action == "run":
+        _select_kernels(args)
+        config = load_harness.LoadRunConfig(
+            phase_duration_s=1.0 if args.smoke else args.duration,
+            seed=args.seed, virtual=args.mode != "wall")
+        result = load_harness.run_scenario(
+            "continual_drift", config, registry_dir=registry_dir)
+        artifact = result.artifact
+        for event in artifact["events"]:
+            print(f"event [{event['phase']}] {event['event']}: "
+                  f"{event['detail']}")
+        for decision in artifact["decisions"]:
+            print(f"decision: {decision['action']} {decision['version']} "
+                  f"({decision['reason']})")
+        result.context.online.persist()
+        status = result.context.online.status()
+        print(f"active version {status['active_version']}, "
+              f"{status['retrains']} retrain(s), "
+              f"{len(status['candidates'])} candidate(s)")
+        if args.out:
+            load_harness.write_artifact(artifact, Path(args.out))
+            print(f"wrote artifact to {args.out}")
+        return 0
+
+    if args.online_action == "status":
+        state = load_loop_state(registry_dir / "online_jobs")
+        if state is None:
+            print(f"no online-loop state under {registry_dir} "
+                  f"(run `repro-rtp online run --registry ...` first)")
+            return 1
+        buffer = state["buffer"]
+        print(f"active version   {state['active_version']}")
+        print(f"retrains         {state['retrains']}")
+        print(f"pending alarms   {state['pending_alarms']}")
+        print(f"experience buffer {buffer['window']} window / "
+              f"{buffer['reservoir']} reservoir "
+              f"({buffer['ingested']} ingested, {buffer['dropped']} dropped)")
+        registry = ModelRegistry(registry_dir)
+        for record in state["candidates"]:
+            gate = record["gate"]
+            verdict = ("canaried" if record["canaried"]
+                       else "rejected by gate")
+            print(f"  candidate {record['version']} "
+                  f"(job {record['job']}, parent {record['parent']}, "
+                  f"{record['trigger']}): {verdict}; "
+                  f"holdout mae {gate['student_mae']:.1f} vs parent "
+                  f"{gate['parent_mae']:.1f}")
+            manifest = registry.manifest(str(record["version"]))
+            if manifest.notes:
+                lineage = json.loads(manifest.notes)
+                print(f"    lineage: window {lineage['window_span']}, "
+                      f"{lineage['train_samples']} train / "
+                      f"{lineage['holdout_samples']} holdout, "
+                      f"trigger {lineage['trigger_reason']!r}")
+        return 0
+
+    raise ValueError(f"unknown online action {args.online_action!r}")
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -722,6 +788,10 @@ def build_parser() -> argparse.ArgumentParser:
     load_cmd.add_argument("--max-queue-depth", type=int, default=32)
     load_cmd.add_argument("--shards", type=int, default=2,
                           help="shard count for shard_* scenarios")
+    load_cmd.add_argument("--closed-loop", action="store_true",
+                          help="naive closed-loop generator instead of the "
+                               "open-loop schedule (coordinated-omission "
+                               "comparison mode)")
     load_cmd.add_argument("--slo-p99-ms", type=float, default=250.0)
     load_cmd.add_argument("--slo-max-degraded", type=float, default=0.2)
     load_cmd.add_argument("--enforce-slo", action="store_true",
@@ -731,6 +801,35 @@ def build_parser() -> argparse.ArgumentParser:
                           help="inference kernel backend (default: fused, "
                                "or the REPRO_KERNELS env var)")
     load_cmd.set_defaults(func=cmd_load)
+
+    online = sub.add_parser(
+        "online",
+        help="online continual-learning loop (repro.online)")
+    online_sub = online.add_subparsers(dest="online_action", required=True)
+    online_run = online_sub.add_parser(
+        "run", help="drive the continual_drift scenario: serve, drift, "
+                    "fine-tune, gate, canary-promote")
+    online_run.add_argument("--registry", required=True,
+                            help="model registry directory (created if "
+                                 "missing; loop state persists under "
+                                 "<registry>/online_jobs)")
+    online_run.add_argument("--seed", type=int, default=0)
+    online_run.add_argument("--duration", type=float, default=5.0,
+                            help="full-weight phase duration, s")
+    online_run.add_argument("--smoke", action="store_true",
+                            help="short deterministic run (1 s phases)")
+    online_run.add_argument("--mode", choices=["wall", "virtual"],
+                            default="virtual")
+    online_run.add_argument("--out", default=None, metavar="PATH",
+                            help="also write the JSON run artifact here")
+    online_run.add_argument("--kernels", choices=list(kernels.BACKENDS),
+                            default=None,
+                            help="inference kernel backend")
+    online_run.set_defaults(func=cmd_online)
+    online_status = online_sub.add_parser(
+        "status", help="inspect persisted loop state and candidate lineage")
+    online_status.add_argument("--registry", required=True)
+    online_status.set_defaults(func=cmd_online)
 
     info = sub.add_parser("info", help="summarise a CSV dataset")
     info.add_argument("--data", required=True)

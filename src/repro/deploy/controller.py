@@ -45,6 +45,14 @@ class RolloutPolicy:
     min_requests: int = 20           # candidate traffic before a verdict
     max_degraded_rate: float = 0.2   # candidate degraded share → rollback
     max_latency_ratio: float = 5.0   # candidate/primary mean latency cap
+    #: When set, the verdict also reads the ``rtp_quality_eta_mae``
+    #: gauges (``segment="model_version"``): promotion additionally
+    #: waits for ``min_quality_routes`` completed-route observations of
+    #: the candidate and rolls back if its windowed ETA MAE exceeds
+    #: ``max_quality_mae_ratio`` times the primary's.  ``None`` keeps
+    #: the latency/degraded-only verdict.
+    max_quality_mae_ratio: Optional[float] = None
+    min_quality_routes: int = 0      # candidate quality obs before verdict
 
     def __post_init__(self) -> None:
         if not 0.0 < self.canary_fraction <= 1.0:
@@ -55,6 +63,11 @@ class RolloutPolicy:
             raise ValueError("max_degraded_rate must be non-negative")
         if self.max_latency_ratio <= 0:
             raise ValueError("max_latency_ratio must be positive")
+        if (self.max_quality_mae_ratio is not None
+                and self.max_quality_mae_ratio <= 0):
+            raise ValueError("max_quality_mae_ratio must be positive")
+        if self.min_quality_routes < 0:
+            raise ValueError("min_quality_routes must be non-negative")
 
 
 @dataclasses.dataclass
@@ -360,6 +373,30 @@ class DeploymentController:
                 reason=f"latency {candidate_latency:.1f}ms > "
                        f"{self.policy.max_latency_ratio:.1f}x primary "
                        f"{primary_latency:.1f}ms")
+        if self.policy.max_quality_mae_ratio is not None:
+            routes = self._metric_value(
+                "rtp_quality_routes_total",
+                segment="model_version", key=version)
+            if routes < self.policy.min_quality_routes:
+                return None  # healthy, but quality evidence still thin
+            candidate_mae = self._metric_value(
+                "rtp_quality_eta_mae",
+                segment="model_version", key=version)
+            primary_mae = self._metric_value(
+                "rtp_quality_eta_mae",
+                segment="model_version", key=self.primary.version)
+            if (primary_mae > 0 and candidate_mae
+                    > self.policy.max_quality_mae_ratio * primary_mae):
+                return self.rollback(
+                    reason=f"quality: candidate eta mae "
+                           f"{candidate_mae:.1f} > "
+                           f"{self.policy.max_quality_mae_ratio:.2f}x "
+                           f"primary {primary_mae:.1f} over "
+                           f"{int(routes)} completed routes")
+            return self.promote(
+                reason=f"quality: candidate eta mae {candidate_mae:.1f} "
+                       f"vs primary {primary_mae:.1f} over "
+                       f"{int(routes)} completed routes")
         return self.promote(
             reason=f"healthy after {int(requests)} canary requests")
 

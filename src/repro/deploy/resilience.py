@@ -198,6 +198,7 @@ class ResilientRTPService:
         self._counts_lock = threading.Lock()
         self._latency_sum_ms = 0.0
         self._latency_count = 0
+        self._feedback = None
         self._registry = registry
         if registry is not None:
             self._m_requests = registry.counter(
@@ -250,6 +251,31 @@ class ResilientRTPService:
     def _stamp(self, response: RTPResponse) -> RTPResponse:
         response.model_version = self.version
         return response
+
+    # ------------------------------------------------------------------
+    # Ground-truth feedback (the online-learning data loop)
+    # ------------------------------------------------------------------
+    def attach_feedback(self, sink) -> None:
+        """Register a completed-route sink (e.g. ``OnlineLoop``).
+
+        ``sink`` needs an ``offer(request, response, actual_route,
+        actual_arrival_minutes) -> bool`` method; it must be bounded
+        and non-blocking, because :meth:`complete_route` is called from
+        the serving path.
+        """
+        self._feedback = sink
+
+    def complete_route(self, request: RTPRequest, response: RTPResponse,
+                       actual_route, actual_arrival_minutes) -> bool:
+        """Report a route's late ground truth to the feedback sink.
+
+        Returns ``True`` if a sink accepted the route (a bounded sink
+        may drop under backpressure; no sink attached means ``False``).
+        """
+        if self._feedback is None:
+            return False
+        return bool(self._feedback.offer(
+            request, response, actual_route, actual_arrival_minutes))
 
     # ------------------------------------------------------------------
     def handle(self, request: RTPRequest) -> RTPResponse:

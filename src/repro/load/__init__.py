@@ -11,10 +11,11 @@ stimuli.  The pieces:
   :class:`ModeledLatencyService` give a deterministic simulated-time
   fast path where breaker/deadline/shed dynamics are bit-reproducible;
 * :mod:`~repro.load.stream` — seeded request replay with traffic
-  mutators (GPS dropout, courier churn);
+  mutators (GPS dropout, courier churn, storm weather);
 * :mod:`~repro.load.scenarios` — the composable scenario library
   (steady, surge, courier_churn, gps_dropout, fault_storm,
-  checkpoint_corruption, canary_surge, shard_soak, shard_kill);
+  checkpoint_corruption, canary_surge, shard_soak, shard_kill,
+  weather_slowdown, continual_drift);
 * :mod:`~repro.load.artifact` — machine-readable JSON run artifacts
   with per-phase histograms, an SLO verdict, schema validation and
   metrics-registry reconciliation.
@@ -35,7 +36,7 @@ from .artifact import (
     validate_artifact,
     write_artifact,
 )
-from .clock import ModeledLatencyService, VirtualClock
+from .clock import WEATHER_SERVICE_SLOWDOWN, ModeledLatencyService, VirtualClock
 from .driver import (
     DEGRADED_REASONS,
     LOAD_LATENCY_BUCKETS,
@@ -48,6 +49,7 @@ from .driver import (
 )
 from .scenarios import (
     SCENARIOS,
+    WEATHER_ETA_DELAY,
     LoadRunConfig,
     Scenario,
     ScenarioContext,
@@ -61,6 +63,7 @@ from .stream import (
     build_instance_pool,
     courier_churn_mutator,
     gps_noise_mutator,
+    storm_weather_mutator,
 )
 
 __all__ = [
@@ -68,12 +71,13 @@ __all__ = [
     "ArtifactValidationError", "SLOPolicy", "build_artifact",
     "load_schema", "reconcile_shards", "reconcile_with_registry",
     "validate_artifact", "write_artifact",
-    "ModeledLatencyService", "VirtualClock",
+    "ModeledLatencyService", "VirtualClock", "WEATHER_SERVICE_SLOWDOWN",
+    "WEATHER_ETA_DELAY",
     "DEGRADED_REASONS", "LOAD_LATENCY_BUCKETS", "BacklogProbe",
     "LoadPhase", "OpenLoopDriver", "PhaseResult", "diurnal_rate",
     "percentile_summary",
     "SCENARIOS", "LoadRunConfig", "Scenario", "ScenarioContext",
     "ScenarioResult", "build_context", "run_scenario", "small_model",
     "RequestStream", "build_instance_pool", "courier_churn_mutator",
-    "gps_noise_mutator",
+    "gps_noise_mutator", "storm_weather_mutator",
 ]

@@ -165,6 +165,10 @@ def phase_to_json(phase: PhaseResult,
     }
     if phase.rate_profile != "constant":
         block["rate_profile"] = phase.rate_profile
+    if phase.loop != "open":
+        # Emitted only for closed-loop comparison runs so open-loop
+        # artifacts (and their checked-in baselines) keep their bytes.
+        block["loop"] = phase.loop
     return block
 
 

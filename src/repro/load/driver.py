@@ -163,6 +163,7 @@ class PhaseResult:
     duration_s: float
     slo: bool
     rate_profile: str = "constant"
+    loop: str = "open"       # "open" | "closed" (how arrivals were timed)
     requests: int = 0
     elapsed_s: float = 0.0
     latencies_ms: List[float] = dataclasses.field(default_factory=list)
@@ -223,17 +224,27 @@ class OpenLoopDriver:
         ``record(trace_id, payload)``); when tracing is enabled each
         request's payload is keyed by its ``load.request`` trace id, so
         a latency exemplar resolves back to the offending request.
+    closed_loop:
+        Comparison mode: issue requests back-to-back like a naive
+        closed-loop generator — the next request is only *scheduled*
+        after the previous response returns, and latency is measured
+        from issue time.  Under overload the generator self-throttles
+        and the measured latencies hide the queue; running the same
+        scenario both ways quantifies exactly the coordinated omission
+        the open-loop default exists to avoid.
     """
 
     def __init__(self, handler: Callable, *, scenario: str = "adhoc",
                  clock: Callable[[], float] = time.perf_counter,
                  sleeper: Callable[[float], None] = time.sleep,
                  registry: Optional[MetricsRegistry] = None,
-                 recorder=None):
+                 recorder=None,
+                 closed_loop: bool = False):
         self.handler = handler
         self.scenario = scenario
         self.clock = clock
         self.sleeper = sleeper
+        self.closed_loop = bool(closed_loop)
         self.backlog = 0
         self.probe = BacklogProbe(self)
         self.recorder = recorder
@@ -268,11 +279,13 @@ class OpenLoopDriver:
         """
         result = PhaseResult(name=phase.name, rate=phase.rate,
                              duration_s=phase.duration_s, slo=phase.slo,
-                             rate_profile=phase.profile_name)
+                             rate_profile=phase.profile_name,
+                             loop="closed" if self.closed_loop else "open")
         interval = 1.0 / phase.rate
         offsets = phase.arrival_offsets()
         count = phase.num_requests if offsets is None else len(offsets)
         start = self.clock()
+        next_due = start
         for index in range(count):
             if offsets is None:
                 scheduled = start + index * interval
@@ -280,27 +293,42 @@ class OpenLoopDriver:
             else:
                 scheduled = start + offsets[index]
                 instant_rate = phase.rate_profile(offsets[index])
+            if self.closed_loop:
+                # A closed-loop generator paces off its *own* progress:
+                # the next send waits for the previous response, so a
+                # slow server silently stretches the schedule.
+                scheduled = next_due
             now = self.clock()
             if now < scheduled:
                 self.sleeper(scheduled - now)
                 now = self.clock()
-            # Arrivals already due but not yet issued — the open-loop
-            # queue the admission controller sheds on.
-            self.backlog = int(max(0.0, now - scheduled) * instant_rate)
-            result.max_backlog = max(result.max_backlog, self.backlog)
+            if not self.closed_loop:
+                # Arrivals already due but not yet issued — the
+                # open-loop queue the admission controller sheds on.
+                # (A closed-loop generator by construction never has
+                # one; that blindness is what it is here to show.)
+                self.backlog = int(max(0.0, now - scheduled) * instant_rate)
+                result.max_backlog = max(result.max_backlog, self.backlog)
             request = next_request()
             issued = self.clock()
             with span("load.request", scenario=self.scenario,
                       phase=phase.name, index=index) as active:
                 response = self.handler(request)
             done = self.clock()
+            if self.closed_loop:
+                next_due = issued + 1.0 / instant_rate
+                # Measured from issue: exactly the coordinated-omission
+                # number — queueing delay never enters it.
+                latency_ms = (done - issued) * 1000.0
+            else:
+                latency_ms = (done - scheduled) * 1000.0
             trace_id = active.trace_id
             if self.recorder is not None and trace_id is not None:
                 self.recorder.record(trace_id, {
                     "phase": phase.name, "index": index,
                     "request": request, "response": response})
             self._record(result, phase, request, response,
-                         latency_ms=(done - scheduled) * 1000.0,
+                         latency_ms=latency_ms,
                          service_ms=(done - issued) * 1000.0,
                          trace_id=trace_id)
         self.backlog = 0

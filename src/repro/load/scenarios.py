@@ -33,6 +33,14 @@ phased, seeded traffic profile driven by the open-loop
 ``shard_kill``                a serving shard dies mid-run; the router
                               respawns it from current weights without
                               breaking the SLO
+``weather_slowdown``          a storm front inflates weather-coupled
+                              service times; shedding must track the
+                              weather, recovery as it clears
+``continual_drift``           a persistent storm regime shifts labels;
+                              the online continual-learning loop must
+                              alarm, fine-tune on the experience
+                              window, and canary-promote the student
+                              through the quality-gated verdict
 ============================  =========================================
 
 Runs are deterministic at a fixed seed in ``virtual`` mode (simulated
@@ -63,13 +71,23 @@ from ..obs.quality import (CompletedRoute, FlightRecorder,
                            PageHinkleyDetector, QualityMonitor,
                            ReferenceWindowDetector)
 from ..obs.tracing import current_trace_id
+from ..online import (AntiRegressionGate, ExperienceBuffer, OnlineLoop,
+                      OnlineLoopConfig, OnlineTrainer, OnlineTrainerConfig,
+                      RetrainPolicy, RetrainPolicyConfig)
 from ..service.rtp_service import RTPService
 from ..serving_shard import ShardConfig, ShardRouter
 from .artifact import SLOPolicy, build_artifact
-from .clock import ModeledLatencyService, VirtualClock
+from .clock import (WEATHER_SERVICE_SLOWDOWN, ModeledLatencyService,
+                    VirtualClock)
 from .driver import LoadPhase, OpenLoopDriver, PhaseResult, diurnal_rate
 from .stream import (RequestStream, build_instance_pool,
-                     courier_churn_mutator, gps_noise_mutator)
+                     courier_churn_mutator, gps_noise_mutator,
+                     storm_weather_mutator)
+
+#: Minutes of extra courier lateness per weather code when a scenario
+#: couples weather to the ground-truth label stream (storm deliveries
+#: run late even when the model's inputs say so too).
+WEATHER_ETA_DELAY = {0: 0.0, 1: 5.0, 2: 30.0, 3: 90.0}
 
 
 @dataclasses.dataclass
@@ -97,6 +115,9 @@ class LoadRunConfig:
     #: suddenly hours late) so the detectors separate the shifted
     #: stream from baseline variation by a wide deterministic margin.
     quality_shift_minutes: float = 480.0
+    #: Drive phases with a naive closed-loop generator instead of the
+    #: open-loop schedule (coordinated-omission comparison mode).
+    closed_loop: bool = False
     slo: SLOPolicy = dataclasses.field(default_factory=SLOPolicy)
 
     def __post_init__(self) -> None:
@@ -131,10 +152,14 @@ class ScenarioContext:
     current_phase: str = ""
     quality: Optional[QualityMonitor] = None
     recorder: Optional[FlightRecorder] = None
+    online: Optional[OnlineLoop] = None
     # Mutable cell so phase hooks can shift the ground-truth labels the
     # quality feed sees (the handler closure reads it per request).
     eta_shift: Dict[str, float] = dataclasses.field(
         default_factory=lambda: {"minutes": 0.0})
+    # Per-weather-code minutes added to actual arrivals when the
+    # scenario couples weather to the label stream (``None`` = off).
+    weather_delay: Optional[Dict[int, float]] = None
     _tempdir: Optional[tempfile.TemporaryDirectory] = None
 
     def breaker_opens(self) -> int:
@@ -164,6 +189,8 @@ class Scenario:
     needs_controller: bool = False  # route through DeploymentController
     attach_quality: bool = False    # feed a QualityMonitor ground truth
     needs_shards: bool = False      # route through a ShardRouter
+    attach_online: bool = False     # close the loop with an OnlineLoop
+    weather_coupled: bool = False   # weather slows service + shifts labels
 
 
 @dataclasses.dataclass
@@ -231,14 +258,17 @@ def build_context(scenario: Scenario, config: LoadRunConfig,
     # The driver exists before the services so its backlog probe can be
     # the admission-control signal; the handler is attached below.
     driver = OpenLoopDriver(None, scenario=scenario.name, clock=clock,
-                            sleeper=sleeper, registry=metrics)
+                            sleeper=sleeper, registry=metrics,
+                            closed_loop=config.closed_loop)
 
     def modeled(inner):
         if virtual_clock is None:
             return inner
         return ModeledLatencyService(
             inner, virtual_clock, base_ms=config.model_latency_ms,
-            seed=config.seed + 20)
+            seed=config.seed + 20,
+            weather_factors=(WEATHER_SERVICE_SLOWDOWN
+                             if scenario.weather_coupled else None))
 
     context = ScenarioContext(
         config=config, metrics=metrics, clock=clock, sleeper=sleeper,
@@ -293,9 +323,13 @@ def build_context(scenario: Scenario, config: LoadRunConfig,
         context.handler = resilient.handle
         context.breaker_watch.append(resilient.breaker)
 
+    if scenario.weather_coupled:
+        context.weather_delay = dict(WEATHER_ETA_DELAY)
     driver.handler = context.handler
     if scenario.attach_quality:
         _attach_quality(context)
+    if scenario.attach_online:
+        _attach_online(context)
     return context
 
 
@@ -400,6 +434,13 @@ def _attach_quality(context: ScenarioContext) -> None:
             f"{alarm.detector} on {alarm.metric}: statistic "
             f"{alarm.statistic:.1f} > {alarm.threshold:.1f} after "
             f"{alarm.observations} routes")
+        if context.online is not None:
+            # With an online loop attached, drift is the *retrain*
+            # signal (the loop subscribes separately); candidate
+            # safety comes from the quality-gated canary verdict, so
+            # the stream-level alarm must not yank the canary that is
+            # fixing the drift.
+            return
         if context.controller is not None:
             decision = context.controller.on_drift_alarm(alarm)
             if decision is not None:
@@ -414,8 +455,12 @@ def _attach_quality(context: ScenarioContext) -> None:
         instance = context.stream.last_instance
         if instance is not None and not getattr(response, "degraded",
                                                 False):
+            weather = int(getattr(request, "weather", instance.weather))
+            shift = context.eta_shift["minutes"]
+            if context.weather_delay is not None:
+                shift += context.weather_delay.get(weather, 0.0)
             actual = (np.asarray(instance.arrival_times, dtype=float)
-                      + context.eta_shift["minutes"])
+                      + shift)
             monitor.record(CompletedRoute(
                 predicted_route=[int(i) for i in response.route],
                 actual_route=[int(i) for i in instance.route],
@@ -423,16 +468,62 @@ def _attach_quality(context: ScenarioContext) -> None:
                                        for v in response.eta_minutes],
                 actual_arrival_minutes=actual,
                 labels={
-                    "weather": str(instance.weather),
+                    "weather": str(weather),
                     "courier": str(instance.courier.courier_id),
                     "model_version": str(
                         getattr(response, "model_version", "") or ""),
                 },
                 trace_id=current_trace_id()))
+            if context.online is not None and context.primary is not None:
+                # The serving façade feeds the completed route to the
+                # experience buffer; each request then gives the loop
+                # one chance to drain/retrain (synchronous, zero
+                # virtual time).
+                context.primary.complete_route(
+                    request, response, instance.route, actual)
+                context.online.tick()
         return response
 
     context.handler = handler
     context.driver.handler = handler
+
+
+def _attach_online(context: ScenarioContext) -> None:
+    """Close the data loop: buffer → policy → trainer → gate → canary.
+
+    The loop shares the scenario's registry, controller, metrics and
+    virtual clock.  The retrain policy is armed for exactly one
+    drift-triggered fine-tune per run (effectively infinite cooldown),
+    so the event sequence stays pinned; the controller's rollout
+    policy is tightened to require quality evidence before promoting,
+    which is what makes the canary verdict read the candidate's actual
+    windowed ETA MAE rather than just its latency health.
+    """
+    config = context.config
+    workdir = Path(context.registry.root) / "online_jobs"
+    buffer = ExperienceBuffer(
+        capacity=48, reservoir=8, max_pending=4 * config.max_queue_depth,
+        seed=config.seed + 30, metrics=context.metrics,
+        clock=context.clock)
+    trainer = OnlineTrainer(context.registry, workdir,
+                            OnlineTrainerConfig(),
+                            metrics=context.metrics)
+    policy = RetrainPolicy(RetrainPolicyConfig(
+        min_window=24, cooldown_s=1e9, min_new_samples=8,
+        post_alarm_samples=28))
+    loop = OnlineLoop(
+        context.registry, context.controller, buffer, trainer, policy,
+        AntiRegressionGate(),
+        OnlineLoopConfig(train_window=32, holdout_every=4),
+        metrics=context.metrics, clock=context.clock,
+        on_event=context.record_event)
+    if context.quality is not None:
+        loop.attach(context.quality)
+    context.online = loop
+    context.primary.attach_feedback(loop)
+    context.controller.policy = dataclasses.replace(
+        context.controller.policy,
+        max_quality_mae_ratio=0.95, min_quality_routes=8)
 
 
 # ----------------------------------------------------------------------
@@ -621,6 +712,62 @@ def _quality_drift_phases(c: LoadRunConfig) -> List[LoadPhase]:
     ]
 
 
+def _start_continual_shift_hook(context: ScenarioContext) -> None:
+    """A persistent regime change: couriers run hours late from here on.
+
+    Unlike ``quality_drift`` (a transient corruption that must roll a
+    candidate *back*), this shift never reverts — the only way to good
+    predictions again is for the online loop to learn it.
+    """
+    shift = context.config.quality_shift_minutes
+    context.eta_shift["minutes"] = shift
+    context.record_event(
+        "label_shift",
+        f"storm regime: actual arrivals shifted by {shift:.0f} minutes "
+        f"plus weather-coupled delays")
+
+
+def _continual_drift_phases(c: LoadRunConfig) -> List[LoadPhase]:
+    # Storm phases run at reduced demand (order volume drops in severe
+    # weather) so the weather-doubled service time stays just under
+    # saturation — the story here is prediction quality, not shedding.
+    storm = storm_weather_mutator()
+    storm_rate = 0.75 * c.rate
+    # The loop needs enough routes to fill the retrain window, ride out
+    # post-alarm arming and complete a canary; floor the phase length so
+    # short smoke configs still exercise the full drift->promote arc.
+    d = max(c.phase_duration_s, 2.5)
+    return [
+        LoadPhase("baseline", 0.5 * d, c.rate),
+        # The storm never clears and the lateness never reverts: the
+        # loop must alarm, fine-tune on the shifted window, and canary
+        # the student through the quality-gated verdict.  Excluded
+        # from the SLO verdict (canary split + slowed service path).
+        LoadPhase("storm_shift", 1.5 * d, storm_rate,
+                  on_enter=_start_continual_shift_hook, mutator=storm,
+                  slo=False),
+        # Post-promotion: the student serves the same shifted traffic;
+        # its windowed ETA MAE is the before/after comparison.
+        LoadPhase("adapted", 0.5 * d, storm_rate,
+                  mutator=storm, slo=False),
+    ]
+
+
+def _weather_slowdown_phases(c: LoadRunConfig) -> List[LoadPhase]:
+    # Storm weather doubles the modeled service time at unchanged
+    # demand: the arrival interval (25 ms at the default rate) drops
+    # below the storm-inflated cost (~30 ms), so the open-loop backlog
+    # grows and admission control must shed — load shape emerging from
+    # a *feature* of the traffic, not from a rate knob.
+    return [
+        LoadPhase("clear", 0.5 * c.phase_duration_s, c.rate),
+        LoadPhase("storm", c.phase_duration_s, c.rate,
+                  mutator=storm_weather_mutator(), slo=False),
+        LoadPhase("clearing", 0.5 * c.phase_duration_s, c.rate,
+                  mutator=storm_weather_mutator(severity=1)),
+    ]
+
+
 SCENARIOS: Dict[str, Scenario] = {
     scenario.name: scenario for scenario in [
         Scenario("steady",
@@ -659,6 +806,17 @@ SCENARIOS: Dict[str, Scenario] = {
                  "a shard dies mid-run; the router respawns it without "
                  "breaking the SLO",
                  _shard_kill_phases, needs_shards=True),
+        Scenario("weather_slowdown",
+                 "a storm front inflates weather-coupled service times; "
+                 "admission must shed the storm and recover as it clears",
+                 _weather_slowdown_phases, weather_coupled=True),
+        Scenario("continual_drift",
+                 "a persistent storm regime shifts the labels; the "
+                 "online loop must alarm, fine-tune on the window, and "
+                 "canary-promote the student",
+                 _continual_drift_phases, needs_registry=True,
+                 needs_controller=True, attach_quality=True,
+                 attach_online=True, weather_coupled=True),
     ]
 }
 
@@ -717,6 +875,10 @@ def run_scenario(name: str, config: Optional[LoadRunConfig] = None,
             "max_queue_depth": config.max_queue_depth,
             "hidden_dim": config.hidden_dim,
         }
+        if config.closed_loop:
+            # Key present only for comparison runs so earlier
+            # baselines keep their exact bytes.
+            config_block["closed_loop"] = True
         shards_block = None
         if context.router is not None:
             # Key present only for sharded scenarios so earlier

@@ -128,6 +128,31 @@ def courier_churn_mutator(id_offset: int = 100_000) -> RequestMutator:
     return mutate
 
 
+def storm_weather_mutator(severity: int = 3,
+                          coverage: float = 1.0) -> RequestMutator:
+    """A weather front: requests arrive under severe weather.
+
+    Each request's ``weather`` feature is raised to ``severity``
+    (simulator codes 0-3) with probability ``coverage``.  Downstream
+    this shifts the model's weather embedding input, inflates the
+    modeled service time when the scenario couples weather to latency
+    (:data:`~repro.load.clock.WEATHER_SERVICE_SLOWDOWN`), and marks
+    the affected traffic for the per-weather quality segments.
+    """
+    if not 0 <= severity <= 3:
+        raise ValueError("severity must be a weather code in [0, 3]")
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError("coverage must be in [0, 1]")
+
+    def mutate(request: RTPRequest,
+               rng: np.random.Generator) -> RTPRequest:
+        if coverage < 1.0 and float(rng.random()) >= coverage:
+            return request
+        return dataclasses.replace(request, weather=severity)
+
+    return mutate
+
+
 def build_instance_pool(world, num_instances: int,
                         seed: int = 0) -> List[RTPInstance]:
     """Sample a deterministic request pool from a synthetic world."""

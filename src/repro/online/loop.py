@@ -1,0 +1,281 @@
+"""The orchestrator that closes the data loop.
+
+``serve → quality → drift → retrain → registry → canary``:
+
+1. the serving path feeds completed routes into the
+   :class:`~repro.online.buffer.ExperienceBuffer` (:meth:`OnlineLoop.offer`);
+2. the :class:`~repro.obs.quality.QualityMonitor`'s drift alarms land in
+   the :class:`~repro.online.policy.RetrainPolicy`
+   (:meth:`OnlineLoop.attach`);
+3. :meth:`OnlineLoop.tick` — called between requests or on a timer —
+   drains the buffer and asks the policy whether to retrain;
+4. a triggered retrain shadow-trains a student from the **currently
+   active** parent via :class:`~repro.online.trainer.OnlineTrainer`,
+   judges it with the
+   :class:`~repro.online.policy.AntiRegressionGate` on a held-out
+   slice, and registers it in the
+   :class:`~repro.deploy.ModelRegistry` with lineage metadata (parent
+   version, window span, trigger) whether or not it passed;
+5. a gate-passing candidate is handed to the deployment controller
+   (:class:`~repro.deploy.DeploymentController` or
+   :class:`~repro.serving_shard.ShardDeploymentController`) as a
+   canary; the controller's own verdict — including the quality-gauge
+   comparison added for this loop — auto-promotes or auto-rolls-back.
+
+Everything is deterministic under an injected clock: events carry
+counts and versions, never wall timestamps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import span
+from .buffer import Experience, ExperienceBuffer
+from .policy import AntiRegressionGate, RetrainPolicy, RetrainTrigger
+from .trainer import OnlineTrainer
+
+STATE_FILE = "loop_state.json"
+
+
+@dataclasses.dataclass
+class OnlineLoopConfig:
+    """Orchestration knobs of :class:`OnlineLoop`."""
+
+    train_window: int = 32          # experiences per fine-tune
+    holdout_every: int = 4          # every k-th window sample is held out
+    frozen_holdout_size: int = 8    # first-ingested clean slice kept aside
+    canary_fraction: Optional[float] = None  # None -> controller default
+
+    def __post_init__(self) -> None:
+        if self.train_window < 2:
+            raise ValueError("train_window must be >= 2")
+        if self.holdout_every < 2:
+            raise ValueError("holdout_every must be >= 2")
+
+
+class OnlineLoop:
+    """Wires buffer, policy, trainer, gate, registry and controller."""
+
+    def __init__(self, registry, controller, buffer: ExperienceBuffer,
+                 trainer: OnlineTrainer, policy: RetrainPolicy,
+                 gate: Optional[AntiRegressionGate] = None,
+                 config: Optional[OnlineLoopConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 clock: Optional[Callable[[], float]] = None,
+                 on_event: Optional[Callable[[str, str], None]] = None):
+        self.registry = registry
+        self.controller = controller
+        self.buffer = buffer
+        self.trainer = trainer
+        self.policy = policy
+        self.gate = gate or AntiRegressionGate()
+        self.config = config or OnlineLoopConfig()
+        self.metrics = metrics
+        self.clock = clock
+        self.on_event = on_event
+        self.retrains = 0
+        self.candidates: List[Dict[str, object]] = []
+        self.frozen_holdout: List[Experience] = []
+        self._last_trigger: Optional[RetrainTrigger] = None
+        if metrics is not None:
+            self._m_retrains = metrics.counter(
+                "rtp_online_retrains_total",
+                "Fine-tune jobs started by the online loop",
+                labels=("trigger",))
+            self._m_candidates = metrics.counter(
+                "rtp_online_candidates_total",
+                "Fine-tuned candidates by gate/rollout outcome",
+                labels=("outcome",))
+            self._m_gate_ratio = metrics.gauge(
+                "rtp_online_gate_mae_ratio",
+                "student/parent held-out ETA MAE of the latest candidate")
+
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return float(self.clock()) if self.clock is not None else 0.0
+
+    def _event(self, event: str, detail: str) -> None:
+        if self.on_event is not None:
+            self.on_event(event, detail)
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+    def attach(self, monitor) -> None:
+        """Subscribe to a :class:`QualityMonitor`'s drift alarms."""
+        monitor.on_alarm(self.policy.note_alarm)
+
+    def offer(self, request, response, actual_route,
+              actual_arrival_minutes) -> bool:
+        """Feed one completed route from the serving path.
+
+        Degraded responses are skipped — the fallback's answer says
+        nothing about the model — and the bounded buffer may drop the
+        route under backpressure (counted, never blocking serving).
+        """
+        if getattr(response, "degraded", False):
+            return False
+        labels = {
+            "weather": str(request.weather),
+            "courier": str(request.courier.courier_id),
+            "model_version": str(
+                getattr(response, "model_version", "") or ""),
+        }
+        return self.buffer.offer(request, actual_route,
+                                 actual_arrival_minutes, labels=labels)
+
+    # ------------------------------------------------------------------
+    # The loop body
+    # ------------------------------------------------------------------
+    def tick(self) -> Optional[Dict[str, object]]:
+        """Drain feedback, maybe retrain; returns the retrain record."""
+        drained = self.buffer.drain()
+        if self.config.frozen_holdout_size > 0:
+            for experience in drained:
+                if len(self.frozen_holdout) \
+                        >= self.config.frozen_holdout_size:
+                    break
+                self.frozen_holdout.append(experience)
+        trigger = self.policy.should_retrain(
+            self._now(), window_size=len(self.buffer),
+            total_ingested=self.buffer.ingested)
+        if trigger is None:
+            return None
+        return self._retrain(trigger)
+
+    def _split(self) -> (List[Experience], List[Experience]):
+        """Deterministic train/holdout split of the training set."""
+        experiences = self.buffer.training_set(
+            limit=self.config.train_window)
+        train: List[Experience] = []
+        holdout: List[Experience] = []
+        for index, experience in enumerate(experiences):
+            if index % self.config.holdout_every \
+                    == self.config.holdout_every - 1:
+                holdout.append(experience)
+            else:
+                train.append(experience)
+        if not holdout and train:
+            holdout.append(train.pop())
+        return train, holdout
+
+    def _retrain(self, trigger: RetrainTrigger) -> Dict[str, object]:
+        parent = self.controller.active_version
+        job_id = f"ft{self.retrains:03d}"
+        self.retrains += 1
+        span_lo, span_hi = self.buffer.window_span()
+        self._event(
+            "online_retrain_started",
+            f"job {job_id} from {parent} on {trigger.kind}: "
+            f"{trigger.reason}")
+        if self.metrics is not None:
+            self._m_retrains.labels(trigger=trigger.kind).inc()
+        train, holdout = self._split()
+        with span("online.retrain", job=job_id, parent=parent,
+                  trigger=trigger.kind):
+            result = self.trainer.fine_tune(
+                parent, [e.instance for e in train], job_id=job_id)
+            parent_model, _ = self.registry.load(parent)
+            gate = self.gate.evaluate(
+                parent_model, result.model,
+                [e.instance for e in holdout],
+                trigger_kind=trigger.kind)
+        lineage = {
+            "parent": parent,
+            "trigger": trigger.kind,
+            "trigger_reason": trigger.reason,
+            "window_span": [span_lo, span_hi],
+            "train_samples": len(train),
+            "holdout_samples": len(holdout),
+            "job": job_id,
+            "gate_passed": gate.passed,
+        }
+        manifest = self.registry.register(
+            result.model,
+            created_at=f"online-{job_id}-of-{parent}",
+            metrics={
+                "fine_tune_loss": (result.losses[-1]
+                                   if result.losses else float("nan")),
+                "gate_parent_mae": gate.parent_mae,
+                "gate_student_mae": gate.student_mae,
+                "gate_mae_ratio": gate.mae_ratio,
+            },
+            notes=json.dumps(lineage, sort_keys=True))
+        self._event(
+            "online_candidate_registered",
+            f"{manifest.version} (parent {parent}, {trigger.kind}, "
+            f"window [{span_lo}, {span_hi}], {len(train)} train / "
+            f"{len(holdout)} holdout)")
+        if self.metrics is not None:
+            self._m_gate_ratio.set(
+                gate.mae_ratio if gate.mae_ratio != float("inf") else -1.0)
+        record: Dict[str, object] = {
+            "job": job_id, "version": manifest.version, "parent": parent,
+            "trigger": trigger.kind, "gate": dataclasses.asdict(gate),
+            "canaried": False,
+        }
+        if gate.passed:
+            version = self.controller.start_canary(
+                manifest.version, self.config.canary_fraction)
+            record["canaried"] = True
+            self._event(
+                "online_canary_started",
+                f"gate passed ({gate.reason}); candidate {version} "
+                f"canarying")
+            if self.metrics is not None:
+                self._m_candidates.labels(outcome="canaried").inc()
+        else:
+            self._event(
+                "online_candidate_rejected",
+                f"{manifest.version} blocked by anti-regression gate: "
+                f"{gate.reason}")
+            if self.metrics is not None:
+                self._m_candidates.labels(outcome="rejected").inc()
+        self.policy.note_retrained(self._now(), self.buffer.ingested)
+        self._last_trigger = trigger
+        self.candidates.append(record)
+        self._persist_state()
+        return record
+
+    # ------------------------------------------------------------------
+    # Inspection / durability
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        """Machine-readable loop state (the CLI renders this)."""
+        return {
+            "active_version": self.controller.active_version,
+            "buffer": self.buffer.stats(),
+            "retrains": self.retrains,
+            "pending_alarms": self.policy.pending_alarms,
+            "frozen_holdout": len(self.frozen_holdout),
+            "candidates": list(self.candidates),
+        }
+
+    def persist(self) -> None:
+        """Write the current :meth:`status` to the workdir state file."""
+        self._persist_state()
+
+    def _persist_state(self) -> None:
+        path = self.trainer.workdir / STATE_FILE
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.status(), handle, sort_keys=True, indent=2)
+
+    def snapshot(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Persist the buffer next to the job files (restart durability)."""
+        target = Path(path) if path is not None \
+            else self.trainer.workdir / "buffer.pkl"
+        return self.buffer.snapshot(target)
+
+
+def load_loop_state(workdir: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """Read the state file a loop persisted in ``workdir`` (or None)."""
+    path = Path(workdir) / STATE_FILE
+    if not path.exists():
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -90,6 +90,20 @@ class ShardDeploymentController:
         self.candidate_version = None
         return decision
 
+    def on_drift_alarm(self, alarm) -> Optional[RolloutDecision]:
+        """Roll back a canary on a quality-drift alarm (else no-op).
+
+        Same contract as
+        :meth:`~repro.deploy.DeploymentController.on_drift_alarm`: a
+        drifting quality stream during a canary drops the candidate
+        fleet-wide; outside a canary there is nothing to roll back.
+        """
+        if self.candidate_version is None:
+            return None
+        return self.rollback(reason=(
+            f"drift: {alarm.metric} {alarm.detector} statistic "
+            f"{alarm.statistic:.3f} > {alarm.threshold:.3f}"))
+
     # ------------------------------------------------------------------
     def _decision(self, action: str, reason: str) -> RolloutDecision:
         stats = self.router.shard_stats()

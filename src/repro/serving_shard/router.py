@@ -193,6 +193,7 @@ class ShardRouter:
         self.state = model.state_dict()
         self._candidate: Optional[Dict[str, object]] = None  # canary spec
         self._canary_fraction = 0.0
+        self._feedback = None
         self._rng = np.random.default_rng(self.config.seed)
         self._req_counter = 0
         self._lock = threading.Lock()
@@ -372,6 +373,23 @@ class ShardRouter:
                                              route_span)
             ticket = self._submit(shard, request, lane)
             return self._wait(ticket)
+
+    def attach_feedback(self, sink) -> None:
+        """Register a completed-route sink (e.g. ``OnlineLoop``).
+
+        Same contract as
+        :meth:`~repro.deploy.ResilientRTPService.attach_feedback`:
+        ``sink.offer(...)`` must be bounded and non-blocking.
+        """
+        self._feedback = sink
+
+    def complete_route(self, request, response, actual_route,
+                       actual_arrival_minutes) -> bool:
+        """Report a route's late ground truth to the feedback sink."""
+        if self._feedback is None:
+            return False
+        return bool(self._feedback.offer(
+            request, response, actual_route, actual_arrival_minutes))
 
     def submit(self, request) -> ShardTicket:
         """Pipelined submission (process mode): returns a ticket.

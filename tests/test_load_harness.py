@@ -259,7 +259,8 @@ class TestScenarios:
         assert set(SCENARIOS) == {
             "steady", "surge", "courier_churn", "gps_dropout",
             "fault_storm", "checkpoint_corruption", "canary_surge",
-            "quality_drift", "shard_soak", "shard_kill"}
+            "quality_drift", "shard_soak", "shard_kill",
+            "weather_slowdown", "continual_drift"}
 
     def test_surge_profile_composition(self):
         phases = SCENARIOS["surge"].build_phases(FAST)
