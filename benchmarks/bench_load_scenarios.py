@@ -125,6 +125,24 @@ def check_outcomes(result: ScenarioResult) -> None:
                     < 0.5 * by_version[parent]["eta_mae"]), (
                 "the promoted student must at least halve the parent's "
                 "windowed ETA MAE on the shifted stream")
+    elif name == "regime_cycle":
+        events = [e["event"] for e in artifact["events"]]
+        for needed in ("label_shift", "drift_alarm",
+                       "online_retrain_started", "regime_revert",
+                       "online_zoo_reactivated"):
+            assert needed in events, (
+                f"regime_cycle: missing {needed!r} in the event log")
+        assert events.index("regime_revert") < events.index(
+            "online_zoo_reactivated"), (
+            "the zoo swap must react to the regime reverting")
+        assert events.count("online_retrain_started") == 1, (
+            "the returning regime must reactivate the zoo entry, "
+            "not trigger a second retrain")
+        assert events.count("online_zoo_reactivated") == 1
+        if artifact["mode"] == "virtual":
+            actions = [d["action"] for d in artifact["decisions"]]
+            assert actions == ["promote"], (
+                "the storm student must canary-promote exactly once")
 
 
 def run(smoke: bool = False, seed: int = 0) -> str:

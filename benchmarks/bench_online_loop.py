@@ -13,16 +13,26 @@ asserts the full self-rollout arc:
    parent on the experience window and registers the student with full
    lineage (parent version, trigger, window span, gate verdict);
 4. the :class:`repro.online.AntiRegressionGate` passes the student on
-   the held-out slice, the student canaries, and the quality-gated
-   rollout policy promotes it on windowed ETA MAE;
+   the **mixture holdout** — the shifted window slice *and* the frozen
+   clean slice (replay fine-tuning keeps the clean-holdout MAE within
+   the forgetting budget) — the student canaries, and the
+   quality-gated rollout policy promotes it on windowed ETA MAE;
 5. post-promotion the student's windowed ETA MAE on the shifted stream
-   is a fraction of the frozen parent's.
+   is a fraction of the frozen parent's, while its clean-holdout MAE
+   stays within 1.5x of the parent's.
 
-The run is virtual-clock and bit-reproducible; the JSON artifact is
-schema-validated, reconciled against the live metrics registry, and
-written to ``benchmarks/results/load_continual_drift_smoke.json`` in
-smoke mode so ``check_regression.py`` pins the drift → retrain →
-promote event sequence against the blessed baseline.
+A second leg drives the ``regime_cycle`` scenario — the same storm
+arc, but the storm *clears* — and asserts the per-regime model zoo:
+the promoted storm student is swapped out for the original calm-regime
+model when the regime vote flips (``online_zoo_reactivated``), with no
+second retrain.
+
+Both runs are virtual-clock and bit-reproducible; the JSON artifacts
+are schema-validated, reconciled against the live metrics registry,
+and written to ``benchmarks/results/load_continual_drift_smoke.json``
+/ ``load_regime_cycle_smoke.json`` in smoke mode so
+``check_regression.py`` pins the drift → retrain → promote (→ revert →
+reactivate) event sequences against the blessed baselines.
 
 ``--smoke`` is the CI-sized run (1-second nominal phases; the scenario
 floors them so the loop always completes); the default uses the
@@ -45,6 +55,17 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 #: may repeat; the online_* milestones must each fire exactly once.
 PINNED_SEQUENCE = ("label_shift", "drift_alarm", "online_retrain_started",
                    "online_candidate_registered", "online_canary_started")
+
+#: The regime-cycle arc: the continual-drift milestones, then the
+#: storm clears and the zoo swaps the calm model back in — without a
+#: second retrain.
+PINNED_CYCLE = PINNED_SEQUENCE + ("regime_revert",
+                                  "online_zoo_reactivated")
+
+#: Forgetting budget: the promoted student's MAE on the frozen clean
+#: holdout may be at most this multiple of the frozen parent's (the
+#: gate's ``max_clean_regression_ratio`` default).
+CLEAN_BUDGET = 1.5
 
 
 def check_loop_outcome(artifact: dict) -> None:
@@ -83,25 +104,79 @@ def check_loop_outcome(artifact: dict) -> None:
     assert artifact["totals"]["invalid_responses"] == 0
 
 
+def check_forgetting_bounded(gate: dict) -> None:
+    """The mixture-gate verdict of the promoted student."""
+    assert gate["passed"], f"gate rejected the student: {gate['reason']}"
+    assert gate["clean_holdout_size"] > 0, (
+        "the gate must have scored a frozen clean slice")
+    assert gate["replay_samples"] > 0, (
+        "the fine-tune must have interleaved replay experiences")
+    ratio = gate["clean_student_mae"] / gate["clean_parent_mae"]
+    assert ratio <= CLEAN_BUDGET, (
+        f"clean-holdout MAE {gate['clean_student_mae']:.1f} vs parent "
+        f"{gate['clean_parent_mae']:.1f} (ratio {ratio:.2f}) exceeds the "
+        f"{CLEAN_BUDGET}x forgetting budget")
+
+
+def check_cycle_outcome(artifact: dict) -> None:
+    """The acceptance invariants of the regime-revert arc."""
+    events = [e["event"] for e in artifact["events"]]
+    cursor = -1
+    for needed in PINNED_CYCLE:
+        assert needed in events, f"missing {needed!r} in event log"
+        index = events.index(needed)
+        assert index > cursor, (
+            f"{needed!r} fired out of order: event log {events}")
+        cursor = index
+    assert events.count("online_retrain_started") == 1, (
+        "the returning regime must swap the zoo entry back in — a "
+        "second retrain means the zoo failed")
+    assert events.count("online_zoo_reactivated") == 1
+
+    actions = [d["action"] for d in artifact["decisions"]]
+    assert actions == ["promote"], (
+        f"the storm student must canary-promote exactly once, got {actions}")
+    assert artifact["slo"]["passed"], (
+        "the regime cycle must never break serving SLOs on gated phases")
+    assert artifact["totals"]["invalid_responses"] == 0
+
+
 def run(smoke: bool = False, seed: int = 0) -> str:
     config = LoadRunConfig(
         phase_duration_s=1.0 if smoke else 5.0, virtual=True, seed=seed)
+    suffix = "_smoke" if smoke else ""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
     result = run_scenario("continual_drift", config)
     artifact = result.artifact
     validate_artifact(artifact)
     reconcile_with_registry(artifact, result.context.metrics)
     check_loop_outcome(artifact)
-
-    suffix = "_smoke" if smoke else ""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    candidate = result.context.online.candidates[0]
+    gate = dict(candidate["gate"], replay_samples=candidate["replay_samples"])
+    check_forgetting_bounded(gate)
     write_artifact(artifact,
                    RESULTS_DIR / f"load_continual_drift{suffix}.json")
+
+    cycle = run_scenario("regime_cycle", config)
+    cycle_artifact = cycle.artifact
+    validate_artifact(cycle_artifact)
+    reconcile_with_registry(cycle_artifact, cycle.context.metrics)
+    check_cycle_outcome(cycle_artifact)
+    assert cycle.context.online.reactivations == 1
+    write_artifact(cycle_artifact,
+                   RESULTS_DIR / f"load_regime_cycle{suffix}.json")
 
     by_version = artifact["quality"]["segments"]["model_version"]
     parent, student = sorted(by_version)
     events = [e["event"] for e in artifact["events"]]
     alarms = events.count("drift_alarm")
     decision = artifact["decisions"][0]
+    cycle_events = [(e["phase"], e["event"])
+                    for e in cycle_artifact["events"]]
+    swap_phase = next(phase for phase, event in cycle_events
+                      if event == "online_zoo_reactivated")
+    zoo = cycle.context.online.zoo.mapping()
     lines = [
         "Online continual-learning loop" + (" (smoke)" if smoke else ""),
         f"  scenario continual_drift, clock {config.mode}, "
@@ -111,6 +186,7 @@ def run(smoke: bool = False, seed: int = 0) -> str:
         f"  retrains triggered          {events.count('online_retrain_started')}",
         f"  candidate                   {decision['version']} "
         f"(parent {parent})",
+        f"  replay samples interleaved  {gate['replay_samples']}",
         f"  decision                    {decision['action']} — "
         f"{decision['reason']}",
         "",
@@ -123,6 +199,22 @@ def run(smoke: bool = False, seed: int = 0) -> str:
         f"({by_version[student]['routes']:.0f} routes)",
         f"    ratio                    "
         f"{by_version[student]['eta_mae'] / by_version[parent]['eta_mae']:8.3f}",
+        "",
+        "  gate mixture holdout (forgetting budget "
+        f"{CLEAN_BUDGET:.1f}x):",
+        f"    clean slice   parent {gate['clean_parent_mae']:8.1f} min   "
+        f"student {gate['clean_student_mae']:8.1f} min   "
+        f"ratio {gate['clean_student_mae'] / gate['clean_parent_mae']:.3f}",
+        f"    shifted slice parent {gate['parent_mae']:8.1f} min   "
+        f"student {gate['student_mae']:8.1f} min   "
+        f"ratio {gate['mae_ratio']:.3f}",
+        "",
+        "  regime cycle (storm clears):",
+        f"    zoo entries               {len(zoo)} "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(zoo.items()))})",
+        f"    reactivations             "
+        f"{cycle.context.online.reactivations} "
+        f"(in phase {swap_phase!r}, no second retrain)",
         "",
         "  serving SLO " + ("PASS" if artifact["slo"]["passed"] else "FAIL")
         + f" (p99 {artifact['slo']['p99_ms']:.1f} ms on gated phases)",

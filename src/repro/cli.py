@@ -531,7 +531,7 @@ def cmd_online(args: argparse.Namespace) -> int:
             phase_duration_s=1.0 if args.smoke else args.duration,
             seed=args.seed, virtual=args.mode != "wall")
         result = load_harness.run_scenario(
-            "continual_drift", config, registry_dir=registry_dir)
+            args.scenario, config, registry_dir=registry_dir)
         artifact = result.artifact
         for event in artifact["events"]:
             print(f"event [{event['phase']}] {event['event']}: "
@@ -579,6 +579,38 @@ def cmd_online(args: argparse.Namespace) -> int:
                       f"{lineage['train_samples']} train / "
                       f"{lineage['holdout_samples']} holdout, "
                       f"trigger {lineage['trigger_reason']!r}")
+        return 0
+
+    if args.online_action == "zoo":
+        from .online.zoo import ModelZoo
+
+        if not registry_dir.exists():
+            print(f"no registry under {registry_dir} "
+                  f"(run `repro-rtp online run --registry ...` first)")
+            return 1
+        registry = ModelRegistry(registry_dir)
+        zoo = ModelZoo(registry)
+        zoo.refresh()
+        active = registry.active()
+        print(f"registry         {registry_dir}")
+        print(f"active version   {active or '(none)'}")
+        print(f"zoo entries      {len(zoo)}")
+        for regime in zoo.regimes():
+            version = zoo.version_for(regime)
+            manifest = registry.manifest(version)
+            marker = " (active)" if version == active else ""
+            line = f"  {regime:16s} -> {version}{marker}"
+            clean = manifest.metrics.get("gate_clean_mae_ratio")
+            shifted = manifest.metrics.get("gate_mae_ratio")
+            if shifted is not None:
+                line += f"  gate shifted ratio {shifted:.3f}"
+            if clean is not None:
+                line += f", clean ratio {clean:.3f}"
+            print(line)
+        untagged = [v for v in registry.versions()
+                    if not registry.manifest(v).regime]
+        if untagged:
+            print(f"untagged         {', '.join(sorted(untagged))}")
         return 0
 
     raise ValueError(f"unknown online action {args.online_action!r}")
@@ -807,12 +839,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="online continual-learning loop (repro.online)")
     online_sub = online.add_subparsers(dest="online_action", required=True)
     online_run = online_sub.add_parser(
-        "run", help="drive the continual_drift scenario: serve, drift, "
-                    "fine-tune, gate, canary-promote")
+        "run", help="drive a continual-learning scenario: serve, drift, "
+                    "fine-tune, gate, canary-promote (and, for "
+                    "regime_cycle, zoo-reactivate on regime return)")
     online_run.add_argument("--registry", required=True,
                             help="model registry directory (created if "
                                  "missing; loop state persists under "
                                  "<registry>/online_jobs)")
+    online_run.add_argument("--scenario",
+                            choices=["continual_drift", "regime_cycle"],
+                            default="continual_drift")
     online_run.add_argument("--seed", type=int, default=0)
     online_run.add_argument("--duration", type=float, default=5.0,
                             help="full-weight phase duration, s")
@@ -830,6 +866,11 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="inspect persisted loop state and candidate lineage")
     online_status.add_argument("--registry", required=True)
     online_status.set_defaults(func=cmd_online)
+    online_zoo = online_sub.add_parser(
+        "zoo", help="show the per-regime model zoo: which registered "
+                    "version serves each weather regime")
+    online_zoo.add_argument("--registry", required=True)
+    online_zoo.set_defaults(func=cmd_online)
 
     info = sub.add_parser("info", help="summarise a CSV dataset")
     info.add_argument("--data", required=True)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -140,7 +140,8 @@ class DeploymentController:
                  seed: int = 0,
                  clock: Callable[[], float] = time.perf_counter,
                  batcher=None,
-                 service_wrapper: Optional[Callable] = None):
+                 service_wrapper: Optional[Callable] = None,
+                 regime_of: Optional[Callable[[RTPRequest], str]] = None):
         self.registry = registry
         self.resilience = resilience or ResilienceConfig()
         self.policy = policy or RolloutPolicy()
@@ -165,6 +166,10 @@ class DeploymentController:
         self.shadow_stats = ShadowStats()
         self._canary_requests_base = 0.0
         self._canary_degraded_base = 0.0
+        if regime_of is None:
+            from ..online.zoo import regime_of_request as regime_of
+        self.regime_of = regime_of
+        self.regime_routes: Dict[str, ResilientRTPService] = {}
 
     # ------------------------------------------------------------------
     def _make_service(self, version: str,
@@ -222,6 +227,47 @@ class DeploymentController:
                 f"candidate {version!r} is already the serving primary; "
                 "register a new version to roll out")
         return version
+
+    def swap(self, ref: str) -> str:
+        """Hot-swap the primary to an already-registered version.
+
+        The model-zoo re-activation path: a *returning* regime swaps
+        back to the version that already knows it, with no canary (the
+        zoo only holds gate-approved versions) and no retrain.  Refused
+        mid-rollout — a swap under a live candidate would invalidate
+        the canary verdict's baselines.
+        """
+        version = self.registry.resolve(ref)
+        if version == self.primary.version:
+            return version
+        if self.candidate is not None:
+            raise RuntimeError(
+                "cannot swap the primary while a candidate is in flight")
+        self.primary = self._make_service(version)
+        self.registry.activate(version)
+        return version
+
+    # ------------------------------------------------------------------
+    # Regime-matched routing (model zoo)
+    # ------------------------------------------------------------------
+    def set_regime_route(self, regime: str, ref: str,
+                         fault_injector: Optional[FaultInjector] = None,
+                         ) -> str:
+        """Serve requests in ``regime`` from ``ref`` instead of ACTIVE.
+
+        Fallback stays the primary: requests whose regime has no route
+        (or whose routed version *is* the primary) are untouched, and
+        canary/shadow rollouts take precedence so a live experiment is
+        never starved of its traffic split.
+        """
+        version = self.registry.resolve(ref)
+        self.regime_routes[regime] = self._make_service(
+            version, fault_injector)
+        return version
+
+    def clear_regime_route(self, regime: str) -> bool:
+        """Drop one regime route; ``False`` if it wasn't set."""
+        return self.regime_routes.pop(regime, None) is not None
 
     def promote(self, reason: str = "manual") -> RolloutDecision:
         """Make the candidate the primary and persist it as ACTIVE."""
@@ -308,6 +354,10 @@ class DeploymentController:
             response = primary.handle(request)
             self._shadow(candidate, request, response)
             return response
+        if self.regime_routes:
+            service = self.regime_routes.get(self.regime_of(request))
+            if service is not None and service.version != primary.version:
+                return service.handle(request)
         return primary.handle(request)
 
     def _shadow(self, candidate: ResilientRTPService, request: RTPRequest,

@@ -84,6 +84,11 @@ class ModelManifest:
     metrics: Dict[str, float] = dataclasses.field(default_factory=dict)
     data_seed: Optional[int] = None
     notes: str = ""
+    #: Traffic regime this version specialises in (e.g. ``weather:calm``
+    #: / ``weather:storm``), keyed on the labels the experience buffer
+    #: carries.  Empty for regime-agnostic versions; the model zoo only
+    #: indexes tagged ones.
+    regime: str = ""
 
     def to_json(self) -> str:
         """Serialise as pretty-printed JSON."""
@@ -108,7 +113,8 @@ class ModelRegistry:
     def register(self, model: M2G4RTP, *, version: Optional[str] = None,
                  metrics: Optional[Dict[str, float]] = None,
                  data_seed: Optional[int] = None,
-                 created_at: str = "", notes: str = "") -> ModelManifest:
+                 created_at: str = "", notes: str = "",
+                 regime: str = "") -> ModelManifest:
         """Store ``model`` as a new version; returns its manifest.
 
         ``created_at`` is passed in by the caller (a timestamp string)
@@ -134,8 +140,22 @@ class ModelRegistry:
             metrics=dict(metrics or {}),
             data_seed=data_seed,
             notes=notes,
+            regime=regime,
         )
         _atomic_write_text(version_dir / MANIFEST_NAME, manifest.to_json())
+        return manifest
+
+    def tag_regime(self, version: str, regime: str) -> ModelManifest:
+        """Stamp (or re-stamp) a version's regime tag in place.
+
+        The checkpoint hash covers only the weights file, so rewriting
+        the manifest is safe; the write is atomic like registration.
+        """
+        version = self.resolve(version)
+        manifest = self.manifest(version)
+        manifest = dataclasses.replace(manifest, regime=str(regime))
+        _atomic_write_text(
+            self.root / version / MANIFEST_NAME, manifest.to_json())
         return manifest
 
     def _next_sequence(self) -> int:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import pickle
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
@@ -38,8 +39,11 @@ from ..obs.tracing import span
 from .buffer import Experience, ExperienceBuffer
 from .policy import AntiRegressionGate, RetrainPolicy, RetrainTrigger
 from .trainer import OnlineTrainer
+from .zoo import ModelZoo, majority_regime
 
 STATE_FILE = "loop_state.json"
+BUFFER_FILE = "buffer.pkl"
+HOLDOUT_FILE = "holdout.pkl"
 
 
 @dataclasses.dataclass
@@ -50,12 +54,21 @@ class OnlineLoopConfig:
     holdout_every: int = 4          # every k-th window sample is held out
     frozen_holdout_size: int = 8    # first-ingested clean slice kept aside
     canary_fraction: Optional[float] = None  # None -> controller default
+    #: Trailing window-slice length voted over to detect the *current*
+    #: regime for zoo re-activation; 0 disables regime switching.
+    regime_window: int = 12
+    #: Persist loop state (and the buffer/holdout snapshots) on every
+    #: emitted event, so a kill at any event boundary restarts from
+    #: :meth:`OnlineLoop.restore` without losing the in-flight retrain.
+    durable: bool = False
 
     def __post_init__(self) -> None:
         if self.train_window < 2:
             raise ValueError("train_window must be >= 2")
         if self.holdout_every < 2:
             raise ValueError("holdout_every must be >= 2")
+        if self.regime_window < 0:
+            raise ValueError("regime_window must be non-negative")
 
 
 class OnlineLoop:
@@ -67,7 +80,8 @@ class OnlineLoop:
                  config: Optional[OnlineLoopConfig] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  clock: Optional[Callable[[], float]] = None,
-                 on_event: Optional[Callable[[str, str], None]] = None):
+                 on_event: Optional[Callable[[str, str], None]] = None,
+                 zoo: Optional[ModelZoo] = None):
         self.registry = registry
         self.controller = controller
         self.buffer = buffer
@@ -78,10 +92,18 @@ class OnlineLoop:
         self.metrics = metrics
         self.clock = clock
         self.on_event = on_event
+        self.zoo = zoo if zoo is not None else ModelZoo(registry)
+        if clock is not None and getattr(policy, "clock", None) is None:
+            # Satellite of the same loop: the policy's cooldown must
+            # read the scenario clock, not the wall.
+            policy.clock = clock
         self.retrains = 0
+        self.reactivations = 0
         self.candidates: List[Dict[str, object]] = []
         self.frozen_holdout: List[Experience] = []
         self._last_trigger: Optional[RetrainTrigger] = None
+        self._baseline_regime_tagged = False
+        self._zoo_scanned = False
         if metrics is not None:
             self._m_retrains = metrics.counter(
                 "rtp_online_retrains_total",
@@ -94,12 +116,25 @@ class OnlineLoop:
             self._m_gate_ratio = metrics.gauge(
                 "rtp_online_gate_mae_ratio",
                 "student/parent held-out ETA MAE of the latest candidate")
+            self._m_clean_ratio = metrics.gauge(
+                "rtp_online_gate_clean_mae_ratio",
+                "student/parent frozen clean-holdout ETA MAE of the "
+                "latest candidate")
+            self._m_reactivations = metrics.counter(
+                "rtp_online_zoo_reactivations_total",
+                "Regime returns served from the model zoo (no retrain)",
+                labels=("regime",))
 
     # ------------------------------------------------------------------
     def _now(self) -> float:
         return float(self.clock()) if self.clock is not None else 0.0
 
     def _event(self, event: str, detail: str) -> None:
+        # Persist-then-notify: when the loop is durable, a kill at any
+        # event boundary finds state on disk that already includes the
+        # work that produced the event.
+        if self.config.durable:
+            self._persist_state()
         if self.on_event is not None:
             self.on_event(event, detail)
 
@@ -107,8 +142,19 @@ class OnlineLoop:
     # Inputs
     # ------------------------------------------------------------------
     def attach(self, monitor) -> None:
-        """Subscribe to a :class:`QualityMonitor`'s drift alarms."""
-        monitor.on_alarm(self.policy.note_alarm)
+        """Subscribe to a :class:`QualityMonitor`'s drift alarms.
+
+        A durable loop persists its state right after noting the alarm,
+        so a crash at the alarm boundary restarts with the pending
+        quorum intact (the monitor itself restarts cold and may never
+        re-alarm on an already-shifted stream).
+        """
+        def _note(alarm) -> None:
+            self.policy.note_alarm(alarm)
+            if self.config.durable:
+                self._persist_state()
+
+        monitor.on_alarm(_note)
 
     def offer(self, request, response, actual_route,
               actual_arrival_minutes) -> bool:
@@ -133,7 +179,7 @@ class OnlineLoop:
     # The loop body
     # ------------------------------------------------------------------
     def tick(self) -> Optional[Dict[str, object]]:
-        """Drain feedback, maybe retrain; returns the retrain record."""
+        """Drain feedback, maybe swap or retrain; returns the record."""
         drained = self.buffer.drain()
         if self.config.frozen_holdout_size > 0:
             for experience in drained:
@@ -141,12 +187,92 @@ class OnlineLoop:
                         >= self.config.frozen_holdout_size:
                     break
                 self.frozen_holdout.append(experience)
+            if (not self._baseline_regime_tagged
+                    and len(self.frozen_holdout)
+                    >= self.config.frozen_holdout_size):
+                self._tag_baseline_regime()
+        if self._maybe_reactivate() is not None:
+            return None
         trigger = self.policy.should_retrain(
             self._now(), window_size=len(self.buffer),
             total_ingested=self.buffer.ingested)
         if trigger is None:
             return None
         return self._retrain(trigger)
+
+    # ------------------------------------------------------------------
+    # Regime zoo
+    # ------------------------------------------------------------------
+    def _tag_baseline_regime(self) -> None:
+        """Stamp the serving parent with the clean slice's regime, so a
+        later regime *return* can re-activate it from the zoo."""
+        self._baseline_regime_tagged = True
+        regime = majority_regime(self.frozen_holdout)
+        if regime is None or not hasattr(self.registry, "tag_regime"):
+            return
+        active = self.controller.active_version
+        try:
+            if not (self.registry.manifest(active).regime or ""):
+                self.registry.tag_regime(active, regime)
+        except Exception:
+            return
+        self.zoo.refresh()
+        self._zoo_scanned = True
+
+    def _candidate_in_flight(self) -> bool:
+        return (getattr(self.controller, "candidate", None) is not None
+                or getattr(self.controller, "candidate_version", None)
+                is not None)
+
+    def _maybe_reactivate(self) -> Optional[str]:
+        """Serve a *returning* regime from the zoo instead of retraining.
+
+        Votes over the trailing ``regime_window`` slice of the live
+        window; when a strict majority disagrees with the active
+        version's regime tag and the zoo holds a gate-approved version
+        for it, the controller hot-swaps to that version — no
+        fine-tune, no forgetting, and the drift alarms the regime
+        change raised are cleared as served.
+        """
+        cfg = self.config
+        if cfg.regime_window <= 0:
+            return None
+        if not self._zoo_scanned:
+            self.zoo.refresh()
+            self._zoo_scanned = True
+        if len(self.zoo) == 0:
+            return None
+        if not hasattr(self.controller, "swap"):
+            return None
+        if self._candidate_in_flight():
+            return None
+        window = self.buffer.window()
+        if len(window) < cfg.regime_window:
+            return None
+        current = majority_regime(window[-cfg.regime_window:])
+        if current is None:
+            return None
+        active = self.controller.active_version
+        try:
+            active_regime = self.registry.manifest(active).regime or ""
+        except Exception:
+            return None
+        if not active_regime or current == active_regime:
+            return None
+        version = self.zoo.version_for(current)
+        if version is None or version == active:
+            return None
+        self.controller.swap(version)
+        self.reactivations += 1
+        self.policy.note_regime_swap()
+        if self.metrics is not None:
+            self._m_reactivations.labels(regime=current).inc()
+        self._event(
+            "online_zoo_reactivated",
+            f"regime {current} returned: {version} re-activated from "
+            f"the zoo (was {active} [{active_regime}], no retrain)")
+        self._persist_state()
+        return version
 
     def _split(self) -> (List[Experience], List[Experience]):
         """Deterministic train/holdout split of the training set."""
@@ -176,15 +302,26 @@ class OnlineLoop:
         if self.metrics is not None:
             self._m_retrains.labels(trigger=trigger.kind).inc()
         train, holdout = self._split()
+        holdout_seqs = {e.seq for e in self.frozen_holdout}
+        # Pre-shift rehearsal pool: the reservoir tail, minus anything
+        # the frozen clean holdout will judge on (never train on the
+        # exam) and anything already in the training window.
+        window_seqs = {e.seq for e in train} | {e.seq for e in holdout}
+        replay_pool = [e for e in self.buffer.reservoir()
+                       if e.seq not in holdout_seqs
+                       and e.seq not in window_seqs]
         with span("online.retrain", job=job_id, parent=parent,
                   trigger=trigger.kind):
             result = self.trainer.fine_tune(
-                parent, [e.instance for e in train], job_id=job_id)
+                parent, [e.instance for e in train], job_id=job_id,
+                replay=[e.instance for e in replay_pool])
             parent_model, _ = self.registry.load(parent)
             gate = self.gate.evaluate(
                 parent_model, result.model,
                 [e.instance for e in holdout],
-                trigger_kind=trigger.kind)
+                trigger_kind=trigger.kind,
+                clean_holdout=[e.instance for e in self.frozen_holdout])
+        regime = majority_regime(train) or ""
         lineage = {
             "parent": parent,
             "trigger": trigger.kind,
@@ -192,20 +329,32 @@ class OnlineLoop:
             "window_span": [span_lo, span_hi],
             "train_samples": len(train),
             "holdout_samples": len(holdout),
+            "replay_samples": result.replay_samples,
+            "clean_holdout_samples": gate.clean_holdout_size,
+            "regime": regime,
             "job": job_id,
             "gate_passed": gate.passed,
         }
-        manifest = self.registry.register(
-            result.model,
-            created_at=f"online-{job_id}-of-{parent}",
-            metrics={
-                "fine_tune_loss": (result.losses[-1]
-                                   if result.losses else float("nan")),
-                "gate_parent_mae": gate.parent_mae,
-                "gate_student_mae": gate.student_mae,
-                "gate_mae_ratio": gate.mae_ratio,
-            },
-            notes=json.dumps(lineage, sort_keys=True))
+        marker = f"online-{job_id}-of-{parent}"
+        manifest = self._find_registered(marker)
+        if manifest is None:
+            manifest = self.registry.register(
+                result.model,
+                created_at=marker,
+                metrics={
+                    "fine_tune_loss": (result.losses[-1]
+                                       if result.losses else float("nan")),
+                    "gate_parent_mae": gate.parent_mae,
+                    "gate_student_mae": gate.student_mae,
+                    "gate_mae_ratio": gate.mae_ratio,
+                    "gate_clean_parent_mae": gate.clean_parent_mae,
+                    "gate_clean_student_mae": gate.clean_student_mae,
+                    "gate_clean_mae_ratio": gate.clean_mae_ratio,
+                },
+                notes=json.dumps(lineage, sort_keys=True),
+                regime=regime)
+        self.zoo.refresh()
+        self._zoo_scanned = True
         self._event(
             "online_candidate_registered",
             f"{manifest.version} (parent {parent}, {trigger.kind}, "
@@ -214,9 +363,15 @@ class OnlineLoop:
         if self.metrics is not None:
             self._m_gate_ratio.set(
                 gate.mae_ratio if gate.mae_ratio != float("inf") else -1.0)
+            if gate.clean_holdout_size:
+                self._m_clean_ratio.set(
+                    gate.clean_mae_ratio
+                    if gate.clean_mae_ratio != float("inf") else -1.0)
         record: Dict[str, object] = {
             "job": job_id, "version": manifest.version, "parent": parent,
-            "trigger": trigger.kind, "gate": dataclasses.asdict(gate),
+            "trigger": trigger.kind, "regime": regime,
+            "replay_samples": result.replay_samples,
+            "gate": dataclasses.asdict(gate),
             "canaried": False,
         }
         if gate.passed:
@@ -242,6 +397,23 @@ class OnlineLoop:
         self._persist_state()
         return record
 
+    def _find_registered(self, marker: str):
+        """Find a version this loop already registered under ``marker``.
+
+        Registration is keyed on the deterministic ``created_at``
+        marker so a retrain replayed after a kill/restart *reuses* the
+        version it registered before dying instead of minting a
+        duplicate.
+        """
+        try:
+            for version in self.registry.versions():
+                manifest = self.registry.manifest(version)
+                if manifest.created_at == marker:
+                    return manifest
+        except Exception:
+            return None
+        return None
+
     # ------------------------------------------------------------------
     # Inspection / durability
     # ------------------------------------------------------------------
@@ -251,8 +423,13 @@ class OnlineLoop:
             "active_version": self.controller.active_version,
             "buffer": self.buffer.stats(),
             "retrains": self.retrains,
+            "reactivations": self.reactivations,
             "pending_alarms": self.policy.pending_alarms,
             "frozen_holdout": len(self.frozen_holdout),
+            "baseline_regime_tagged": self._baseline_regime_tagged,
+            "zoo": self.zoo.mapping(),
+            "policy": self.policy.state_dict()
+            if hasattr(self.policy, "state_dict") else {},
             "candidates": list(self.candidates),
         }
 
@@ -264,12 +441,54 @@ class OnlineLoop:
         path = self.trainer.workdir / STATE_FILE
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.status(), handle, sort_keys=True, indent=2)
+        if self.config.durable:
+            self.snapshot()
 
     def snapshot(self, path: Optional[Union[str, Path]] = None) -> Path:
-        """Persist the buffer next to the job files (restart durability)."""
+        """Persist the buffer (and frozen holdout) for restart durability."""
         target = Path(path) if path is not None \
-            else self.trainer.workdir / "buffer.pkl"
-        return self.buffer.snapshot(target)
+            else self.trainer.workdir / BUFFER_FILE
+        result = self.buffer.snapshot(target)
+        if path is None:
+            with open(self.trainer.workdir / HOLDOUT_FILE, "wb") as handle:
+                pickle.dump(self.frozen_holdout, handle)
+        return result
+
+    def restore(self) -> bool:
+        """Rehydrate from a previous incarnation's workdir.
+
+        Reads ``loop_state.json`` plus the buffer/holdout snapshots a
+        durable loop wrote at every event boundary.  A retrain that was
+        started but whose record never landed in ``candidates`` (the
+        process died mid-flight) is re-run under its **original** job
+        id, so the trainer resumes its checkpoint and the registration
+        marker dedupes — the replayed arc promotes exactly once.
+        """
+        state = load_loop_state(self.trainer.workdir)
+        if state is None:
+            return False
+        self.candidates = list(state.get("candidates", []))
+        self.retrains = len(self.candidates)
+        self.reactivations = int(state.get("reactivations", 0))
+        self._baseline_regime_tagged = bool(
+            state.get("baseline_regime_tagged", False))
+        policy_state = state.get("policy")
+        if isinstance(policy_state, dict) and policy_state \
+                and hasattr(self.policy, "load_state_dict"):
+            self.policy.load_state_dict(policy_state)
+        buffer_path = self.trainer.workdir / BUFFER_FILE
+        if buffer_path.exists():
+            self.buffer.restore(buffer_path)
+        holdout_path = self.trainer.workdir / HOLDOUT_FILE
+        if holdout_path.exists():
+            with open(holdout_path, "rb") as handle:
+                self.frozen_holdout = pickle.load(handle)
+        try:
+            self.zoo.refresh()
+            self._zoo_scanned = True
+        except Exception:
+            pass
+        return True
 
 
 def load_loop_state(workdir: Union[str, Path]) -> Optional[Dict[str, object]]:

@@ -30,7 +30,8 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import List, Optional, Sequence
+import types
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -77,26 +78,51 @@ class RetrainPolicyConfig:
 
 
 class RetrainPolicy:
-    """Decides *when* the online loop fine-tunes (never *what ships*)."""
+    """Decides *when* the online loop fine-tunes (never *what ships*).
 
-    def __init__(self, config: Optional[RetrainPolicyConfig] = None):
+    ``clock`` is the scenario's time source (a :class:`VirtualClock`
+    under deterministic replay, ``time.monotonic``-like otherwise).
+    Cooldown and schedule arithmetic read it whenever a call site does
+    not pass ``now`` explicitly, so the same scenario produces the same
+    trigger sequence at any host speed.
+    """
+
+    def __init__(self, config: Optional[RetrainPolicyConfig] = None,
+                 clock: Optional[Callable[[], float]] = None):
         self.config = config or RetrainPolicyConfig()
+        self.clock = clock
         self._pending_alarms: List[object] = []
         self._last_retrain_at: Optional[float] = None
         self._samples_at_last_retrain = 0
         self._alarm_armed_at: Optional[int] = None
         self._retrains = 0
 
+    def _time(self, now: Optional[float]) -> float:
+        if now is not None:
+            return float(now)
+        if self.clock is not None:
+            return float(self.clock())
+        return 0.0
+
     # ------------------------------------------------------------------
     def note_alarm(self, alarm) -> None:
         """Record one drift alarm (idempotent damping happens later)."""
         self._pending_alarms.append(alarm)
 
-    def note_retrained(self, now: float, total_ingested: int) -> None:
+    def note_retrained(self, now: Optional[float] = None,
+                       total_ingested: int = 0) -> None:
         """A retrain ran: start the cooldown and clear pending alarms."""
         self._retrains += 1
-        self._last_retrain_at = float(now)
+        self._last_retrain_at = self._time(now)
         self._samples_at_last_retrain = int(total_ingested)
+        self._pending_alarms.clear()
+        self._alarm_armed_at = None
+
+    def note_regime_swap(self) -> None:
+        """A zoo re-activation absorbed the regime change without a
+        retrain: the drift pressure those alarms signalled is served, so
+        clear them rather than let a stale quorum trigger a pointless
+        fine-tune on the next tick."""
         self._pending_alarms.clear()
         self._alarm_armed_at = None
 
@@ -109,10 +135,39 @@ class RetrainPolicy:
         return self._retrains
 
     # ------------------------------------------------------------------
-    def should_retrain(self, now: float, *, window_size: int,
+    def state_dict(self) -> Dict[str, Any]:
+        """Durable damping state (for :meth:`OnlineLoop.restore`)."""
+        return {
+            "retrains": self._retrains,
+            "last_retrain_at": self._last_retrain_at,
+            "samples_at_last_retrain": self._samples_at_last_retrain,
+            "alarm_armed_at": self._alarm_armed_at,
+            "pending_alarms": [
+                {"detector": str(getattr(a, "detector", "?")),
+                 "metric": str(getattr(a, "metric", "?"))}
+                for a in self._pending_alarms],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._retrains = int(state.get("retrains", 0))
+        last = state.get("last_retrain_at")
+        self._last_retrain_at = None if last is None else float(last)
+        self._samples_at_last_retrain = int(
+            state.get("samples_at_last_retrain", 0))
+        armed = state.get("alarm_armed_at")
+        self._alarm_armed_at = None if armed is None else int(armed)
+        self._pending_alarms = [
+            types.SimpleNamespace(detector=a.get("detector", "?"),
+                                  metric=a.get("metric", "?"))
+            for a in state.get("pending_alarms", [])]
+
+    # ------------------------------------------------------------------
+    def should_retrain(self, now: Optional[float] = None, *,
+                       window_size: int,
                        total_ingested: int) -> Optional[RetrainTrigger]:
         """The single decision point; at most one trigger per call."""
         cfg = self.config
+        now = self._time(now)
         if window_size < cfg.min_window:
             return None
         if (self._last_retrain_at is not None
@@ -169,12 +224,21 @@ class GateConfig:
     drift_improvement_ratio: float = 0.5
     #: Watermark/schedule students only need to not regress.
     max_mae_ratio: float = 1.02
+    #: Forgetting budget for the mixture holdout: when the gate is also
+    #: handed a frozen *clean* (pre-shift) slice, the student's MAE on
+    #: it may not exceed the parent's by more than this factor.  A
+    #: candidate that wins the drift regime but craters the old one is
+    #: registered-but-rejected.  ``None`` disables the clean check.
+    max_clean_regression_ratio: Optional[float] = 1.5
 
     def __post_init__(self) -> None:
         if not 0.0 < self.drift_improvement_ratio <= 1.0:
             raise ValueError("drift_improvement_ratio must be in (0, 1]")
         if self.max_mae_ratio < 1.0:
             raise ValueError("max_mae_ratio must be >= 1")
+        if (self.max_clean_regression_ratio is not None
+                and self.max_clean_regression_ratio < 1.0):
+            raise ValueError("max_clean_regression_ratio must be >= 1")
 
 
 @dataclasses.dataclass
@@ -188,6 +252,13 @@ class GateResult:
     mae_ratio: float        # student / parent (inf when parent is 0)
     holdout_size: int
     threshold: float
+    # Mixture-holdout leg: the frozen clean slice.  NaN/0 when the gate
+    # ran without one (back-compat with pre-mixture candidates).
+    clean_parent_mae: float = float("nan")
+    clean_student_mae: float = float("nan")
+    clean_mae_ratio: float = float("nan")
+    clean_holdout_size: int = 0
+    clean_threshold: float = 0.0
 
 
 def _eta_mae(model, instances: Sequence[RTPInstance]) -> float:
@@ -218,12 +289,19 @@ class AntiRegressionGate:
 
     def evaluate(self, parent_model, student_model,
                  holdout: Sequence[RTPInstance],
-                 trigger_kind: str = "drift") -> GateResult:
-        """Compare parent vs student on a held-out slice of experiences.
+                 trigger_kind: str = "drift",
+                 clean_holdout: Optional[Sequence[RTPInstance]] = None,
+                 ) -> GateResult:
+        """Compare parent vs student on a mixture of held-out slices.
 
-        ``holdout`` was excluded from the fine-tune, so the comparison
-        measures generalisation to the live distribution, not memorised
-        training labels.
+        ``holdout`` (the recent live window, excluded from the
+        fine-tune) measures adaptation; ``clean_holdout`` (a slice
+        frozen before any shift) measures what the adaptation cost the
+        old regime.  Both were excluded from the fine-tune, so the
+        comparison measures generalisation to each distribution, not
+        memorised training labels.  The student must clear *both* bars:
+        beat the parent on the recent slice and stay within
+        ``max_clean_regression_ratio`` of it on the clean slice.
         """
         if not holdout:
             return GateResult(
@@ -236,29 +314,59 @@ class AntiRegressionGate:
         threshold = (self.config.drift_improvement_ratio
                      if trigger_kind == "drift"
                      else self.config.max_mae_ratio)
-        if not math.isfinite(student_mae):
+        clean_budget = self.config.max_clean_regression_ratio
+        clean_parent = clean_student = clean_ratio = float("nan")
+        clean_size = 0
+        clean_threshold = 0.0
+        if clean_holdout and clean_budget is not None:
+            clean_size = len(clean_holdout)
+            clean_threshold = float(clean_budget)
+            clean_parent = _eta_mae(parent_model, clean_holdout)
+            clean_student = _eta_mae(student_model, clean_holdout)
+            clean_ratio = (clean_student / clean_parent
+                           if clean_parent > 0 else float("inf"))
+
+        def result(passed: bool, reason: str,
+                   ratio: float) -> GateResult:
             return GateResult(
-                passed=False,
-                reason="student produced non-finite ETA predictions",
-                parent_mae=parent_mae, student_mae=student_mae,
-                mae_ratio=float("inf"), holdout_size=len(holdout),
-                threshold=threshold)
-        ratio = (student_mae / parent_mae if parent_mae > 0
-                 else float("inf"))
-        if ratio <= threshold:
-            return GateResult(
-                passed=True,
-                reason=(f"student mae {student_mae:.1f} vs parent "
-                        f"{parent_mae:.1f} on {len(holdout)} held-out "
-                        f"routes (ratio {ratio:.3f} <= {threshold:.2f})"),
+                passed=passed, reason=reason,
                 parent_mae=parent_mae, student_mae=student_mae,
                 mae_ratio=ratio, holdout_size=len(holdout),
-                threshold=threshold)
-        return GateResult(
-            passed=False,
-            reason=(f"student mae {student_mae:.1f} vs parent "
-                    f"{parent_mae:.1f} on {len(holdout)} held-out routes "
-                    f"(ratio {ratio:.3f} > {threshold:.2f})"),
-            parent_mae=parent_mae, student_mae=student_mae,
-            mae_ratio=ratio, holdout_size=len(holdout),
-            threshold=threshold)
+                threshold=threshold,
+                clean_parent_mae=clean_parent,
+                clean_student_mae=clean_student,
+                clean_mae_ratio=clean_ratio,
+                clean_holdout_size=clean_size,
+                clean_threshold=clean_threshold)
+
+        if not math.isfinite(student_mae):
+            return result(
+                False, "student produced non-finite ETA predictions",
+                float("inf"))
+        ratio = (student_mae / parent_mae if parent_mae > 0
+                 else float("inf"))
+        if ratio > threshold:
+            return result(
+                False,
+                f"student mae {student_mae:.1f} vs parent "
+                f"{parent_mae:.1f} on {len(holdout)} held-out routes "
+                f"(ratio {ratio:.3f} > {threshold:.2f})",
+                ratio)
+        if clean_size and not (clean_ratio <= clean_threshold):
+            return result(
+                False,
+                f"forgetting: clean-holdout mae {clean_student:.1f} vs "
+                f"parent {clean_parent:.1f} on {clean_size} frozen "
+                f"routes (ratio {clean_ratio:.3f} > budget "
+                f"{clean_threshold:.2f}) despite shifted ratio "
+                f"{ratio:.3f} <= {threshold:.2f}",
+                ratio)
+        mixture = (f"; clean-holdout ratio {clean_ratio:.3f} <= "
+                   f"budget {clean_threshold:.2f} on {clean_size} "
+                   f"frozen routes" if clean_size else "")
+        return result(
+            True,
+            f"student mae {student_mae:.1f} vs parent "
+            f"{parent_mae:.1f} on {len(holdout)} held-out "
+            f"routes (ratio {ratio:.3f} <= {threshold:.2f}){mixture}",
+            ratio)

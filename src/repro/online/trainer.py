@@ -59,6 +59,13 @@ class OnlineTrainerConfig:
     grad_clip: float = 5.0
     shuffle_seed: int = 11
     num_workers: int = 0            # gradient workers (0 = sequential)
+    #: Fraction of the live window's size to top up with pre-shift
+    #: reservoir experiences (experience replay): ``fine_tune`` draws a
+    #: seeded sample of ``round(replay_fraction * len(instances))``
+    #: items from the ``replay`` pool and interleaves them into every
+    #: epoch's permutation, so adaptation rehearses the old regime
+    #: instead of overwriting it.  0 disables replay.
+    replay_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -67,6 +74,8 @@ class OnlineTrainerConfig:
             raise ValueError("learning_rate must be positive")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if not 0.0 <= self.replay_fraction <= 1.0:
+            raise ValueError("replay_fraction must be in [0, 1]")
 
 
 @dataclasses.dataclass
@@ -80,6 +89,7 @@ class FineTuneResult:
     completed: bool
     losses: List[float]
     checkpoint_path: Path
+    replay_samples: int = 0     # reservoir experiences interleaved
 
 
 class OnlineTrainer:
@@ -139,7 +149,9 @@ class OnlineTrainer:
     # ------------------------------------------------------------------
     def fine_tune(self, parent: str, instances: Sequence[RTPInstance],
                   job_id: str,
-                  stop_after_epoch: Optional[int] = None) -> FineTuneResult:
+                  stop_after_epoch: Optional[int] = None,
+                  replay: Optional[Sequence[RTPInstance]] = None,
+                  ) -> FineTuneResult:
         """Fine-tune a copy of registry version ``parent`` on ``instances``.
 
         If ``workdir`` holds a matching unfinished job (same ``job_id``
@@ -147,12 +159,32 @@ class OnlineTrainer:
         starting over.  ``stop_after_epoch`` pauses the job after that
         many total epochs (``completed=False``) — the kill/restart
         tests use it to cut a job mid-flight deterministically.
+
+        ``replay`` is a pool of pre-shift experiences (typically the
+        :class:`ExperienceBuffer` reservoir); ``replay_fraction`` of the
+        live window's size is sampled from it **once, at job start, from
+        a fixed seed** and appended to the training set, so every
+        epoch's permutation interleaves old-regime rehearsal with the
+        shifted window — and a killed/restarted job draws the identical
+        replay sample and stays bitwise resumable.
         """
         if not instances:
             raise ValueError("fine_tune needs at least one instance")
         cfg = self.config
         paths = self._paths(job_id)
         model, _ = self.registry.load(parent)
+        replay_pool = list(replay or [])
+        replay_count = 0
+        if replay_pool and cfg.replay_fraction > 0.0:
+            replay_count = min(
+                len(replay_pool),
+                int(round(cfg.replay_fraction * len(instances))))
+        if replay_count:
+            replay_rng = np.random.default_rng(cfg.shuffle_seed + 2)
+            picks = replay_rng.choice(
+                len(replay_pool), size=replay_count, replace=False)
+            instances = list(instances) + [replay_pool[int(i)]
+                                           for i in picks]
         trainer = DataParallelTrainer(
             model,
             TrainerConfig(epochs=cfg.epochs, learning_rate=cfg.learning_rate,
@@ -173,7 +205,8 @@ class OnlineTrainer:
                 losses = [float(v) for v in progress["losses"]]
 
         with span("online.fine_tune", job=job_id, parent=parent,
-                  instances=len(instances), resume_epoch=start_epoch):
+                  instances=len(instances), replay=replay_count,
+                  resume_epoch=start_epoch):
             graphs = trainer._build_graphs(list(instances))
             targets = [RTPTargets.from_instance(i) for i in instances]
             trainer._on_data_ready(graphs, targets)
@@ -212,6 +245,7 @@ class OnlineTrainer:
                         "epochs_done": epochs_done,
                         "completed": epochs_done >= cfg.epochs,
                         "losses": losses,
+                        "replay_samples": replay_count,
                     })
                     if self.metrics is not None:
                         self._m_epochs.inc()
@@ -230,4 +264,5 @@ class OnlineTrainer:
             model=model, job_id=job_id, parent=parent,
             epochs_done=epochs_done,
             completed=epochs_done >= cfg.epochs,
-            losses=losses, checkpoint_path=paths["checkpoint"])
+            losses=losses, checkpoint_path=paths["checkpoint"],
+            replay_samples=replay_count)

@@ -53,10 +53,37 @@ class ShardDeploymentController:
         has acknowledged the new weights, so a crash mid-swap leaves
         the registry pointing at a version the fleet actually serves.
         """
+        if self.candidate_version is not None:
+            raise RuntimeError(
+                "cannot swap the primary while a candidate is in flight")
         model, manifest = self.registry.load(ref)
+        if manifest.version == self.router.version:
+            return manifest.version
         self.router.swap_to(manifest.version, model)
         self.registry.activate(manifest.version)
         return manifest.version
+
+    # ------------------------------------------------------------------
+    # Regime-matched routing (model zoo)
+    # ------------------------------------------------------------------
+    def install_regime(self, regime: str, ref: str) -> str:
+        """Serve ``regime`` traffic from ``ref`` on every shard.
+
+        The lane installs behind in-flight work like a canary; requests
+        in other regimes (and this one, whenever its version is already
+        the fleet primary) keep serving from the primary lane.
+        """
+        model, manifest = self.registry.load(ref)
+        self.router.install_regime(regime, manifest.version, model)
+        return manifest.version
+
+    def uninstall_regime(self, regime: str) -> bool:
+        """Drop one regime lane fleet-wide."""
+        return self.router.clear_regime(regime)
+
+    def regime_versions(self):
+        """Installed regime → version mapping (introspection)."""
+        return self.router.regime_versions()
 
     # ------------------------------------------------------------------
     def start_canary(self, ref: str,

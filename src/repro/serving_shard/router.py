@@ -179,7 +179,8 @@ class ShardRouter:
                  service_wrapper: Optional[Callable] = None,
                  backlog_probe=None,
                  on_respawn: Optional[Callable[[int], None]] = None,
-                 on_shed: Optional[Callable[[int], None]] = None):
+                 on_shed: Optional[Callable[[int], None]] = None,
+                 regime_of: Optional[Callable] = None):
         self.config = config or ShardConfig()
         self.resilience = resilience or ResilienceConfig()
         self.inline = inline
@@ -193,6 +194,12 @@ class ShardRouter:
         self.state = model.state_dict()
         self._candidate: Optional[Dict[str, object]] = None  # canary spec
         self._canary_fraction = 0.0
+        #: Regime key -> serialized model spec (model-zoo routing);
+        #: replayed onto respawned shards like the canary spec.
+        self._regimes: Dict[str, Dict[str, object]] = {}
+        if regime_of is None:
+            from ..online.zoo import regime_of_request as regime_of
+        self.regime_of = regime_of
         self._feedback = None
         self._rng = np.random.default_rng(self.config.seed)
         self._req_counter = 0
@@ -274,6 +281,9 @@ class ShardRouter:
             runtime.process(("canary_start", self._candidate["version"],
                              self._candidate["model_config"],
                              self._candidate["state"]))
+        for regime, spec in self._regimes.items():
+            runtime.process(("regime_install", regime, spec["version"],
+                             spec["model_config"], spec["state"]))
         return runtime
 
     def _spec(self) -> Dict[str, object]:
@@ -301,6 +311,10 @@ class ShardRouter:
             handle.task_queue.put(
                 ("canary_start", self._candidate["version"],
                  self._candidate["model_config"], self._candidate["state"]))
+        for regime, spec in self._regimes.items():
+            handle.task_queue.put(
+                ("regime_install", regime, spec["version"],
+                 spec["model_config"], spec["state"]))
 
     # ------------------------------------------------------------------
     # Placement and admission
@@ -322,10 +336,17 @@ class ShardRouter:
             depth += int(self.backlog_probe.pending)
         return depth
 
-    def _pick_lane(self) -> str:
+    def _pick_lane(self, request) -> str:
+        """Canary split first (a live experiment owns its traffic
+        share), then regime-matched routing, then the primary."""
         if (self._candidate is not None
                 and float(self._rng.random()) < self._canary_fraction):
             return "candidate"
+        if self._regimes:
+            regime = self.regime_of(request)
+            spec = self._regimes.get(regime)
+            if spec is not None and spec["version"] != self.version:
+                return f"regime:{regime}"
         return "primary"
 
     def _note_depth(self, shard: int, depth: int) -> None:
@@ -367,7 +388,7 @@ class ShardRouter:
             self._note_depth(shard, depth)
             if depth >= self.config.max_queue_depth:
                 return self._shed(shard, request)
-            lane = self._pick_lane()
+            lane = self._pick_lane(request)
             if self.inline:
                 return self._dispatch_inline(shard, request, lane,
                                              route_span)
@@ -411,7 +432,7 @@ class ShardRouter:
             ticket.done_at = self.clock()
             ticket.event.set()
             return ticket
-        return self._submit(shard, request, self._pick_lane())
+        return self._submit(shard, request, self._pick_lane(request))
 
     # -- inline ---------------------------------------------------------
     def _dispatch_inline(self, shard: int, request, lane: str, route_span):
@@ -544,7 +565,7 @@ class ShardRouter:
                 if event is not None:
                     event.set()
             elif kind in ("swapped", "canary_ready", "canary_stopped",
-                          "stopped"):
+                          "regime_ready", "regime_cleared", "stopped"):
                 shard = message[1]
                 self._handles[shard].last_seen = time.monotonic()
                 event = self._control_events.get((kind, shard))
@@ -643,6 +664,51 @@ class ShardRouter:
     def canary_active(self) -> bool:
         return self._candidate is not None
 
+    # ------------------------------------------------------------------
+    # Regime-matched routing (model zoo)
+    # ------------------------------------------------------------------
+    def install_regime(self, regime: str, version: str, model) -> None:
+        """Install ``model`` as the dedicated lane for one regime.
+
+        Requests whose :attr:`regime_of` key matches serve from this
+        lane on every shard; everything else (and the regime itself, if
+        its version later becomes the primary) falls back to the
+        primary.  Respawned shards re-install the lane from the spec,
+        exactly like the canary."""
+        spec = {
+            "version": version,
+            "model_config": dataclasses.asdict(model.config),
+            "state": model.state_dict(),
+        }
+        message = ("regime_install", regime, version,
+                   spec["model_config"], spec["state"])
+        if self.inline:
+            for runtime in self.runtimes:
+                if runtime.alive:
+                    runtime.process(message)
+        else:
+            self._broadcast(message, "regime_ready")
+        self._regimes[regime] = spec   # route only after all acks
+
+    def clear_regime(self, regime: str) -> bool:
+        """Drop one regime lane everywhere; ``False`` if not installed."""
+        if regime not in self._regimes:
+            return False
+        self._regimes.pop(regime, None)  # stop routing before draining
+        message = ("regime_clear", regime)
+        if self.inline:
+            for runtime in self.runtimes:
+                if runtime.alive:
+                    runtime.process(message)
+        else:
+            self._broadcast(message, "regime_cleared")
+        return True
+
+    def regime_versions(self) -> Dict[str, str]:
+        """Installed regime → version mapping (introspection)."""
+        return {regime: str(spec["version"])
+                for regime, spec in self._regimes.items()}
+
     def kill_shard(self, shard: int) -> None:
         """Kill one shard (tests / kill scenarios); respawn is lazy."""
         if self.inline:
@@ -691,6 +757,8 @@ class ShardRouter:
             found.append(runtime.primary.resilient.breaker)
             if runtime.candidate is not None:
                 found.append(runtime.candidate.resilient.breaker)
+            for lane in runtime.regimes.values():
+                found.append(lane.resilient.breaker)
         return found
 
     def shard_stats(self) -> List[Dict[str, object]]:

@@ -190,6 +190,10 @@ class ShardRuntime:
         self.swaps = 0
         self.primary = self._make_lane(model_config, state, version)
         self.candidate: Optional[_Lane] = None
+        #: Regime key -> specialist lane (model-zoo routing).  Requests
+        #: tagged ``regime:<key>`` serve from the matching lane with
+        #: fallback to primary when the key is uninstalled.
+        self.regimes: Dict[str, _Lane] = {}
 
     # ------------------------------------------------------------------
     def _make_lane(self, model_config: Dict[str, object],
@@ -204,7 +208,20 @@ class ShardRuntime:
     def _lane(self, name: str) -> _Lane:
         if name == "candidate" and self.candidate is not None:
             return self.candidate
+        if name.startswith("regime:"):
+            lane = self.regimes.get(name[len("regime:"):])
+            if lane is not None:
+                return lane
         return self.primary
+
+    def _resolve_lane(self, requested: str) -> str:
+        """Canonical lane name a request message actually serves from."""
+        if requested == "candidate" and self.candidate is not None:
+            return "candidate"
+        if (requested.startswith("regime:")
+                and requested[len("regime:"):] in self.regimes):
+            return requested
+        return "primary"
 
     # ------------------------------------------------------------------
     # Message protocol (plain picklable tuples, repro.parallel style)
@@ -232,6 +249,15 @@ class ShardRuntime:
             self.candidate = None
             return [("canary_stopped", self.shard_id, stopped,
                      self.primary.version)]
+        if kind == "regime_install":
+            _, regime, version, model_config, state = message
+            self.regimes[regime] = self._make_lane(
+                model_config, state, version)
+            return [("regime_ready", self.shard_id, regime, version)]
+        if kind == "regime_clear":
+            _, regime = message
+            self.regimes.pop(regime, None)
+            return [("regime_cleared", self.shard_id, regime)]
         if kind == "ping":
             return [("pong", self.shard_id, message[1], self.stats())]
         if kind == "crash":  # fault injection for respawn tests
@@ -257,13 +283,10 @@ class ShardRuntime:
             with tracing.span("shard.serve", shard=self.shard_id,
                               batch=len(messages)):
                 responses: Dict[int, object] = {}
-                groups: Dict[str, List[int]] = {"primary": [],
-                                                "candidate": []}
+                groups: Dict[str, List[int]] = {}
                 for index, message in enumerate(messages):
-                    lane = ("candidate" if (message[3] == "candidate"
-                                            and self.candidate is not None)
-                            else "primary")
-                    groups[lane].append(index)
+                    lane = self._resolve_lane(message[3])
+                    groups.setdefault(lane, []).append(index)
                 for lane_name, indices in groups.items():
                     if not indices:
                         continue
@@ -290,6 +313,8 @@ class ShardRuntime:
             "version": self.primary.version,
             "candidate": (self.candidate.version
                           if self.candidate is not None else None),
+            "regimes": {regime: lane.version
+                        for regime, lane in sorted(self.regimes.items())},
             "requests": self.requests,
             "swaps": self.swaps,
             "batches_flushed": self.primary.batcher.batches_flushed,

@@ -1,0 +1,178 @@
+"""Pinned mixture-gate verdicts for three canned students.
+
+The :class:`repro.online.AntiRegressionGate` scores every candidate on
+a **mixture holdout**: the recent (possibly shifted) slice measures
+adaptation, the frozen clean slice measures what the adaptation cost
+the old regime.  This suite pins the verdict — pass/fail, reason
+prefix and which leg decided — for the three canonical students:
+
+* **clean-preserving** — a light fine-tune on in-distribution data:
+  passes both legs; the reason records the mixture verdict;
+* **forgetting** — a fine-tune on a feature-inseparable +480-minute
+  shift with no replay: wins the drift leg decisively, craters the
+  clean slice, and is rejected with the ``forgetting:`` reason;
+* **poisoned** — a fine-tune on noise-corrupted ground truth: never
+  clears the drift improvement bar, rejected on the shifted leg
+  before the clean budget is even consulted.
+
+Also pinned: the gate's back-compat contract (no clean slice → NaN
+clean fields, verdict decided by the shifted leg alone) and the
+``max_clean_regression_ratio=None`` escape hatch.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import GeneratorConfig, SyntheticWorld
+from repro.deploy import ModelRegistry
+from repro.load.scenarios import small_model
+from repro.load.stream import build_instance_pool
+from repro.online import (AntiRegressionGate, GateConfig, OnlineTrainer,
+                          OnlineTrainerConfig)
+
+
+def _shift_instance(instance, minutes):
+    return dataclasses.replace(
+        instance,
+        arrival_times=np.asarray(instance.arrival_times,
+                                 dtype=np.float64) + minutes,
+        aoi_arrival_times=np.asarray(instance.aoi_arrival_times,
+                                     dtype=np.float64) + minutes)
+
+
+def _poison_instance(instance, rng):
+    noisy = np.sort(rng.uniform(2000.0, 10000.0,
+                                size=len(instance.arrival_times)))
+    aoi_noisy = np.sort(rng.uniform(2000.0, 10000.0,
+                                    size=len(instance.aoi_arrival_times)))
+    return dataclasses.replace(instance, arrival_times=noisy,
+                               aoi_arrival_times=aoi_noisy)
+
+
+@pytest.fixture(scope="module")
+def world_instances():
+    world = SyntheticWorld(GeneratorConfig(
+        num_aois=40, num_couriers=6, num_days=4,
+        instances_per_courier_day=2, seed=7))
+    return build_instance_pool(world, 24, seed=8)
+
+
+@pytest.fixture(scope="module")
+def rig(tmp_path_factory, world_instances):
+    """Parent model + the three canned students, trained once."""
+    root = tmp_path_factory.mktemp("gate-rig")
+    registry = ModelRegistry(root / "reg")
+    parent = small_model(17, 16)
+    manifest = registry.register(parent, created_at="t0")
+    trainer = OnlineTrainer(registry, root / "jobs", OnlineTrainerConfig())
+
+    instances = world_instances
+    clean_holdout = instances[:6]          # the frozen pre-shift slice
+    clean_train = instances[6:18]
+    recent_clean_holdout = instances[18:]  # recent slice, no shift
+    shifted_train = [_shift_instance(i, 480.0) for i in clean_train]
+    shifted_holdout = [_shift_instance(i, 480.0)
+                       for i in recent_clean_holdout]
+    poison_rng = np.random.default_rng(23)
+    poisoned_train = [_poison_instance(i, poison_rng) for i in clean_train]
+    poisoned_holdout = [_poison_instance(i, poison_rng)
+                        for i in recent_clean_holdout]
+
+    preserving = trainer.fine_tune(manifest.version, clean_train,
+                                   job_id="preserve").model
+    forgetting = trainer.fine_tune(manifest.version, shifted_train,
+                                   job_id="forget").model
+    poisoned = trainer.fine_tune(manifest.version, poisoned_train,
+                                 job_id="poison").model
+    return {
+        "parent": parent,
+        "preserving": preserving,
+        "forgetting": forgetting,
+        "poisoned": poisoned,
+        "clean_holdout": clean_holdout,
+        "recent_clean_holdout": recent_clean_holdout,
+        "shifted_holdout": shifted_holdout,
+        "poisoned_holdout": poisoned_holdout,
+    }
+
+
+class TestMixtureGateVerdicts:
+    def test_clean_preserving_student_passes(self, rig):
+        gate = AntiRegressionGate()
+        result = gate.evaluate(rig["parent"], rig["preserving"],
+                               rig["recent_clean_holdout"],
+                               trigger_kind="watermark",
+                               clean_holdout=rig["clean_holdout"])
+        assert result.passed is True
+        assert "clean-holdout ratio" in result.reason
+        assert result.mae_ratio <= result.threshold
+        assert result.clean_mae_ratio <= result.clean_threshold
+        assert result.clean_holdout_size == 6
+        assert math.isfinite(result.clean_parent_mae)
+        assert math.isfinite(result.clean_student_mae)
+
+    def test_forgetting_student_rejected_on_clean_leg(self, rig):
+        gate = AntiRegressionGate()
+        result = gate.evaluate(rig["parent"], rig["forgetting"],
+                               rig["shifted_holdout"],
+                               trigger_kind="drift",
+                               clean_holdout=rig["clean_holdout"])
+        assert result.passed is False
+        assert result.reason.startswith("forgetting:")
+        # The drift leg alone would have shipped it.
+        assert result.mae_ratio <= result.threshold
+        assert result.clean_mae_ratio > result.clean_threshold
+        assert result.clean_threshold == pytest.approx(1.5)
+
+    def test_poisoned_student_rejected_on_shifted_leg(self, rig):
+        gate = AntiRegressionGate()
+        result = gate.evaluate(rig["parent"], rig["poisoned"],
+                               rig["poisoned_holdout"],
+                               trigger_kind="drift",
+                               clean_holdout=rig["clean_holdout"])
+        assert result.passed is False
+        assert not result.reason.startswith("forgetting:"), (
+            "poison must fail the drift improvement bar, which is "
+            "checked before the forgetting budget")
+        assert result.mae_ratio > result.threshold
+
+    def test_no_clean_slice_is_backwards_compatible(self, rig):
+        gate = AntiRegressionGate()
+        result = gate.evaluate(rig["parent"], rig["forgetting"],
+                               rig["shifted_holdout"],
+                               trigger_kind="drift")
+        # Without a clean slice the forgetting student sails through —
+        # exactly the pre-mixture behaviour.
+        assert result.passed is True
+        assert result.clean_holdout_size == 0
+        assert math.isnan(result.clean_parent_mae)
+        assert math.isnan(result.clean_student_mae)
+        assert math.isnan(result.clean_mae_ratio)
+        assert result.clean_threshold == 0.0
+
+    def test_budget_none_disables_clean_leg(self, rig):
+        gate = AntiRegressionGate(
+            GateConfig(max_clean_regression_ratio=None))
+        result = gate.evaluate(rig["parent"], rig["forgetting"],
+                               rig["shifted_holdout"],
+                               trigger_kind="drift",
+                               clean_holdout=rig["clean_holdout"])
+        assert result.passed is True
+        assert result.clean_holdout_size == 0
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError):
+            GateConfig(max_clean_regression_ratio=0.5)
+
+    def test_verdicts_are_deterministic(self, rig):
+        gate = AntiRegressionGate()
+        first = gate.evaluate(rig["parent"], rig["forgetting"],
+                              rig["shifted_holdout"], trigger_kind="drift",
+                              clean_holdout=rig["clean_holdout"])
+        second = gate.evaluate(rig["parent"], rig["forgetting"],
+                               rig["shifted_holdout"], trigger_kind="drift",
+                               clean_holdout=rig["clean_holdout"])
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)

@@ -260,7 +260,7 @@ class TestScenarios:
             "steady", "surge", "courier_churn", "gps_dropout",
             "fault_storm", "checkpoint_corruption", "canary_surge",
             "quality_drift", "shard_soak", "shard_kill",
-            "weather_slowdown", "continual_drift"}
+            "weather_slowdown", "continual_drift", "regime_cycle"}
 
     def test_surge_profile_composition(self):
         phases = SCENARIOS["surge"].build_phases(FAST)

@@ -178,10 +178,16 @@ class _FeedbackHarness:
         self.events = []
         self.loop = OnlineLoop(
             self.registry, self.controller,
-            ExperienceBuffer(capacity=48, reservoir=8, max_pending=64,
+            ExperienceBuffer(capacity=48, reservoir=16, max_pending=64,
                              seed=3, metrics=self.metrics),
+            # Replay-enabled fine-tunes, mirroring the scenario wiring:
+            # the mixture gate scores the clean holdout too, and a
+            # no-replay fine-tune forgets the clean regime and fails it.
             OnlineTrainer(self.registry, tmp_path / "jobs",
-                          OnlineTrainerConfig(), metrics=self.metrics),
+                          OnlineTrainerConfig(replay_fraction=1.0,
+                                              learning_rate=0.012,
+                                              epochs=10),
+                          metrics=self.metrics),
             RetrainPolicy(RetrainPolicyConfig(
                 min_window=24, cooldown_s=1e9, min_new_samples=8,
                 post_alarm_samples=28)),
@@ -218,7 +224,10 @@ class _FeedbackHarness:
 class TestPoisonedFineTuneBlocked:
     def test_gate_rejects_poisoned_labels(self, tmp_path):
         harness = _FeedbackHarness(tmp_path)
-        harness.pump(24)  # clean traffic fills the reference window
+        # Clean traffic fills the reference window and — by overflowing
+        # the window — seeds the pre-shift reservoir the replay and the
+        # gate's frozen clean slice both draw from.
+        harness.pump(72)
         assert harness.loop.retrains == 0
 
         # Corrupted ground truth: uniform-noise arrivals, shuffled
@@ -252,9 +261,17 @@ class TestPoisonedFineTuneBlocked:
             outcome="rejected")
         assert rejected.value == 1
 
-    def test_legit_shift_passes_same_gate(self, tmp_path):
+    def test_inseparable_shift_rejected_as_forgetting(self, tmp_path):
+        # A flat +480 on *every* route is inseparable in features: no
+        # student can fit the shifted window without unlearning the
+        # clean regime (the replay sample and the shifted majority pull
+        # the same inputs toward conflicting targets).  The candidate
+        # wins the drift leg decisively — and the mixture gate still
+        # rejects it, for forgetting, not for drift.  The separable
+        # (weather-conditioned) shift that passes both legs is the
+        # ``continual_drift`` scenario above.
         harness = _FeedbackHarness(tmp_path)
-        harness.pump(24)
+        harness.pump(72)
 
         def shift(actual, route):
             return actual + 480.0, route
@@ -262,9 +279,17 @@ class TestPoisonedFineTuneBlocked:
         harness.pump(80, mutate_actual=shift)
         assert harness.loop.retrains == 1
         record = harness.loop.candidates[0]
-        assert record["gate"]["passed"] is True
-        assert record["canaried"] is True
-        assert record["gate"]["mae_ratio"] < 0.5
+        gate = record["gate"]
+        assert gate["passed"] is False
+        assert gate["reason"].startswith("forgetting:")
+        assert gate["mae_ratio"] < 0.5, \
+            "the drift leg alone would have shipped this candidate"
+        assert gate["clean_mae_ratio"] > gate["clean_threshold"]
+        assert record["canaried"] is False
+        assert record["replay_samples"] > 0
+        # Registered for the audit trail, active version untouched.
+        assert record["version"] in harness.registry.versions()
+        assert harness.controller.active_version == harness.parent_version
 
 
 class TestOnlineTrainerResume:

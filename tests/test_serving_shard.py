@@ -16,6 +16,7 @@ The properties that make :mod:`repro.serving_shard` trustworthy:
   work resubmitted — the caller just sees answers.
 """
 
+import dataclasses
 import pickle
 import threading
 
@@ -222,6 +223,73 @@ class TestInlineSwap:
         assert response.model_version == "v002", (
             "respawn must rebuild from the *current* weights, not v001")
         assert respawned == [victim]
+        assert router.shard_stats()[victim]["respawns"] == 1
+
+
+# ----------------------------------------------------------------------
+# Regime-matched routing (model-zoo lanes)
+# ----------------------------------------------------------------------
+def _with_weather(requests, weather):
+    return [dataclasses.replace(r, weather=weather) for r in requests]
+
+
+class TestRegimeLanes:
+    def test_regime_requests_serve_from_their_lane(self, requests):
+        router = make_router(num_shards=2)
+        router.install_regime("weather:storm", "v-storm",
+                              tiny_model(seed=7))
+        assert router.regime_versions() == {"weather:storm": "v-storm"}
+        for request in _with_weather(requests[:6], weather=3):
+            response = router.handle(request)
+            assert_valid(response, request)
+            assert response.model_version == "v-storm"
+        for request in _with_weather(requests[6:12], weather=0):
+            assert router.handle(request).model_version == "v001"
+
+    def test_lane_matching_primary_version_defers_to_primary(self, requests):
+        """When the primary *is* the regime model, the lane stays dark;
+        once the primary moves on, the lane serves the old regime."""
+        router = make_router(num_shards=2)
+        router.install_regime("weather:storm", "v001", tiny_model(seed=7))
+        storm = _with_weather(requests[:4], weather=3)
+        assert {router.handle(r).model_version for r in storm} == {"v001"}
+        router.swap_to("v002", tiny_model(seed=9))
+        assert {router.handle(r).model_version for r in storm} == {"v001"}
+        assert {router.handle(r).model_version
+                for r in _with_weather(requests[4:8], 0)} == {"v002"}
+
+    def test_clear_regime_restores_primary_routing(self, requests):
+        router = make_router(num_shards=2)
+        router.install_regime("weather:storm", "v-storm",
+                              tiny_model(seed=7))
+        storm = _with_weather(requests[:4], weather=3)
+        assert router.handle(storm[0]).model_version == "v-storm"
+        assert router.clear_regime("weather:storm") is True
+        assert {router.handle(r).model_version for r in storm} == {"v001"}
+        assert router.clear_regime("weather:storm") is False
+        assert router.regime_versions() == {}
+
+    def test_canary_owns_its_split_before_regime_routing(self, requests):
+        router = make_router(num_shards=2)
+        router.install_regime("weather:storm", "v-storm",
+                              tiny_model(seed=7))
+        router.start_canary("v002", tiny_model(seed=9), fraction=1.0)
+        storm = _with_weather(requests[:4], weather=3)
+        assert {router.handle(r).model_version for r in storm} == {"v002"}
+        router.stop_canary(promote=False)
+        assert {router.handle(r).model_version for r in storm} == {"v-storm"}
+
+    def test_respawn_reinstalls_regime_lane(self, requests):
+        router = make_router(num_shards=2)
+        router.install_regime("weather:storm", "v-storm",
+                              tiny_model(seed=7))
+        storm = _with_weather(requests, weather=3)
+        victim = router.place(storm[0])
+        router.kill_shard(victim)
+        response = router.handle(storm[0])
+        assert_valid(response, storm[0])
+        assert response.model_version == "v-storm", (
+            "respawn must replay the regime spec, like the canary")
         assert router.shard_stats()[victim]["respawns"] == 1
 
 
